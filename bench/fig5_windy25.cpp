@@ -1,0 +1,8 @@
+// Reproduces figure 5 of the paper: windy forest with 25% B nodes.
+#include "windy_figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return ibsim::bench::run_windy_figure_main(
+      argc, argv, "fig5_windy25", 0.25,
+      "CC improves non-hotspot rcv 8.6-16.3x; total throughput 6.0-8.7x, peak at p=60");
+}

@@ -1,0 +1,8 @@
+// Reproduces figure 6 of the paper: windy forest with 50% B nodes.
+#include "windy_figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return ibsim::bench::run_windy_figure_main(
+      argc, argv, "fig6_windy50", 0.50,
+      "same trends as fig5; improvement curve more cap-shaped, peak ~10x at p=60");
+}

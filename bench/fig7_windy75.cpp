@@ -1,0 +1,8 @@
+// Reproduces figure 7 of the paper: windy forest with 75% B nodes.
+#include "windy_figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return ibsim::bench::run_windy_figure_main(
+      argc, argv, "fig7_windy75", 0.75,
+      "cap-shape sharpens: lower gains at p extremes, peak ~12x at p=60");
+}

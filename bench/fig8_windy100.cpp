@@ -1,0 +1,8 @@
+// Reproduces figure 8 of the paper: pure windy forest (100% B nodes).
+#include "windy_figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return ibsim::bench::run_windy_figure_main(
+      argc, argv, "fig8_windy100", 1.00,
+      "~3% CC penalty at p=0, ~1x at p=0/100, seventeen-fold peak at p=60");
+}

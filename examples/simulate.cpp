@@ -1,0 +1,154 @@
+// General-purpose simulation runner: every knob of the library exposed
+// on the command line, results as a table and optional CSV timeline.
+// This is the "use the library without writing C++" entry point for
+// downstream users.
+//
+//   ./simulate --topology=clos --leaves=36 --spines=18 --nodes-per-leaf=18
+//              --fraction-b=1.0 --p=60 --hotspots=8 --sim-time-us=10000
+//
+// Run ./simulate --help for the full knob list.
+
+#include <cstdio>
+#include <string>
+
+#include "core/log.hpp"
+#include "sim/cli.hpp"
+#include "sim/config_file.hpp"
+#include "sim/simulation.hpp"
+#include "sim/timeline.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ibsim;
+
+  sim::Cli cli("simulate: run one InfiniBand CC simulation from the command line");
+  // Topology.
+  cli.add_string("topology", "clos", "clos | single | chain | dumbbell | mesh");
+  cli.add_int("leaves", 12, "clos: leaf switches");
+  cli.add_int("spines", 6, "clos: spine switches");
+  cli.add_int("nodes-per-leaf", 6, "clos: end nodes per leaf");
+  cli.add_int("switch-nodes", 8, "single: end nodes on the crossbar");
+  cli.add_int("chain-switches", 4, "chain: switches");
+  cli.add_int("chain-nodes", 2, "chain: nodes per switch");
+  cli.add_int("dumbbell-nodes", 4, "dumbbell: nodes per side");
+  cli.add_int("mesh-rows", 4, "mesh: rows");
+  cli.add_int("mesh-cols", 4, "mesh: columns");
+  cli.add_int("mesh-nodes", 4, "mesh: nodes per switch");
+  // Traffic.
+  cli.add_double("fraction-b", 0.0, "share of B nodes (0..1)");
+  cli.add_double("p", 50.0, "B-node hotspot percentage (0..100)");
+  cli.add_double("fraction-c", 0.8, "C share of the non-B nodes (0..1)");
+  cli.add_int("hotspots", 1, "number of hotspots");
+  cli.add_int("lifetime-us", 0, "hotspot lifetime (0 = static)");
+  cli.add_double("inject-gbps", 13.5, "per-node injection capacity");
+  // Congestion control.
+  cli.add_flag("no-cc", "disable congestion control");
+  cli.add_int("threshold", 15, "threshold weight 0..15");
+  cli.add_int("marking-rate", 0, "Marking_Rate");
+  cli.add_int("ccti-increase", 1, "CCTI_Increase");
+  cli.add_int("ccti-limit", 127, "CCTI_Limit");
+  cli.add_int("ccti-timer", 150, "CCTI_Timer (1.024us units)");
+  cli.add_flag("sl-level", "operate CC per SL instead of per QP");
+  cli.add_flag("linear-cct", "linear CCT fill instead of geometric");
+  // Run control.
+  cli.add_int("sim-time-us", 5000, "simulated microseconds");
+  cli.add_int("warmup-us", 1000, "warmup microseconds excluded from metrics");
+  cli.add_int("seed", 1, "random seed");
+  cli.add_int("timeline-us", 0, "sampling interval for --timeline-csv (0 = off)");
+  cli.add_string("timeline-csv", "", "write a telemetry time series CSV");
+  cli.add_string("config", "", "key=value config file applied before the flags");
+  cli.add_flag("verbose", "info-level logging");
+  if (!cli.parse(argc, argv)) return 0;
+
+  if (cli.flag("verbose")) core::Log::set_level(core::LogLevel::Info);
+
+  sim::SimConfig config;
+  if (!cli.get_string("config").empty()) {
+    const std::string err = sim::apply_config_file(cli.get_string("config"), &config);
+    if (!err.empty()) {
+      std::fprintf(stderr, "config error: %s\n", err.c_str());
+      return 2;
+    }
+  }
+  const std::string topology = cli.get_string("topology");
+  if (topology == "clos") {
+    config.topology = sim::TopologyKind::FoldedClos;
+    config.clos = topo::FoldedClosParams::scaled(
+        static_cast<std::int32_t>(cli.get_int("leaves")),
+        static_cast<std::int32_t>(cli.get_int("spines")),
+        static_cast<std::int32_t>(cli.get_int("nodes-per-leaf")));
+  } else if (topology == "single") {
+    config.topology = sim::TopologyKind::SingleSwitch;
+    config.single_switch_nodes = static_cast<std::int32_t>(cli.get_int("switch-nodes"));
+  } else if (topology == "chain") {
+    config.topology = sim::TopologyKind::LinearChain;
+    config.chain_switches = static_cast<std::int32_t>(cli.get_int("chain-switches"));
+    config.chain_nodes_per_switch = static_cast<std::int32_t>(cli.get_int("chain-nodes"));
+  } else if (topology == "dumbbell") {
+    config.topology = sim::TopologyKind::Dumbbell;
+    config.dumbbell_nodes_per_side = static_cast<std::int32_t>(cli.get_int("dumbbell-nodes"));
+  } else if (topology == "mesh") {
+    config.topology = sim::TopologyKind::Mesh2D;
+    config.mesh_rows = static_cast<std::int32_t>(cli.get_int("mesh-rows"));
+    config.mesh_cols = static_cast<std::int32_t>(cli.get_int("mesh-cols"));
+    config.mesh_nodes_per_switch = static_cast<std::int32_t>(cli.get_int("mesh-nodes"));
+  } else {
+    std::fprintf(stderr, "unknown topology '%s'\n", topology.c_str());
+    return 2;
+  }
+
+  config.scenario.fraction_b = cli.get_double("fraction-b");
+  config.scenario.p = cli.get_double("p") / 100.0;
+  config.scenario.fraction_c_of_rest = cli.get_double("fraction-c");
+  config.scenario.n_hotspots = static_cast<std::int32_t>(cli.get_int("hotspots"));
+  config.scenario.capacity_gbps = cli.get_double("inject-gbps");
+  if (cli.get_int("lifetime-us") > 0) {
+    config.scenario.hotspot_lifetime = cli.get_int("lifetime-us") * core::kMicrosecond;
+  }
+
+  config.cc.enabled = !cli.flag("no-cc");
+  config.cc.threshold_weight = static_cast<std::uint8_t>(cli.get_int("threshold"));
+  config.cc.marking_rate = static_cast<std::uint16_t>(cli.get_int("marking-rate"));
+  config.cc.ccti_increase = static_cast<std::uint16_t>(cli.get_int("ccti-increase"));
+  config.cc.ccti_limit = static_cast<std::uint16_t>(cli.get_int("ccti-limit"));
+  config.cc.ccti_timer = static_cast<std::uint16_t>(cli.get_int("ccti-timer"));
+  config.cc.sl_level = cli.flag("sl-level");
+  config.cc.cct_fill = cli.flag("linear-cct") ? ib::CctFill::Linear : ib::CctFill::Geometric;
+
+  config.sim_time = cli.get_int("sim-time-us") * core::kMicrosecond;
+  config.warmup = cli.get_int("warmup-us") * core::kMicrosecond;
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  std::printf("%s\n", config.describe().c_str());
+
+  sim::Simulation simulation(config);
+  std::unique_ptr<sim::TimelineSampler> timeline;
+  if (cli.get_int("timeline-us") > 0) {
+    timeline = std::make_unique<sim::TimelineSampler>(
+        &simulation.fabric(), &simulation.metrics(),
+        cli.get_int("timeline-us") * core::kMicrosecond);
+    timeline->install(simulation.sched());
+  }
+  const sim::SimResult r = simulation.run();
+
+  std::printf("\nresults over the measurement window:\n");
+  std::printf("  avg receive rate, hotspots      %10.3f Gb/s\n", r.hotspot_rcv_gbps);
+  std::printf("  avg receive rate, non-hotspots  %10.3f Gb/s\n", r.non_hotspot_rcv_gbps);
+  std::printf("  avg receive rate, all nodes     %10.3f Gb/s\n", r.all_rcv_gbps);
+  std::printf("  total network throughput        %10.1f Gb/s\n", r.total_throughput_gbps);
+  std::printf("  Jain fairness (non-hotspots)    %10.4f\n", r.jain_non_hotspot);
+  std::printf("  median / p99 packet latency     %7.1f / %.1f us\n", r.median_latency_us,
+              r.p99_latency_us);
+  std::printf("  FECN marked / CNPs / BECNs      %llu / %llu / %llu\n",
+              static_cast<unsigned long long>(r.fecn_marked),
+              static_cast<unsigned long long>(r.cnps_sent),
+              static_cast<unsigned long long>(r.becn_received));
+  std::printf("  events executed                 %llu\n",
+              static_cast<unsigned long long>(r.events_executed));
+
+  const std::string timeline_csv = cli.get_string("timeline-csv");
+  if (timeline != nullptr && !timeline_csv.empty()) {
+    timeline->write_csv(timeline_csv);
+    std::printf("timeline written to %s\n", timeline_csv.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+#include "analysis/series.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/assert.hpp"
+
+namespace ibsim::analysis {
+
+double Series::max_y() const {
+  double best = 0.0;
+  for (double v : y) best = v > best ? v : best;
+  return best;
+}
+
+double Series::x_of_max_y() const {
+  double best = 0.0;
+  double best_x = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y[i] > best) {
+      best = y[i];
+      best_x = x[i];
+    }
+  }
+  return best_x;
+}
+
+Series ratio_series(const std::string& name, const Series& numerator,
+                    const Series& denominator) {
+  IBSIM_ASSERT(numerator.size() == denominator.size(), "ratio over mismatched series");
+  Series out;
+  out.name = name;
+  for (std::size_t i = 0; i < numerator.size(); ++i) {
+    IBSIM_ASSERT(numerator.x[i] == denominator.x[i], "ratio over mismatched x grids");
+    const double denom = denominator.y[i];
+    out.add(numerator.x[i], denom != 0.0 ? numerator.y[i] / denom : 0.0);
+  }
+  return out;
+}
+
+void write_csv(const std::string& path, const std::string& x_label,
+               const std::vector<const Series*>& series) {
+  IBSIM_ASSERT(!series.empty(), "CSV needs at least one series");
+  std::ofstream out(path);
+  IBSIM_ASSERT(out.good(), "cannot open CSV output file");
+  out << x_label;
+  for (const Series* s : series) out << ',' << s->name;
+  out << '\n';
+  const std::size_t rows = series.front()->size();
+  for (std::size_t i = 0; i < rows; ++i) {
+    out << series.front()->x[i];
+    for (const Series* s : series) {
+      IBSIM_ASSERT(s->size() == rows, "CSV series have mismatched lengths");
+      out << ',' << s->y[i];
+    }
+    out << '\n';
+  }
+}
+
+void print_series(const std::string& x_label, const std::vector<const Series*>& series) {
+  std::printf("%12s", x_label.c_str());
+  for (const Series* s : series) std::printf("  %16s", s->name.c_str());
+  std::printf("\n");
+  if (series.empty()) return;
+  const std::size_t rows = series.front()->size();
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::printf("%12.4g", series.front()->x[i]);
+    for (const Series* s : series) std::printf("  %16.4f", s->y[i]);
+    std::printf("\n");
+  }
+}
+
+}  // namespace ibsim::analysis

@@ -1,0 +1,93 @@
+#include "analysis/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/assert.hpp"
+
+namespace ibsim::analysis {
+
+std::string fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  IBSIM_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  IBSIM_ASSERT(cells.size() == headers_.size(), "row width does not match headers");
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void TextTable::add_kv(const std::string& label, double value, int precision) {
+  IBSIM_ASSERT(headers_.size() == 2, "add_kv needs a two-column table");
+  add_row({label, fmt(value, precision)});
+}
+
+void TextTable::add_section(const std::string& title) {
+  rows_.push_back(Row{true, {title}});
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const Row& row : rows_) {
+    if (row.section) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+  std::size_t total = headers_.size() * 3;
+  for (std::size_t w : widths) total += w;
+
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out += "  ";
+      out += cells[c];
+      out.append(widths[c] - cells[c].size() + 1, ' ');
+    }
+    out += '\n';
+  };
+  emit_row(headers_);
+  out.append(total, '-');
+  out += '\n';
+  for (const Row& row : rows_) {
+    if (row.section) {
+      out += "-- " + row.cells.front() + " ";
+      if (row.cells.front().size() + 4 < total)
+        out.append(total - row.cells.front().size() - 4, '-');
+      out += '\n';
+    } else {
+      emit_row(row.cells);
+    }
+  }
+  return out;
+}
+
+void TextTable::print() const { std::fputs(render().c_str(), stdout); }
+
+std::string TextTable::render_csv() const {
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) out += ',';
+      out += cells[c];
+    }
+    out += '\n';
+  };
+  emit(headers_);
+  for (const Row& row : rows_) {
+    if (row.section) {
+      out += "# " + row.cells.front() + '\n';
+    } else {
+      emit(row.cells);
+    }
+  }
+  return out;
+}
+
+}  // namespace ibsim::analysis

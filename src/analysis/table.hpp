@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ibsim::analysis {
+
+/// Simple aligned text table for reproducing the paper's tables on a
+/// terminal (and into the experiment logs). Cells are strings; numeric
+/// helpers format consistently.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: label + one numeric value (Table II style rows).
+  void add_kv(const std::string& label, double value, int precision = 3);
+
+  /// A full-width section banner row.
+  void add_section(const std::string& title);
+
+  [[nodiscard]] std::string render() const;
+  void print() const;
+
+  /// CSV rendering of the same content (sections become comment lines).
+  [[nodiscard]] std::string render_csv() const;
+
+ private:
+  struct Row {
+    bool section = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+};
+
+/// Format a double with fixed precision.
+[[nodiscard]] std::string fmt(double value, int precision = 3);
+
+}  // namespace ibsim::analysis

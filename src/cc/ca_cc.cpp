@@ -1,0 +1,115 @@
+#include "cc/ca_cc.hpp"
+
+#include <algorithm>
+
+#include "core/assert.hpp"
+
+namespace ibsim::cc {
+
+namespace {
+constexpr std::uint32_t kTimerEvent = 0xCC01;
+}
+
+CaCcAgent::CaCcAgent(ib::NodeId self, std::int32_t n_nodes, const ib::CcParams& params,
+                     const ib::CongestionControlTable* cct, core::Scheduler* sched,
+                     CnpSender* cnp_sender)
+    : self_(self),
+      params_(params),
+      cct_(cct),
+      sched_(sched),
+      cnp_sender_(cnp_sender),
+      // SL-level CC shares one state across all destinations of the port.
+      flows_(params.sl_level ? 1 : static_cast<std::size_t>(n_nodes)) {
+  IBSIM_ASSERT(!params_.enabled || cct_ != nullptr, "enabled CC agent needs a CCT");
+  IBSIM_ASSERT(n_nodes > 0, "agent needs a node count");
+}
+
+CaCcAgent::FlowCc& CaCcAgent::flow(ib::NodeId dst) {
+  const std::size_t idx = params_.sl_level ? 0 : static_cast<std::size_t>(dst);
+  IBSIM_ASSERT(idx < flows_.size(), "flow destination out of range");
+  return flows_[idx];
+}
+
+const CaCcAgent::FlowCc& CaCcAgent::flow(ib::NodeId dst) const {
+  const std::size_t idx = params_.sl_level ? 0 : static_cast<std::size_t>(dst);
+  IBSIM_ASSERT(idx < flows_.size(), "flow destination out of range");
+  return flows_[idx];
+}
+
+core::Time CaCcAgent::flow_ready_at(ib::NodeId dst) const {
+  if (!params_.enabled) return 0;
+  return flow(dst).ready_at;
+}
+
+void CaCcAgent::on_data_granted(ib::NodeId dst, std::int32_t bytes, core::Time end) {
+  if (!params_.enabled) return;
+  FlowCc& f = flow(dst);
+  if (f.ccti == 0) {
+    f.ready_at = end;
+    return;
+  }
+  f.ready_at = end + cct_->ird_delay(f.ccti, bytes);
+}
+
+void CaCcAgent::on_becn(ib::NodeId flow_dst, core::Time now) {
+  if (!params_.enabled) return;
+  ++becn_received_;
+  FlowCc& f = flow(flow_dst);
+  if (f.ccti == 0 && f.active_idx < 0) {
+    f.active_idx = static_cast<std::int32_t>(active_flows_.size());
+    active_flows_.push_back(params_.sl_level ? 0 : flow_dst);
+  }
+  f.ccti = static_cast<std::uint16_t>(
+      std::min<std::uint32_t>(f.ccti + params_.ccti_increase, params_.ccti_limit));
+  arm_timer(now);
+}
+
+void CaCcAgent::on_fecn(ib::NodeId src) {
+  if (!params_.enabled) return;
+  ++cnps_sent_;
+  cnp_sender_->send_cnp(src, self_);
+}
+
+void CaCcAgent::arm_timer(core::Time now) {
+  if (timer_armed_ || active_flows_.empty()) return;
+  timer_armed_ = true;
+  sched_->schedule_at(now + params_.timer_interval(), this, kTimerEvent);
+}
+
+void CaCcAgent::on_event(core::Scheduler& sched, const core::Event& ev) {
+  IBSIM_ASSERT(ev.kind == kTimerEvent, "CA CC agent received an unknown event");
+  ++timer_expirations_;
+  timer_armed_ = false;
+  // Every expiry of the CCTI_Timer decrements the CCTI of all flows of
+  // the port by one, down to CCTI_Min. Only throttled flows are visited;
+  // flows reaching zero leave the active list (swap-remove).
+  for (std::size_t i = 0; i < active_flows_.size();) {
+    FlowCc& f = flows_[static_cast<std::size_t>(active_flows_[i])];
+    if (f.ccti > params_.ccti_min) --f.ccti;
+    if (f.ccti == 0) {
+      f.active_idx = -1;
+      active_flows_[i] = active_flows_.back();
+      active_flows_.pop_back();
+      if (i < active_flows_.size()) {
+        flows_[static_cast<std::size_t>(active_flows_[i])].active_idx =
+            static_cast<std::int32_t>(i);
+      }
+    } else {
+      ++i;
+    }
+  }
+  // Keep the chain running while any flow is still throttled.
+  arm_timer(sched.now());
+}
+
+std::uint16_t CaCcAgent::ccti(ib::NodeId dst) const { return flow(dst).ccti; }
+
+std::int64_t CaCcAgent::ccti_sum() const {
+  std::int64_t sum = 0;
+  for (const std::int32_t dst : active_flows_) {
+    sum += flows_[static_cast<std::size_t>(dst)].ccti;
+  }
+  return sum;
+}
+
+}  // namespace ibsim::cc

@@ -1,0 +1,36 @@
+#include "cc/cc_manager.hpp"
+
+#include <cmath>
+
+#include "core/assert.hpp"
+
+namespace ibsim::cc {
+
+CcManager::CcManager(const ib::CcParams& params, std::size_t cct_entries, double ref_gbps)
+    : params_(params),
+      cct_(std::make_unique<ib::CongestionControlTable>(cct_entries, ref_gbps)) {
+  const std::string err = params_.validate();
+  IBSIM_ASSERT(err.empty(), err.c_str());
+  IBSIM_ASSERT(cct_entries > params_.ccti_limit, "CCT must cover the CCTI limit");
+  // Geometric fill (default): each CCT step adds a few percent of
+  // injection-rate delay. Small indices throttle gently (a stray mark on
+  // uniform traffic costs a few percent, matching the paper's negligible
+  // p=0 penalty), while the top of the table still reaches the deep
+  // slowdowns (~1/500) that dozens of contributors per hotspot need to
+  // meet their fair share. The linear fill is kept for the CCT ablation.
+  if (params_.cct_fill == ib::CctFill::Linear) {
+    cct_->populate_linear();
+  } else {
+    cct_->populate_geometric(params_.cct_base);
+  }
+}
+
+std::int64_t CcManager::threshold_bytes(std::int64_t ref_buffer_bytes) const {
+  const double fraction = params_.threshold_fraction();
+  if (fraction > 1.0) return INT64_MAX;  // weight 0: detection disabled
+  auto bytes = static_cast<std::int64_t>(
+      std::llround(fraction * static_cast<double>(ref_buffer_bytes)));
+  return bytes < 1 ? 1 : bytes;
+}
+
+}  // namespace ibsim::cc

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <memory>
+
+#include "ib/cc_params.hpp"
+#include "ib/cct.hpp"
+
+namespace ibsim::cc {
+
+/// The Congestion Control Manager role from the IB architecture: owns the
+/// fabric-wide CC parameter set and the Congestion Control Table contents
+/// that every channel adapter is configured with.
+///
+/// The real CC manager is a subnet-management agent; here it is the
+/// configuration root the simulation builder distributes to switches
+/// (marking parameters) and HCAs (CA parameters + CCT).
+class CcManager {
+ public:
+  /// `cct_entries` sizes the table; it must exceed ccti_limit.
+  /// `ref_gbps` is the injection rate IRD delays are computed against.
+  explicit CcManager(const ib::CcParams& params, std::size_t cct_entries = 128,
+                     double ref_gbps = 13.5);
+
+  [[nodiscard]] const ib::CcParams& params() const { return params_; }
+  [[nodiscard]] const ib::CongestionControlTable& cct() const { return *cct_; }
+  [[nodiscard]] ib::CongestionControlTable& mutable_cct() { return *cct_; }
+  [[nodiscard]] bool enabled() const { return params_.enabled; }
+
+  /// Absolute queue threshold (bytes) for a switch output Port VL, given
+  /// the reference input-buffer capacity of one VL.
+  [[nodiscard]] std::int64_t threshold_bytes(std::int64_t ref_buffer_bytes) const;
+
+ private:
+  ib::CcParams params_;
+  std::unique_ptr<ib::CongestionControlTable> cct_;
+};
+
+}  // namespace ibsim::cc

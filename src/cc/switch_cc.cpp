@@ -1,0 +1,40 @@
+#include "cc/switch_cc.hpp"
+
+#include "core/assert.hpp"
+
+namespace ibsim::cc {
+
+void SwitchPortCc::configure(const ib::CcParams& params, std::int64_t threshold_bytes,
+                             bool victim_mask) {
+  enabled_ = params.enabled && params.threshold_weight > 0;
+  victim_mask_ = victim_mask;
+  threshold_bytes_ = threshold_bytes;
+  min_markable_bytes_ = params.min_markable_bytes();
+  marking_rate_ = params.marking_rate;
+}
+
+bool SwitchPortCc::decide_fecn(std::int64_t credits_after, std::int32_t pkt_bytes) {
+  if (!threshold_exceeded()) {
+    since_last_mark_ = 0;
+    return false;
+  }
+  // Root-of-congestion test: a Port VL without credits is a victim and
+  // must not enter the congestion state, unless the Victim_Mask is set.
+  if (credits_after <= 0 && !victim_mask_) {
+    ++victim_suppressed_;
+    return false;
+  }
+  // Packet_Size: packets at or below the limit are never marked.
+  if (pkt_bytes <= min_markable_bytes_) return false;
+  ++eligible_;
+  // Marking_Rate: mean eligible packets between marks (0 = mark all).
+  if (since_last_mark_ < marking_rate_) {
+    ++since_last_mark_;
+    return false;
+  }
+  since_last_mark_ = 0;
+  ++marked_;
+  return true;
+}
+
+}  // namespace ibsim::cc

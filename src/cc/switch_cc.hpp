@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+
+#include "ib/cc_params.hpp"
+
+namespace ibsim::cc {
+
+/// Congestion detection and FECN marking state of one switch output
+/// Port VL (IBA "Switch Features", paper section II.1).
+///
+/// The detector watches the bytes queued across all input-buffer VoQs
+/// that target this output port and VL. When the queue crosses the
+/// threshold derived from the threshold weight, the Port VL is
+/// *threshold-exceeded*; whether it actually enters the congestion state
+/// for a given forwarded packet additionally requires the port to be the
+/// *root* of congestion (it has credits to send) or to have the
+/// Victim_Mask set. Marking of an eligible packet is then subject to
+/// Packet_Size and Marking_Rate.
+class SwitchPortCc {
+ public:
+  SwitchPortCc() = default;
+
+  /// Configure: `threshold_bytes` is the absolute queue threshold this
+  /// port uses (derived by the fabric from the weight and the reference
+  /// buffer size); `victim_mask` marks even without credits.
+  void configure(const ib::CcParams& params, std::int64_t threshold_bytes, bool victim_mask);
+
+  /// VoQ bookkeeping, called by the switch on every enqueue/dequeue
+  /// towards this output Port VL.
+  void on_enqueue(std::int32_t bytes) { queued_bytes_ += bytes; }
+  void on_dequeue(std::int32_t bytes) { queued_bytes_ -= bytes; }
+
+  [[nodiscard]] std::int64_t queued_bytes() const { return queued_bytes_; }
+  /// Strictly greater: a queue of exactly the threshold is not yet
+  /// congested. With weight 15 (threshold = one MTU) this matters: the
+  /// second packet of a back-to-back two-packet message always waits
+  /// behind the first, and that alone must not look like congestion.
+  [[nodiscard]] bool threshold_exceeded() const {
+    return enabled_ && queued_bytes_ > threshold_bytes_;
+  }
+
+  /// Marking decision for a packet being granted through this Port VL.
+  /// `credits_after` is the downstream credit balance after the grant
+  /// (the root-of-congestion test); `pkt_bytes` the packet's wire size.
+  /// Returns true if the packet's FECN bit must be set.
+  [[nodiscard]] bool decide_fecn(std::int64_t credits_after, std::int32_t pkt_bytes);
+
+  // Statistics.
+  [[nodiscard]] std::uint64_t marked() const { return marked_; }
+  [[nodiscard]] std::uint64_t eligible() const { return eligible_; }
+  [[nodiscard]] std::uint64_t victim_suppressed() const { return victim_suppressed_; }
+
+ private:
+  bool enabled_ = false;
+  bool victim_mask_ = false;
+  std::int64_t threshold_bytes_ = INT64_MAX;
+  std::int32_t min_markable_bytes_ = 0;
+  std::uint16_t marking_rate_ = 0;
+  std::int64_t queued_bytes_ = 0;
+  std::uint32_t since_last_mark_ = 0;
+  std::uint64_t marked_ = 0;
+  std::uint64_t eligible_ = 0;
+  std::uint64_t victim_suppressed_ = 0;
+};
+
+}  // namespace ibsim::cc

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+/// IBSIM_ASSERT: model-invariant check, enabled in all build types.
+///
+/// The simulator's correctness arguments (credit conservation, buffer
+/// bounds, FIFO ordering) rely on these invariants holding during every
+/// run, including Release benchmarks, so they are not compiled out.
+#define IBSIM_ASSERT(cond, msg)                                                \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      std::fprintf(stderr, "ibsim assertion failed at %s:%d: %s\n  %s\n",      \
+                   __FILE__, __LINE__, #cond, msg);                            \
+      std::abort();                                                            \
+    }                                                                          \
+  } while (0)

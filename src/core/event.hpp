@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/time.hpp"
+
+namespace ibsim::core {
+
+class Scheduler;
+struct Event;
+
+/// Component interface for receiving scheduled events.
+///
+/// Handlers are plain objects owned by the model (switch ports, HCAs,
+/// generators, timers); the scheduler never owns or frees them. Using a
+/// virtual dispatch with an integer `kind` instead of std::function keeps
+/// event scheduling allocation-free, which matters at the tens of millions
+/// of events a single figure reproduction processes.
+class EventHandler {
+ public:
+  virtual ~EventHandler() = default;
+
+  /// Called by the scheduler when an event addressed to this handler
+  /// reaches the head of the queue.
+  virtual void on_event(Scheduler& sched, const Event& ev) = 0;
+};
+
+/// A scheduled occurrence. `kind` and the payload words `a`/`b` are
+/// interpreted by the target handler (typically `a` carries a pointer or
+/// an index, `b` a secondary index).
+struct Event {
+  Time at = 0;             ///< absolute firing time
+  std::uint64_t seq = 0;   ///< insertion sequence; breaks time ties deterministically
+  EventHandler* target = nullptr;
+  std::uint32_t kind = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+/// Strict weak ordering for the scheduler's min-heap: earlier time first,
+/// then earlier insertion. Guarantees replay determinism independent of
+/// heap internals.
+[[nodiscard]] inline bool event_after(const Event& lhs, const Event& rhs) {
+  if (lhs.at != rhs.at) return lhs.at > rhs.at;
+  return lhs.seq > rhs.seq;
+}
+
+}  // namespace ibsim::core

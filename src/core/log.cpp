@@ -1,0 +1,37 @@
+#include "core/log.hpp"
+
+#include <cstdio>
+
+namespace ibsim::core {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void Log::set_level(LogLevel level) { g_level = level; }
+LogLevel Log::level() { return g_level; }
+bool Log::enabled(LogLevel level) { return level >= g_level && g_level != LogLevel::Off; }
+
+void Log::write(LogLevel level, Time now, const char* fmt, ...) {
+  if (!enabled(level)) return;
+  std::fprintf(stderr, "[%s %12s] ", level_name(level), format_time(now).c_str());
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace ibsim::core

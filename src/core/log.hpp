@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+#include "core/time.hpp"
+
+namespace ibsim::core {
+
+/// Log severity. Default threshold is Warn so benchmark runs stay quiet;
+/// tests and examples raise it explicitly when tracing.
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Process-wide logger for the simulator. Not thread-safe by design: the
+/// simulation core is single-threaded (parallelism in this repo lives at
+/// the experiment-sweep level, one process/simulation per worker).
+class Log {
+ public:
+  static void set_level(LogLevel level);
+  static LogLevel level();
+  [[nodiscard]] static bool enabled(LogLevel level);
+
+  /// printf-style logging, prefixed with severity and simulation time.
+  static void write(LogLevel level, Time now, const char* fmt, ...)
+      __attribute__((format(printf, 3, 4)));
+};
+
+#define IBSIM_LOG(lvl, now, ...)                                     \
+  do {                                                               \
+    if (::ibsim::core::Log::enabled(lvl)) {                          \
+      ::ibsim::core::Log::write(lvl, now, __VA_ARGS__);              \
+    }                                                                \
+  } while (0)
+
+}  // namespace ibsim::core

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace ibsim::core {
+
+/// xoshiro256++ pseudo-random generator, seeded via SplitMix64.
+///
+/// The simulator never uses std::mt19937 or distribution objects from
+/// <random>: their outputs differ across standard library implementations,
+/// and determinism across platforms is a design requirement. Every model
+/// component derives its own named sub-stream (`Rng::fork`), so adding a
+/// component never perturbs the random sequence another component sees.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seed the stream. Equal seeds yield equal sequences.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Next raw 64-bit draw.
+  std::uint64_t next();
+
+  /// UniformInt in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Derive an independent, reproducible sub-stream keyed by a label and
+  /// an index (e.g. fork("gen", node_id)).
+  [[nodiscard]] Rng fork(std::string_view label, std::uint64_t index) const;
+
+  // UniformRandomBitGenerator interface (for std::shuffle-style use).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return UINT64_MAX; }
+  result_type operator()() { return next(); }
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  std::uint64_t seed_ = 0;
+};
+
+/// SplitMix64 step; exposed for seeding tests.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
+
+/// FNV-1a 64-bit hash of a label, used to key forked sub-streams.
+[[nodiscard]] std::uint64_t hash_label(std::string_view label);
+
+}  // namespace ibsim::core

@@ -1,0 +1,106 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/assert.hpp"
+
+namespace ibsim::core {
+
+void Summary::add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double Summary::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+void Summary::reset() { *this = Summary{}; }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  IBSIM_ASSERT(hi > lo && bins > 0, "histogram needs a positive range and bins");
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  } else {
+    auto idx = static_cast<std::size_t>((x - lo_) / width_);
+    if (idx >= counts_.size()) idx = counts_.size() - 1;  // fp edge
+    ++counts_[idx];
+  }
+}
+
+double Histogram::bin_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i) + width_; }
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_));
+  std::uint64_t cum = underflow_;
+  if (cum > target) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    // Strict inequality: empty bins are skipped, the target falls in the
+    // first bin whose cumulative count exceeds it.
+    if (cum + counts_[i] > target) {
+      const double frac =
+          static_cast<double>(target - cum) / static_cast<double>(counts_[i]);
+      return bin_lo(i) + frac * width_;
+    }
+    cum += counts_[i];
+  }
+  return hi_;
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  underflow_ = overflow_ = total_ = 0;
+}
+
+void TimeWeighted::set(Time now, double value) {
+  IBSIM_ASSERT(now >= last_change_, "time-weighted signal updated out of order");
+  weighted_sum_ += value_ * static_cast<double>(now - last_change_);
+  value_ = value;
+  last_change_ = now;
+}
+
+double TimeWeighted::average(Time now) const {
+  const Time span = now - window_start_;
+  if (span <= 0) return value_;
+  const double tail = value_ * static_cast<double>(now - last_change_);
+  return (weighted_sum_ + tail) / static_cast<double>(span);
+}
+
+void TimeWeighted::reset(Time now) {
+  weighted_sum_ = 0.0;
+  last_change_ = now;
+  window_start_ = now;
+}
+
+double jain_fairness(const std::vector<double>& xs) {
+  if (xs.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+}  // namespace ibsim::core

@@ -1,0 +1,24 @@
+#include "core/time.hpp"
+
+#include <cstdio>
+
+namespace ibsim::core {
+
+std::string format_time(Time t) {
+  char buf[64];
+  const double ps = static_cast<double>(t);
+  if (t >= kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", ps / static_cast<double>(kSecond));
+  } else if (t >= kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", ps / static_cast<double>(kMillisecond));
+  } else if (t >= kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%.3f us", ps / static_cast<double>(kMicrosecond));
+  } else if (t >= kNanosecond) {
+    std::snprintf(buf, sizeof(buf), "%.1f ns", ps / static_cast<double>(kNanosecond));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld ps", static_cast<long long>(t));
+  }
+  return buf;
+}
+
+}  // namespace ibsim::core

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/assert.hpp"
+
+namespace ibsim::fabric {
+
+/// Credit balance a sender holds against one VL of the downstream input
+/// buffer. This is the link-level flow control that makes the fabric
+/// lossless: a sender consumes `bytes` of credit when it starts a packet
+/// and gets them back when the packet leaves the downstream buffer, so an
+/// input buffer can never be overrun.
+class CreditTracker {
+ public:
+  void initialize(std::int64_t capacity) {
+    capacity_ = capacity;
+    available_ = capacity;
+  }
+
+  [[nodiscard]] std::int64_t available() const { return available_; }
+  [[nodiscard]] std::int64_t capacity() const { return capacity_; }
+  [[nodiscard]] std::int64_t outstanding() const { return capacity_ - available_; }
+  [[nodiscard]] bool can_send(std::int32_t bytes) const { return available_ >= bytes; }
+
+  void consume(std::int32_t bytes) {
+    IBSIM_ASSERT(available_ >= bytes, "credit underflow: lossless invariant violated");
+    available_ -= bytes;
+  }
+
+  void refund(std::int32_t bytes) {
+    available_ += bytes;
+    IBSIM_ASSERT(available_ <= capacity_, "credit overflow: refund exceeds capacity");
+  }
+
+ private:
+  std::int64_t capacity_ = 0;
+  std::int64_t available_ = 0;
+};
+
+}  // namespace ibsim::fabric

@@ -1,0 +1,177 @@
+#include "fabric/fabric.hpp"
+
+#include "fabric/events.hpp"
+
+namespace ibsim::fabric {
+
+std::string FabricParams::validate() const {
+  if (wire_gbps <= 0 || hca_inject_gbps <= 0 || hca_drain_gbps <= 0)
+    return "link rates must be positive";
+  if (hca_inject_gbps > wire_gbps) return "injection pacing cannot exceed the wire rate";
+  if (n_vls < 1 || n_vls > 15) return "n_vls must be in [1, 15]";
+  if (switch_ibuf_data_bytes < ib::kMtuBytes || hca_ibuf_data_bytes < ib::kMtuBytes)
+    return "data VL buffers must hold at least one MTU packet";
+  if (cnp_on_own_vl && n_vls > 1 &&
+      (switch_ibuf_cnp_bytes < ib::kCnpBytes || hca_ibuf_cnp_bytes < ib::kCnpBytes))
+    return "CNP VL buffers must hold at least one CNP";
+  return {};
+}
+
+Fabric::Fabric(const topo::Topology& topo, const topo::RoutingTables& routing,
+               const FabricParams& params, const cc::CcManager& ccm, core::Scheduler& sched)
+    : topo_(&topo), routing_(&routing), params_(params), ccm_(&ccm), sched_(&sched) {
+  const std::string err = params_.validate();
+  IBSIM_ASSERT(err.empty(), err.c_str());
+  const std::string topo_err = topo.validate();
+  IBSIM_ASSERT(topo_err.empty(), topo_err.c_str());
+
+  handlers_.resize(static_cast<std::size_t>(topo.device_count()), nullptr);
+  for (topo::DeviceId dev = 0; dev < topo.device_count(); ++dev) {
+    if (topo.kind(dev) == topo::DeviceKind::Switch) {
+      switches_.push_back(std::make_unique<SwitchDevice>(this, dev, topo.port_count(dev)));
+      handlers_[static_cast<std::size_t>(dev)] = switches_.back().get();
+    } else {
+      const ib::NodeId node = topo.node_of(dev);
+      IBSIM_ASSERT(node == static_cast<ib::NodeId>(hcas_.size()),
+                   "HCA creation order must match NodeId order");
+      hcas_.push_back(std::make_unique<Hca>(this, dev, node, topo.node_count(), ccm));
+      handlers_[static_cast<std::size_t>(dev)] = hcas_.back().get();
+    }
+  }
+
+  for (auto& sw : switches_) {
+    for (std::int32_t p = 0; p < sw->n_ports(); ++p) {
+      const topo::PortRef self{sw->device_id(), p};
+      const topo::PortRef peer = topo.peer(self);
+      if (!peer.valid()) continue;
+      wire_output(sw->output(p), self, peer, /*from_hca=*/false);
+    }
+  }
+  for (auto& h : hcas_) {
+    const topo::PortRef self{h->device_id(), 0};
+    const topo::PortRef peer = topo.peer(self);
+    IBSIM_ASSERT(peer.valid(), "HCA must be cabled");
+    wire_output(h->out_, self, peer, /*from_hca=*/true);
+  }
+}
+
+void Fabric::wire_output(OutputPort& op, topo::PortRef self, topo::PortRef peer,
+                         bool from_hca) {
+  const std::int32_t n_vls = params_.n_vls;
+  op.peer_dev = peer.device;
+  op.peer_port = peer.port;
+  op.peer_is_hca = topo_->kind(peer.device) == topo::DeviceKind::Hca;
+  op.connected = true;
+  op.wire_gbps = params_.wire_gbps;
+  op.pace_gbps = from_hca ? params_.hca_inject_gbps : params_.wire_gbps;
+  op.prop_delay = params_.link_delay;
+  op.rx_pipeline_delay = op.peer_is_hca ? params_.hca_rx_delay : params_.switch_delay;
+
+  op.credits.resize(static_cast<std::size_t>(n_vls));
+  op.rr_next.assign(static_cast<std::size_t>(n_vls), 0);
+  op.cc.resize(static_cast<std::size_t>(n_vls));
+  op.vlarb = VlArbiter::make_default(n_vls, params_.cnp_vl());
+
+  for (std::int32_t vl = 0; vl < n_vls; ++vl) {
+    const auto v = static_cast<ib::Vl>(vl);
+    op.credits[v].initialize(params_.vl_capacity(v, op.peer_is_hca));
+    if (!from_hca) {
+      // Only switches detect congestion and mark FECN. The threshold is
+      // referenced to the switch input-buffer VL capacity; the Victim
+      // Mask is applied to ports that face HCAs (endpoint congestion
+      // roots there and an HCA never detects congestion itself).
+      const bool victim_mask = op.peer_is_hca && ccm_->params().victim_mask_hca_ports;
+      op.cc[v].configure(ccm_->params(),
+                         ccm_->threshold_bytes(params_.vl_capacity(v, /*hca=*/false)),
+                         victim_mask);
+    }
+  }
+  (void)self;
+}
+
+void Fabric::schedule_credit_return(topo::DeviceId dev, std::int32_t in_port, ib::Vl vl,
+                                    std::int32_t bytes, core::Time tail_time) {
+  const topo::PortRef upstream = topo_->peer(topo::PortRef{dev, in_port});
+  IBSIM_ASSERT(upstream.valid(), "credit return towards an uncabled port");
+  const core::Time at = tail_time + params_.link_delay + params_.credit_delay;
+  sched_->schedule_at(at, handlers_[static_cast<std::size_t>(upstream.device)],
+                      kEvCreditUpdate, pack_credit(vl, bytes),
+                      static_cast<std::uint64_t>(upstream.port));
+}
+
+void Fabric::start(core::Scheduler& sched) {
+  for (auto& h : hcas_) h->start(sched);
+}
+
+void Fabric::set_link_rate(topo::DeviceId dev, std::int32_t port, double gbps) {
+  IBSIM_ASSERT(gbps > 0.0, "link rate must be positive");
+  core::EventHandler* handler = handlers_[static_cast<std::size_t>(dev)];
+  IBSIM_ASSERT(handler != nullptr, "unknown device");
+  OutputPort* op = nullptr;
+  if (topo_->kind(dev) == topo::DeviceKind::Switch) {
+    op = &static_cast<SwitchDevice*>(handler)->output(port);
+  } else {
+    IBSIM_ASSERT(port == 0, "HCAs have a single port");
+    op = &static_cast<Hca*>(handler)->out();
+  }
+  IBSIM_ASSERT(op->connected, "cannot scale an uncabled port");
+  // Keep the HCA injection bottleneck: pacing never exceeds the wire.
+  op->wire_gbps = gbps;
+  if (op->pace_gbps > gbps) op->pace_gbps = gbps;
+}
+
+std::uint64_t Fabric::total_fecn_marked() const {
+  std::uint64_t total = 0;
+  for (const auto& sw : switches_) total += sw->fecn_marked();
+  return total;
+}
+
+std::int64_t Fabric::total_queued_bytes() const {
+  std::int64_t total = 0;
+  for (const auto& sw : switches_) {
+    for (std::int32_t p = 0; p < sw->n_ports(); ++p) {
+      const OutputPort& op = sw->output(p);
+      if (!op.connected) continue;
+      for (const auto& det : op.cc) total += det.queued_bytes();
+    }
+  }
+  return total;
+}
+
+std::int32_t Fabric::total_active_cc_flows() const {
+  std::int32_t total = 0;
+  for (const auto& h : hcas_) total += h->cc_agent().active_flow_count();
+  return total;
+}
+
+std::int64_t Fabric::total_ccti_sum() const {
+  std::int64_t total = 0;
+  for (const auto& h : hcas_) total += h->cc_agent().ccti_sum();
+  return total;
+}
+
+std::uint64_t Fabric::total_becn_received() const {
+  std::uint64_t total = 0;
+  for (const auto& h : hcas_) total += h->cc_agent().becn_received();
+  return total;
+}
+
+std::uint64_t Fabric::total_cnps_sent() const {
+  std::uint64_t total = 0;
+  for (const auto& h : hcas_) total += h->cc_agent().cnps_sent();
+  return total;
+}
+
+std::int64_t Fabric::total_injected_bytes() const {
+  std::int64_t total = 0;
+  for (const auto& h : hcas_) total += h->injected_bytes();
+  return total;
+}
+
+std::int64_t Fabric::total_delivered_bytes() const {
+  std::int64_t total = 0;
+  for (const auto& h : hcas_) total += h->delivered_bytes();
+  return total;
+}
+
+}  // namespace ibsim::fabric

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cc/cc_manager.hpp"
+#include "core/scheduler.hpp"
+#include "fabric/hca.hpp"
+#include "fabric/params.hpp"
+#include "fabric/switch_device.hpp"
+#include "ib/packet.hpp"
+#include "topo/routing.hpp"
+#include "topo/topology.hpp"
+
+namespace ibsim::fabric {
+
+/// The instantiated network: one SwitchDevice per topology switch, one
+/// Hca per end node, links wired with rates, delays and initial credit
+/// balances, and CC configured everywhere from the CcManager.
+///
+/// The Fabric borrows the topology, routing tables, CC manager and
+/// scheduler — they must outlive it. Traffic sources and the sink
+/// observer are attached afterwards by the simulation builder.
+class Fabric {
+ public:
+  Fabric(const topo::Topology& topo, const topo::RoutingTables& routing,
+         const FabricParams& params, const cc::CcManager& ccm, core::Scheduler& sched);
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  [[nodiscard]] Hca& hca(ib::NodeId node) { return *hcas_[static_cast<std::size_t>(node)]; }
+  [[nodiscard]] const Hca& hca(ib::NodeId node) const {
+    return *hcas_[static_cast<std::size_t>(node)];
+  }
+  [[nodiscard]] std::int32_t node_count() const { return static_cast<std::int32_t>(hcas_.size()); }
+  [[nodiscard]] SwitchDevice& switch_at(std::size_t i) { return *switches_[i]; }
+  [[nodiscard]] std::size_t switch_count() const { return switches_.size(); }
+
+  [[nodiscard]] core::Scheduler& sched() { return *sched_; }
+  [[nodiscard]] ib::PacketPool& pool() { return pool_; }
+  [[nodiscard]] const FabricParams& params() const { return params_; }
+  [[nodiscard]] const cc::CcManager& cc_manager() const { return *ccm_; }
+  [[nodiscard]] const topo::Topology& topology() const { return *topo_; }
+  [[nodiscard]] const topo::RoutingTables& routing() const { return *routing_; }
+
+  /// Event-handler of any device (for cross-device event scheduling).
+  [[nodiscard]] core::EventHandler* handler(topo::DeviceId dev) {
+    return handlers_[static_cast<std::size_t>(dev)];
+  }
+
+  /// Schedule the flow-control credit refund for a packet that leaves the
+  /// input buffer of (`dev`, `in_port`) at `tail_time`, addressed to the
+  /// upstream sender's output port.
+  void schedule_credit_return(topo::DeviceId dev, std::int32_t in_port, ib::Vl vl,
+                              std::int32_t bytes, core::Time tail_time);
+
+  /// Start all HCA injectors.
+  void start(core::Scheduler& sched);
+
+  /// Override the data rate of one direction of a link (the output port
+  /// (dev, port) serializes and paces at `gbps` from now on). Models
+  /// link frequency/voltage scaling — one of the congestion causes the
+  /// paper's introduction lists. Call before or during a run.
+  void set_link_rate(topo::DeviceId dev, std::int32_t port, double gbps);
+
+  // Fabric-wide statistics.
+  [[nodiscard]] std::uint64_t total_fecn_marked() const;
+  /// Bytes currently waiting in switch VoQs fabric-wide: the live size of
+  /// every congestion tree (telemetry).
+  [[nodiscard]] std::int64_t total_queued_bytes() const;
+  /// Throttled flows and their CCTI mass across every HCA (telemetry).
+  [[nodiscard]] std::int32_t total_active_cc_flows() const;
+  [[nodiscard]] std::int64_t total_ccti_sum() const;
+  [[nodiscard]] std::uint64_t total_becn_received() const;
+  [[nodiscard]] std::uint64_t total_cnps_sent() const;
+  [[nodiscard]] std::int64_t total_injected_bytes() const;
+  [[nodiscard]] std::int64_t total_delivered_bytes() const;
+
+ private:
+  void wire_output(OutputPort& op, topo::PortRef self, topo::PortRef peer, bool from_hca);
+
+  const topo::Topology* topo_;
+  const topo::RoutingTables* routing_;
+  FabricParams params_;
+  const cc::CcManager* ccm_;
+  core::Scheduler* sched_;
+
+  ib::PacketPool pool_;
+  std::vector<std::unique_ptr<SwitchDevice>> switches_;
+  std::vector<std::unique_ptr<Hca>> hcas_;
+  std::vector<core::EventHandler*> handlers_;
+};
+
+}  // namespace ibsim::fabric

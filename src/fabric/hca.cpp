@@ -1,0 +1,178 @@
+#include "fabric/hca.hpp"
+
+#include "fabric/events.hpp"
+#include "fabric/fabric.hpp"
+
+namespace ibsim::fabric {
+
+Hca::Hca(Fabric* fabric, topo::DeviceId dev, ib::NodeId node, std::int32_t n_nodes,
+         const cc::CcManager& ccm)
+    : fabric_(fabric), dev_(dev), node_(node) {
+  const FabricParams& p = fabric_->params();
+  drain_gbps_ = p.hca_drain_gbps;
+  rx_.resize(static_cast<std::size_t>(p.n_vls));
+  cc_agent_ = std::make_unique<cc::CaCcAgent>(node, n_nodes, ccm.params(),
+                                              ccm.enabled() ? &ccm.cct() : nullptr,
+                                              &fabric_->sched(), this);
+}
+
+void Hca::start(core::Scheduler& sched) { try_inject(sched); }
+
+void Hca::on_event(core::Scheduler& sched, const core::Event& ev) {
+  switch (ev.kind) {
+    case kEvPacketArrive:
+      receive(sched, reinterpret_cast<ib::Packet*>(ev.a));
+      break;
+    case kEvLinkFree:
+      try_inject(sched);
+      break;
+    case kEvCreditUpdate:
+      out_.credits[credit_vl(ev.a)].refund(credit_bytes(ev.a));
+      try_inject(sched);
+      break;
+    case kEvSinkFree:
+      finish_drain(sched);
+      break;
+    case kEvRetryInject:
+      if (ev.at >= retry_at_) retry_at_ = core::kTimeNever;
+      try_inject(sched);
+      break;
+    default:
+      IBSIM_ASSERT(false, "HCA received an unknown event kind");
+  }
+}
+
+void Hca::send_cnp(ib::NodeId to, ib::NodeId flow_dst) {
+  ib::Packet* cnp = fabric_->pool().allocate();
+  cnp->src = node_;
+  cnp->dst = to;
+  cnp->bytes = ib::kCnpBytes;
+  cnp->vl = fabric_->params().cnp_vl();
+  cnp->is_cnp = true;
+  cnp->becn = true;
+  cnp->flow_dst = flow_dst;
+  cnp_queue_.push_back(cnp);
+  try_inject(fabric_->sched());
+}
+
+void Hca::try_inject(core::Scheduler& sched) {
+  const core::Time now = sched.now();
+  if (!out_.idle(now)) return;  // the pending LinkFree event will re-enter
+
+  // Congestion notifications go out ahead of data ("as soon as
+  // possible", section II.2): their VL has strict priority and a
+  // separate credit pool.
+  if (!cnp_queue_.empty()) {
+    ib::Packet* cnp = cnp_queue_.front();
+    if (out_.credits[cnp->vl].can_send(cnp->bytes)) {
+      (void)cnp_queue_.pop_front();
+      grant(sched, cnp);
+      return;
+    }
+    // CNP blocked on its VL credits; data below may still proceed.
+  }
+
+  if (staged_ == nullptr && source_ != nullptr) {
+    TrafficSource::Poll res = source_->poll(now);
+    staged_ = res.pkt;
+    if (staged_ == nullptr) {
+      maybe_schedule_retry(sched, res.retry_at);
+      return;
+    }
+    IBSIM_ASSERT(staged_->src == node_, "source produced a packet for another node");
+  }
+  if (staged_ == nullptr) return;
+  if (!out_.credits[staged_->vl].can_send(staged_->bytes)) return;  // wait for credits
+
+  ib::Packet* pkt = staged_;
+  staged_ = nullptr;
+  grant(sched, pkt);
+}
+
+void Hca::grant(core::Scheduler& sched, ib::Packet* pkt) {
+  const core::Time now = sched.now();
+  out_.credits[pkt->vl].consume(pkt->bytes);
+  // Pacing below wire speed models the PCIe injection bottleneck: the
+  // port stays "busy" for the paced interval even though the wire
+  // serializes faster.
+  out_.busy_until = now + out_.pace_time(pkt->bytes);
+  out_.tx_bytes += pkt->bytes;
+  ++out_.tx_packets;
+  pkt->injected_at = now;
+  injected_bytes_ += pkt->bytes;
+  ++injected_packets_;
+
+  core::Time arrive = now + out_.prop_delay + out_.rx_pipeline_delay;
+  if (!fabric_->params().cut_through) arrive += out_.ser_time(pkt->bytes);
+  sched.schedule_at(arrive, fabric_->handler(out_.peer_dev), kEvPacketArrive,
+                    reinterpret_cast<std::uint64_t>(pkt),
+                    static_cast<std::uint64_t>(out_.peer_port));
+  sched.schedule_at(out_.busy_until, this, kEvLinkFree, 0, 0);
+
+  if (!pkt->is_cnp) {
+    // The injection-rate delay for this flow's next packet starts when
+    // this one finishes.
+    cc_agent_->on_data_granted(pkt->dst, pkt->bytes, out_.busy_until);
+  }
+}
+
+void Hca::maybe_schedule_retry(core::Scheduler& sched, core::Time at) {
+  if (at == core::kTimeNever) return;
+  if (at <= sched.now()) at = sched.now() + 1;
+  if (retry_at_ <= at) return;  // an earlier (or equal) retry is pending
+  retry_at_ = at;
+  sched.schedule_at(at, this, kEvRetryInject, 0, 0);
+}
+
+void Hca::receive(core::Scheduler& sched, ib::Packet* pkt) {
+  rx_[pkt->vl].push_back(pkt);
+  try_drain(sched);
+}
+
+void Hca::try_drain(core::Scheduler& sched) {
+  if (draining_ != nullptr) return;
+  // CNP VL first so BECNs reach the CC agent with minimum delay.
+  ib::PacketQueue* queue = nullptr;
+  const ib::Vl cnp_vl = fabric_->params().cnp_vl();
+  if (!rx_[cnp_vl].empty()) {
+    queue = &rx_[cnp_vl];
+  } else {
+    for (auto& q : rx_) {
+      if (!q.empty()) {
+        queue = &q;
+        break;
+      }
+    }
+  }
+  if (queue == nullptr) return;
+  draining_ = queue->pop_front();
+  const core::Time done = sched.now() + core::transmit_time(draining_->bytes, drain_gbps_);
+  sched.schedule_at(done, this, kEvSinkFree, 0, 0);
+}
+
+void Hca::finish_drain(core::Scheduler& sched) {
+  ib::Packet* pkt = draining_;
+  IBSIM_ASSERT(pkt != nullptr, "sink-free event without a draining packet");
+  draining_ = nullptr;
+  const core::Time now = sched.now();
+
+  // The packet has left the HCA input buffer: flow-control credits go
+  // back to the last switch.
+  fabric_->schedule_credit_return(dev_, 0, pkt->vl, pkt->bytes, now);
+
+  if (pkt->is_cnp) {
+    cc_agent_->on_becn(pkt->flow_dst, now);
+  } else {
+    delivered_bytes_ += pkt->bytes;
+    ++delivered_packets_;
+    if (pkt->fecn) {
+      ++fecn_delivered_;
+      cc_agent_->on_fecn(pkt->src);
+    }
+    if (observer_ != nullptr) observer_->on_delivered(node_, *pkt, now);
+  }
+  fabric_->pool().release(pkt);
+  try_drain(sched);
+}
+
+}  // namespace ibsim::fabric

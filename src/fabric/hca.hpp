@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cc/ca_cc.hpp"
+#include "cc/cc_manager.hpp"
+#include "core/event.hpp"
+#include "fabric/interfaces.hpp"
+#include "fabric/output_port.hpp"
+#include "ib/packet.hpp"
+#include "topo/topology.hpp"
+
+namespace ibsim::fabric {
+
+class Fabric;
+
+/// A host channel adapter: traffic injection (paced at the PCIe-limited
+/// rate, CNPs ahead of data, per-flow IRD throttling via the CC agent)
+/// and the receive path (per-VL receive queues drained by the sink at the
+/// calibrated end-node rate, FECN-to-CNP turnaround, metrics delivery).
+class Hca final : public core::EventHandler, public cc::CnpSender {
+ public:
+  Hca(Fabric* fabric, topo::DeviceId dev, ib::NodeId node, std::int32_t n_nodes,
+      const cc::CcManager& ccm);
+
+  /// Attach the generator polled for data packets. May be null (a node
+  /// that only receives).
+  void attach_source(TrafficSource* source) { source_ = source; }
+  void attach_observer(SinkObserver* observer) { observer_ = observer; }
+
+  /// Kick off injection at the current simulation time.
+  void start(core::Scheduler& sched);
+
+  void on_event(core::Scheduler& sched, const core::Event& ev) override;
+
+  /// cc::CnpSender: queue a congestion notification ahead of data.
+  void send_cnp(ib::NodeId to, ib::NodeId flow_dst) override;
+
+  /// Ask the injection path to re-poll the source (used when external
+  /// state such as a hotspot move makes a source ready again).
+  void nudge(core::Scheduler& sched) { try_inject(sched); }
+
+  [[nodiscard]] ib::NodeId node() const { return node_; }
+  [[nodiscard]] topo::DeviceId device_id() const { return dev_; }
+  [[nodiscard]] cc::CaCcAgent& cc_agent() { return *cc_agent_; }
+  [[nodiscard]] const cc::CaCcAgent& cc_agent() const { return *cc_agent_; }
+  [[nodiscard]] OutputPort& out() { return out_; }
+
+  [[nodiscard]] std::int64_t injected_bytes() const { return injected_bytes_; }
+  [[nodiscard]] std::uint64_t injected_packets() const { return injected_packets_; }
+  [[nodiscard]] std::int64_t delivered_bytes() const { return delivered_bytes_; }
+  [[nodiscard]] std::uint64_t delivered_packets() const { return delivered_packets_; }
+  [[nodiscard]] std::uint64_t fecn_delivered() const { return fecn_delivered_; }
+
+ private:
+  friend class Fabric;  // wiring
+
+  void try_inject(core::Scheduler& sched);
+  void grant(core::Scheduler& sched, ib::Packet* pkt);
+  void maybe_schedule_retry(core::Scheduler& sched, core::Time at);
+  void receive(core::Scheduler& sched, ib::Packet* pkt);
+  void try_drain(core::Scheduler& sched);
+  void finish_drain(core::Scheduler& sched);
+
+  Fabric* fabric_;
+  topo::DeviceId dev_;
+  ib::NodeId node_;
+
+  // Injection side.
+  OutputPort out_;
+  ib::Packet* staged_ = nullptr;  ///< data packet waiting for credits
+  ib::PacketQueue cnp_queue_;
+  TrafficSource* source_ = nullptr;
+  core::Time retry_at_ = core::kTimeNever;
+
+  // Receive side.
+  std::vector<ib::PacketQueue> rx_;  ///< per VL
+  ib::Packet* draining_ = nullptr;
+  double drain_gbps_ = 13.6;
+  SinkObserver* observer_ = nullptr;
+
+  std::unique_ptr<cc::CaCcAgent> cc_agent_;
+
+  std::int64_t injected_bytes_ = 0;
+  std::uint64_t injected_packets_ = 0;
+  std::int64_t delivered_bytes_ = 0;
+  std::uint64_t delivered_packets_ = 0;
+  std::uint64_t fecn_delivered_ = 0;
+};
+
+}  // namespace ibsim::fabric

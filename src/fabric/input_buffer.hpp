@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/assert.hpp"
+#include "ib/packet.hpp"
+#include "ib/types.hpp"
+
+namespace ibsim::fabric {
+
+/// One switch input buffer (the model's `ibuf`): virtual output queues
+/// per (output port, VL), supporting virtual cut-through forwarding.
+///
+/// Physical capacity is not enforced here — the lossless guarantee lives
+/// in the *sender's* CreditTracker, which never lets more bytes into this
+/// buffer than the VL capacity advertised at wiring time. The occupancy
+/// counters exist for invariant checks and statistics.
+class InputBuffer {
+ public:
+  void init(std::int32_t n_outputs, std::int32_t n_vls) {
+    n_outputs_ = n_outputs;
+    n_vls_ = n_vls;
+    voqs_.assign(static_cast<std::size_t>(n_outputs) * static_cast<std::size_t>(n_vls),
+                 ib::PacketQueue{});
+    vl_bytes_.assign(static_cast<std::size_t>(n_vls), 0);
+  }
+
+  [[nodiscard]] ib::PacketQueue& voq(std::int32_t out, ib::Vl vl) {
+    return voqs_[slot(out, vl)];
+  }
+  [[nodiscard]] const ib::PacketQueue& voq(std::int32_t out, ib::Vl vl) const {
+    return voqs_[slot(out, vl)];
+  }
+
+  void enqueue(std::int32_t out, ib::Vl vl, ib::Packet* pkt) {
+    voq(out, vl).push_back(pkt);
+    vl_bytes_[vl] += pkt->bytes;
+  }
+
+  [[nodiscard]] ib::Packet* dequeue(std::int32_t out, ib::Vl vl) {
+    ib::Packet* pkt = voq(out, vl).pop_front();
+    vl_bytes_[vl] -= pkt->bytes;
+    IBSIM_ASSERT(vl_bytes_[vl] >= 0, "input buffer occupancy underflow");
+    return pkt;
+  }
+
+  /// Bytes resident in this buffer on `vl` (all VoQs).
+  [[nodiscard]] std::int64_t vl_bytes(ib::Vl vl) const { return vl_bytes_[vl]; }
+
+  [[nodiscard]] std::int32_t n_outputs() const { return n_outputs_; }
+  [[nodiscard]] std::int32_t n_vls() const { return n_vls_; }
+
+ private:
+  [[nodiscard]] std::size_t slot(std::int32_t out, ib::Vl vl) const {
+    IBSIM_ASSERT(out >= 0 && out < n_outputs_ && vl < n_vls_, "VoQ index out of range");
+    return static_cast<std::size_t>(out) * static_cast<std::size_t>(n_vls_) +
+           static_cast<std::size_t>(vl);
+  }
+
+  std::int32_t n_outputs_ = 0;
+  std::int32_t n_vls_ = 0;
+  std::vector<ib::PacketQueue> voqs_;
+  std::vector<std::int64_t> vl_bytes_;
+};
+
+}  // namespace ibsim::fabric

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cc/switch_cc.hpp"
+#include "core/time.hpp"
+#include "fabric/credits.hpp"
+#include "fabric/vl_arbiter.hpp"
+#include "ib/types.hpp"
+#include "topo/topology.hpp"
+
+namespace ibsim::fabric {
+
+/// Per-output-port state shared by switches and HCAs: the downstream
+/// link, credit balances per VL, the VL arbiter, round-robin input
+/// pointers, and (on switches) the congestion-detection state.
+///
+/// Behaviour (arbitration loops, event scheduling) lives in the owning
+/// device; this struct is deliberately state-plus-small-helpers so both
+/// device types reuse it without virtual dispatch on the hot path.
+struct OutputPort {
+  // Downstream endpoint.
+  topo::DeviceId peer_dev = topo::kInvalidDevice;
+  std::int32_t peer_port = -1;
+  bool peer_is_hca = false;
+  bool connected = false;
+
+  // Link timing: serialization on the wire, pacing of consecutive grants
+  // (HCA injection is paced below wire speed by the PCIe bottleneck), and
+  // the one-way delays applied to packet and credit events.
+  double wire_gbps = 16.0;
+  double pace_gbps = 16.0;
+  core::Time prop_delay = 0;
+  core::Time rx_pipeline_delay = 0;  ///< receiver-side pipeline, added on arrival
+
+  core::Time busy_until = 0;
+
+  std::vector<CreditTracker> credits;       ///< per VL, against the peer's ibuf
+  std::vector<std::int32_t> rr_next;        ///< per VL: next input port to consider
+  VlArbiter vlarb;
+  std::vector<cc::SwitchPortCc> cc;         ///< per VL congestion detector (switches)
+
+  // Statistics.
+  std::int64_t tx_bytes = 0;
+  std::uint64_t tx_packets = 0;
+
+  [[nodiscard]] core::Time ser_time(std::int32_t bytes) const {
+    return core::transmit_time(bytes, wire_gbps);
+  }
+  [[nodiscard]] core::Time pace_time(std::int32_t bytes) const {
+    return core::transmit_time(bytes, pace_gbps);
+  }
+  [[nodiscard]] bool idle(core::Time now) const { return connected && now >= busy_until; }
+};
+
+}  // namespace ibsim::fabric

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/event.hpp"
+#include "fabric/input_buffer.hpp"
+#include "fabric/output_port.hpp"
+#include "ib/packet.hpp"
+#include "topo/routing.hpp"
+
+namespace ibsim::fabric {
+
+class Fabric;
+
+/// A crossbar switch: one input buffer (VoQs) and one output port per
+/// physical port, destination routing via the linear forwarding tables,
+/// round-robin arbitration per output across inputs under the VL arbiter,
+/// and per-output-Port-VL congestion detection / FECN marking.
+class SwitchDevice final : public core::EventHandler {
+ public:
+  SwitchDevice(Fabric* fabric, topo::DeviceId dev, std::int32_t n_ports);
+
+  void on_event(core::Scheduler& sched, const core::Event& ev) override;
+
+  [[nodiscard]] topo::DeviceId device_id() const { return dev_; }
+  [[nodiscard]] std::int32_t n_ports() const { return n_ports_; }
+  [[nodiscard]] OutputPort& output(std::int32_t port) { return outputs_[static_cast<std::size_t>(port)]; }
+  [[nodiscard]] const OutputPort& output(std::int32_t port) const {
+    return outputs_[static_cast<std::size_t>(port)];
+  }
+  [[nodiscard]] const InputBuffer& input(std::int32_t port) const {
+    return inputs_[static_cast<std::size_t>(port)];
+  }
+
+  /// Total FECN marks applied by this switch (all ports/VLs).
+  [[nodiscard]] std::uint64_t fecn_marked() const;
+
+  /// Bytes forwarded by this switch (all ports).
+  [[nodiscard]] std::int64_t forwarded_bytes() const;
+
+ private:
+  friend class Fabric;  // wiring
+
+  void receive(core::Scheduler& sched, ib::Packet* pkt, std::int32_t in_port);
+  void try_send(core::Scheduler& sched, std::int32_t out_port);
+  [[nodiscard]] bool grant_one(core::Scheduler& sched, std::int32_t out_port);
+  [[nodiscard]] bool input_eligible(std::int32_t in, std::int32_t out, ib::Vl vl) const;
+
+  /// Bitmask of input ports with a nonempty VoQ towards (out, vl): bit i
+  /// set means input i has queued work. Lets arbitration find the next
+  /// round-robin input in O(1) instead of scanning all ports. Limits the
+  /// model to 64-port switches, comfortably above the 36-port crossbars
+  /// of the target fabrics.
+  [[nodiscard]] std::uint64_t& busy_mask(std::int32_t out, ib::Vl vl) {
+    return busy_mask_[static_cast<std::size_t>(out) *
+                          static_cast<std::size_t>(fabric_vls_) +
+                      static_cast<std::size_t>(vl)];
+  }
+
+  Fabric* fabric_;
+  topo::DeviceId dev_;
+  std::int32_t n_ports_;
+  std::int32_t fabric_vls_;
+  std::vector<InputBuffer> inputs_;
+  std::vector<OutputPort> outputs_;
+  std::vector<std::uint64_t> busy_mask_;
+};
+
+}  // namespace ibsim::fabric

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ib/types.hpp"
+
+namespace ibsim::fabric {
+
+/// One VL arbitration table entry: serve `vl` for up to `weight` packets
+/// before yielding to the next entry (IBA weights are in 64-byte units;
+/// packet granularity is the standard simulator simplification and is what
+/// the paper's model arbitrates at, since whole packets are forwarded).
+struct VlArbEntry {
+  ib::Vl vl = 0;
+  std::uint8_t weight = 1;
+};
+
+/// InfiniBand-style two-table VL arbiter: the high-priority table wins
+/// over the low-priority table, bounded by the spec's HighPriority
+/// limit — after `high_limit` 4 KiB blocks have been granted from the
+/// high table without yielding, the low table gets one grant opportunity
+/// so bulk lanes cannot starve (limit 255 disables the bound, per the
+/// IBA convention). Within a table, weighted round-robin.
+///
+/// With the default fabric layout this gives CNPs (their own VL in the
+/// high table) priority over bulk data, which is exactly the "notify
+/// the source as quickly as possible" property section II.2 of the
+/// paper calls for.
+class VlArbiter {
+ public:
+  VlArbiter() = default;
+
+  /// The spec's "unlimited" HighPriority limit sentinel.
+  static constexpr std::uint8_t kUnlimitedHighLimit = 255;
+
+  void configure(std::vector<VlArbEntry> high, std::vector<VlArbEntry> low,
+                 std::uint8_t high_limit = kUnlimitedHighLimit);
+
+  /// Default tables for `n_vls` lanes: the CNP VL (if distinct) in the
+  /// high-priority table, all other VLs with equal weight in the low one.
+  [[nodiscard]] static VlArbiter make_default(std::int32_t n_vls, ib::Vl cnp_vl);
+
+  /// Choose the next VL to serve among lanes for which `has_work(vl)`
+  /// returns true. Returns -1 if no lane has work. Call granted() with
+  /// the winning packet's size afterwards so the HighPriority limit
+  /// accounting stays accurate.
+  template <typename HasWork>
+  [[nodiscard]] std::int32_t pick(HasWork&& has_work) {
+    if (!high_exhausted()) {
+      const std::int32_t hi = pick_from(high_, hi_idx_, hi_left_, has_work);
+      if (hi >= 0) {
+        last_from_high_ = true;
+        return hi;
+      }
+    }
+    const std::int32_t lo = pick_from(low_, lo_idx_, lo_left_, has_work);
+    if (lo >= 0) {
+      last_from_high_ = false;
+      // The low table got its opportunity: the high table's budget
+      // refills.
+      hi_bytes_since_yield_ = 0;
+      return lo;
+    }
+    if (high_exhausted()) {
+      // Low table had nothing after all — let the high table continue.
+      hi_bytes_since_yield_ = 0;
+      const std::int32_t hi = pick_from(high_, hi_idx_, hi_left_, has_work);
+      if (hi >= 0) {
+        last_from_high_ = true;
+        return hi;
+      }
+    }
+    return -1;
+  }
+
+  /// Report the size of the packet granted after the last pick().
+  void granted(std::int32_t bytes) {
+    if (last_from_high_) hi_bytes_since_yield_ += bytes;
+  }
+
+  [[nodiscard]] std::uint8_t high_limit() const { return high_limit_; }
+
+  [[nodiscard]] const std::vector<VlArbEntry>& high_table() const { return high_; }
+  [[nodiscard]] const std::vector<VlArbEntry>& low_table() const { return low_; }
+
+ private:
+  template <typename HasWork>
+  [[nodiscard]] std::int32_t pick_from(const std::vector<VlArbEntry>& table, std::size_t& idx,
+                                       std::int32_t& left, HasWork&& has_work) {
+    if (table.empty()) return -1;
+    // Visit each entry at most twice: once with its remaining quantum,
+    // once after a reset, so a lone busy VL is always found.
+    for (std::size_t step = 0; step < 2 * table.size(); ++step) {
+      const VlArbEntry& entry = table[idx];
+      if (left > 0 && has_work(entry.vl)) {
+        --left;
+        return entry.vl;
+      }
+      idx = (idx + 1) % table.size();
+      left = table[idx].weight;
+    }
+    return -1;
+  }
+
+  /// True when the high table has used up its grant budget and must
+  /// yield to the low table.
+  [[nodiscard]] bool high_exhausted() const {
+    return high_limit_ != kUnlimitedHighLimit &&
+           hi_bytes_since_yield_ >= static_cast<std::int64_t>(high_limit_) * 4096;
+  }
+
+  std::vector<VlArbEntry> high_;
+  std::vector<VlArbEntry> low_;
+  std::uint8_t high_limit_ = kUnlimitedHighLimit;
+  std::int64_t hi_bytes_since_yield_ = 0;
+  bool last_from_high_ = false;
+  std::size_t hi_idx_ = 0;
+  std::int32_t hi_left_ = 0;
+  std::size_t lo_idx_ = 0;
+  std::int32_t lo_left_ = 0;
+};
+
+}  // namespace ibsim::fabric

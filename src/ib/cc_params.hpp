@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/time.hpp"
+
+namespace ibsim::ib {
+
+/// How the Congestion Control Manager populates the CCT.
+enum class CctFill : std::uint8_t {
+  /// Entry i delays by base^i - 1 packet times: gentle low-index steps,
+  /// deep high-index slowdowns. The default (see cc::CcManager).
+  Geometric,
+  /// Entry i delays by i packet times: rate = ref/(1+i).
+  Linear,
+};
+
+/// The IBA 1.2.1 congestion-control parameter set (annex A10), exactly the
+/// knobs the paper's section II describes, with the value set from the
+/// paper's Table I as the default.
+///
+/// Switch side:
+///  * `threshold_weight`  — 0 disables marking; 1..15 is a uniformly
+///    *decreasing* queue threshold (1 = marks very late, 15 = marks as
+///    soon as a couple of packets queue up).
+///  * `marking_rate`      — mean number of FECN-eligible packets forwarded
+///    between two actual markings (0 = mark every eligible packet).
+///  * `packet_size`       — packets up to this size (in 64 B credit units,
+///    to match the spec's granularity) are never FECN-marked.
+///  * `victim_mask_hca_ports` — apply the Victim_Mask to switch ports that
+///    face HCAs, so endpoint congestion keeps marking even when the port
+///    is momentarily out of credits.
+///
+/// Channel adapter side:
+///  * `ccti_increase`     — CCTI bump per received BECN.
+///  * `ccti_limit`        — CCTI upper bound (index into the CCT).
+///  * `ccti_min`          — CCTI floor the timer decrements towards.
+///  * `ccti_timer`        — recovery timer in units of 1.024 us; every
+///    expiry decrements the CCTI of all flows of the port by one.
+struct CcParams {
+  bool enabled = true;
+
+  // Switch features.
+  std::uint8_t threshold_weight = 15;
+  std::uint16_t marking_rate = 0;
+  std::uint16_t packet_size = 0;
+  bool victim_mask_hca_ports = true;
+
+  // CA features (paper Table I).
+  std::uint16_t ccti_increase = 1;
+  std::uint16_t ccti_limit = 127;
+  std::uint16_t ccti_min = 0;
+  std::uint16_t ccti_timer = 150;
+
+  /// CCT population strategy and the geometric growth base.
+  CctFill cct_fill = CctFill::Geometric;
+  double cct_base = 1.05;
+
+  /// True when CC operates per SL instead of per QP. The paper only uses
+  /// QP-level CC (section II.2) but calls out the SL level as harmful;
+  /// we keep both so the ablation benchmark can reproduce that claim.
+  bool sl_level = false;
+
+  /// CCTI_Timer expiry interval. The spec expresses the field in units of
+  /// 1.024 us.
+  [[nodiscard]] core::Time timer_interval() const {
+    return static_cast<core::Time>(ccti_timer) * 1024 * core::kNanosecond;
+  }
+
+  /// Threshold fraction of the reference input-buffer VL capacity at
+  /// which a Port VL's queue is considered congested. Weight 15 maps to
+  /// 1/16 of the buffer (aggressive), weight 1 to 15/16 (lax); weight 0
+  /// disables detection entirely, per the spec's description of a
+  /// "uniformly decreasing value of the threshold".
+  [[nodiscard]] double threshold_fraction() const {
+    if (threshold_weight == 0) return 2.0;  // unreachable occupancy
+    const int w = threshold_weight > 15 ? 15 : threshold_weight;
+    return static_cast<double>(16 - w) / 16.0;
+  }
+
+  /// Packet_Size is expressed in 64 B units; FECN eligibility requires a
+  /// packet strictly larger than this.
+  [[nodiscard]] std::int32_t min_markable_bytes() const {
+    return static_cast<std::int32_t>(packet_size) * 64;
+  }
+
+  /// Validate ranges against the spec; returns an error string or empty.
+  [[nodiscard]] std::string validate() const;
+
+  /// The paper's Table I values (the defaults above, spelled out).
+  [[nodiscard]] static CcParams paper_table1();
+
+  /// CC switched off entirely (the paper's "CC off" baseline).
+  [[nodiscard]] static CcParams disabled();
+};
+
+}  // namespace ibsim::ib

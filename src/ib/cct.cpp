@@ -1,0 +1,78 @@
+#include "ib/cct.hpp"
+
+#include <cmath>
+
+#include "core/assert.hpp"
+
+namespace ibsim::ib {
+
+CongestionControlTable::CongestionControlTable(std::size_t entries, double ref_gbps)
+    : entries_(entries, 0), ref_gbps_(ref_gbps) {
+  IBSIM_ASSERT(entries >= 1, "CCT needs at least one entry");
+  IBSIM_ASSERT(ref_gbps > 0.0, "CCT reference rate must be positive");
+}
+
+std::uint16_t CongestionControlTable::encode(std::uint32_t multiplier, std::uint32_t shift) {
+  IBSIM_ASSERT(multiplier < (1u << 14), "CCT multiplier exceeds 14 bits");
+  IBSIM_ASSERT(shift < 4, "CCT shift exceeds 2 bits");
+  return static_cast<std::uint16_t>((shift << 14) | multiplier);
+}
+
+std::uint32_t CongestionControlTable::decode_factor(std::uint16_t entry) {
+  const std::uint32_t shift = entry >> 14;
+  const std::uint32_t multiplier = entry & 0x3fffu;
+  return multiplier << shift;
+}
+
+void CongestionControlTable::set_entry(std::size_t index, std::uint16_t entry) {
+  IBSIM_ASSERT(index < entries_.size(), "CCT index out of range");
+  if (index == 0) entry = 0;  // spec: index 0 is always "no delay"
+  entries_[index] = entry;
+}
+
+std::uint16_t CongestionControlTable::entry(std::size_t index) const {
+  IBSIM_ASSERT(index < entries_.size(), "CCT index out of range");
+  return entries_[index];
+}
+
+core::Time CongestionControlTable::ird_delay(std::size_t ccti, std::int32_t bytes) const {
+  if (ccti >= entries_.size()) ccti = entries_.size() - 1;
+  const std::uint32_t factor = decode_factor(entries_[ccti]);
+  if (factor == 0) return 0;
+  return static_cast<core::Time>(factor) * core::transmit_time(bytes, ref_gbps_);
+}
+
+double CongestionControlTable::rate_fraction(std::size_t ccti) const {
+  if (ccti >= entries_.size()) ccti = entries_.size() - 1;
+  return 1.0 / (1.0 + static_cast<double>(decode_factor(entries_[ccti])));
+}
+
+void CongestionControlTable::populate_linear() {
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    std::uint32_t factor = static_cast<std::uint32_t>(i);
+    std::uint32_t shift = 0;
+    while (factor >= (1u << 14) && shift < 3) {
+      factor = (factor + 1) / 2;
+      ++shift;
+    }
+    entries_[i] = encode(factor, shift);
+  }
+}
+
+void CongestionControlTable::populate_geometric(double base) {
+  IBSIM_ASSERT(base > 1.0, "geometric CCT needs base > 1");
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    const double want = std::pow(base, static_cast<double>(i)) - 1.0;
+    std::uint32_t factor =
+        want > static_cast<double>(0x3fffu << 3) ? (0x3fffu << 3)
+                                                 : static_cast<std::uint32_t>(std::lround(want));
+    std::uint32_t shift = 0;
+    while (factor >= (1u << 14) && shift < 3) {
+      factor = (factor + 1) / 2;
+      ++shift;
+    }
+    entries_[i] = encode(factor, shift);
+  }
+}
+
+}  // namespace ibsim::ib

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/time.hpp"
+#include "ib/types.hpp"
+
+namespace ibsim::ib {
+
+/// The Congestion Control Table (CCT) of a channel adapter port.
+///
+/// Per IBA 1.2.1 each entry is a 16-bit word: bits [15:14] hold a shift,
+/// bits [13:0] a multiplier. An entry's injection-rate delay (IRD) — the
+/// gap inserted between consecutive packets of a throttled flow — is
+///
+///     IRD = (multiplier << shift) x T_packet
+///
+/// where T_packet is the serialization time of the packet being delayed at
+/// the reference injection rate ("the IRD calculation being relative to
+/// the packet length", paper section II.2). Entry 0 must encode zero
+/// delay; a flow whose CCTI reaches 0 is unthrottled.
+class CongestionControlTable {
+ public:
+  /// Build a table with `entries` slots (all zero delay) referenced to the
+  /// given injection rate in Gb/s.
+  explicit CongestionControlTable(std::size_t entries = 128, double ref_gbps = 13.5);
+
+  /// Pack a multiplier (14 bits) and shift (2 bits) into an entry.
+  [[nodiscard]] static std::uint16_t encode(std::uint32_t multiplier, std::uint32_t shift);
+
+  /// The delay factor an entry encodes: multiplier << shift.
+  [[nodiscard]] static std::uint32_t decode_factor(std::uint16_t entry);
+
+  /// Set a raw entry. Index 0 is forced to zero delay by the spec.
+  void set_entry(std::size_t index, std::uint16_t entry);
+  [[nodiscard]] std::uint16_t entry(std::size_t index) const;
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] double ref_gbps() const { return ref_gbps_; }
+
+  /// IRD for a packet of `bytes` at CCT index `ccti` (clamped to the
+  /// table). With the linear table this yields an injection rate of
+  /// ref_gbps / (1 + ccti) for back-to-back MTU packets.
+  [[nodiscard]] core::Time ird_delay(std::size_t ccti, std::int32_t bytes) const;
+
+  /// Relative injection rate (0..1] the table grants at `ccti` for MTU
+  /// packets: 1 / (1 + factor).
+  [[nodiscard]] double rate_fraction(std::size_t ccti) const;
+
+  /// Populate entries so entry i delays by i packet times (factor i):
+  /// the canonical "larger index yields a larger IRD" fill used with the
+  /// paper's parameters. Handles the 14-bit multiplier limit via shift.
+  void populate_linear();
+
+  /// Populate entries with factor round(base^i) - 1 (geometric slowdown),
+  /// the common alternative fill; exposed for the ablation benchmarks.
+  void populate_geometric(double base);
+
+ private:
+  std::vector<std::uint16_t> entries_;
+  double ref_gbps_;
+};
+
+}  // namespace ibsim::ib

@@ -1,0 +1,75 @@
+#include "ib/packet.hpp"
+
+#include "core/assert.hpp"
+
+namespace ibsim::ib {
+
+void PacketQueue::push_back(Packet* pkt) {
+  IBSIM_ASSERT(pkt != nullptr, "queueing null packet");
+  pkt->pool_next = nullptr;
+  if (tail_ == nullptr) {
+    head_ = tail_ = pkt;
+  } else {
+    tail_->pool_next = pkt;
+    tail_ = pkt;
+  }
+  ++count_;
+  bytes_ += pkt->bytes;
+}
+
+void PacketQueue::push_front(Packet* pkt) {
+  IBSIM_ASSERT(pkt != nullptr, "queueing null packet");
+  pkt->pool_next = head_;
+  head_ = pkt;
+  if (tail_ == nullptr) tail_ = pkt;
+  ++count_;
+  bytes_ += pkt->bytes;
+}
+
+Packet* PacketQueue::pop_front() {
+  IBSIM_ASSERT(head_ != nullptr, "popping an empty packet queue");
+  Packet* pkt = head_;
+  head_ = pkt->pool_next;
+  if (head_ == nullptr) tail_ = nullptr;
+  pkt->pool_next = nullptr;
+  --count_;
+  bytes_ -= pkt->bytes;
+  return pkt;
+}
+
+PacketPool::PacketPool(std::size_t chunk_packets) : chunk_packets_(chunk_packets) {
+  IBSIM_ASSERT(chunk_packets_ > 0, "packet pool chunk must be positive");
+}
+
+PacketPool::~PacketPool() {
+  for (Packet* chunk : chunks_) delete[] chunk;
+}
+
+void PacketPool::grow() {
+  auto* chunk = new Packet[chunk_packets_];
+  chunks_.push_back(chunk);
+  for (std::size_t i = 0; i < chunk_packets_; ++i) {
+    chunk[i].pool_next = free_list_;
+    free_list_ = &chunk[i];
+  }
+}
+
+Packet* PacketPool::allocate() {
+  if (free_list_ == nullptr) grow();
+  Packet* pkt = free_list_;
+  free_list_ = pkt->pool_next;
+  *pkt = Packet{};
+  pkt->id = next_id_++;
+  ++live_;
+  return pkt;
+}
+
+void PacketPool::release(Packet* pkt) {
+  IBSIM_ASSERT(pkt != nullptr, "releasing null packet");
+  IBSIM_ASSERT(live_ > 0, "pool released more packets than it allocated");
+  pkt->pool_next = free_list_;
+  free_list_ = pkt;
+  --live_;
+}
+
+}  // namespace ibsim::ib

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/time.hpp"
+#include "ib/types.hpp"
+
+namespace ibsim::ib {
+
+/// One InfiniBand packet as the simulator models it: the header fields the
+/// CC mechanism and the fabric need, plus bookkeeping for metrics.
+///
+/// Packets are pool-allocated (`PacketPool`) and passed by pointer through
+/// scheduler event payloads; they are never copied on the data path.
+struct Packet {
+  std::uint64_t id = 0;       ///< unique per simulation, for tracing
+  NodeId src = kInvalidNode;  ///< source end node
+  NodeId dst = kInvalidNode;  ///< destination end node (DLID)
+  std::int32_t bytes = 0;     ///< wire size
+  Vl vl = kDataVl;
+  Sl sl = 0;
+
+  bool fecn = false;    ///< Forward Explicit Congestion Notification bit
+  bool becn = false;    ///< Backward Explicit Congestion Notification bit
+  bool is_cnp = false;  ///< explicit congestion notification packet
+
+  /// BECN/CNP flow reference: the destination of the *original* data flow
+  /// this notification throttles (i.e. the congested hotspot), so the
+  /// source can index its per-QP CCTI.
+  NodeId flow_dst = kInvalidNode;
+
+  bool hotspot_stream = false;  ///< generator stream tag (metrics only)
+  std::uint32_t msg_seq = 0;    ///< message number within its flow
+  core::Time injected_at = 0;   ///< grant time at the source HCA
+
+  Packet* pool_next = nullptr;  ///< intrusive freelist link
+};
+
+/// Intrusive FIFO of packets, chained through `Packet::pool_next` (a
+/// packet is either in the pool's freelist or in at most one queue, never
+/// both). Keeps the tens of thousands of VoQs in a large fabric
+/// allocation-free; tracks byte occupancy for flow control and CC.
+class PacketQueue {
+ public:
+  [[nodiscard]] bool empty() const { return head_ == nullptr; }
+  [[nodiscard]] std::int32_t count() const { return count_; }
+  [[nodiscard]] std::int64_t bytes() const { return bytes_; }
+  [[nodiscard]] Packet* front() const { return head_; }
+
+  void push_back(Packet* pkt);
+  void push_front(Packet* pkt);
+  [[nodiscard]] Packet* pop_front();
+
+ private:
+  Packet* head_ = nullptr;
+  Packet* tail_ = nullptr;
+  std::int32_t count_ = 0;
+  std::int64_t bytes_ = 0;
+};
+
+/// Freelist-based packet allocator. Allocation never touches the heap on
+/// the hot path after the first chunk; recycled packets are fully reset.
+class PacketPool {
+ public:
+  explicit PacketPool(std::size_t chunk_packets = 4096);
+  ~PacketPool();
+  PacketPool(const PacketPool&) = delete;
+  PacketPool& operator=(const PacketPool&) = delete;
+
+  /// Fetch a zero-initialised packet with a fresh id.
+  [[nodiscard]] Packet* allocate();
+
+  /// Return a packet to the pool. Must have come from this pool.
+  void release(Packet* pkt);
+
+  /// Packets currently handed out (allocated minus released).
+  [[nodiscard]] std::int64_t live() const { return live_; }
+
+  /// Total packets ever allocated (freshly or recycled).
+  [[nodiscard]] std::uint64_t total_allocated() const { return next_id_; }
+
+ private:
+  void grow();
+
+  std::size_t chunk_packets_;
+  std::vector<Packet*> chunks_;
+  Packet* free_list_ = nullptr;
+  std::int64_t live_ = 0;
+  std::uint64_t next_id_ = 0;
+};
+
+}  // namespace ibsim::ib

@@ -1,0 +1,174 @@
+#include "sim/config_file.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace ibsim::sim {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return {};
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+bool parse_double(const std::string& value, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(value.c_str(), &end);
+  return end != nullptr && *end == '\0' && !value.empty();
+}
+
+bool parse_int(const std::string& value, std::int64_t* out) {
+  char* end = nullptr;
+  *out = std::strtoll(value.c_str(), &end, 10);
+  return end != nullptr && *end == '\0' && !value.empty();
+}
+
+/// Apply one key. Returns an error description or empty.
+std::string apply_key(const std::string& key, const std::string& value, SimConfig* c) {
+  const auto want_int = [&](auto setter) -> std::string {
+    std::int64_t v = 0;
+    if (!parse_int(value, &v)) return "expected an integer for '" + key + "'";
+    setter(v);
+    return {};
+  };
+  const auto want_double = [&](auto setter) -> std::string {
+    double v = 0;
+    if (!parse_double(value, &v)) return "expected a number for '" + key + "'";
+    setter(v);
+    return {};
+  };
+
+  if (key == "topology") {
+    if (value == "clos") c->topology = TopologyKind::FoldedClos;
+    else if (value == "single") c->topology = TopologyKind::SingleSwitch;
+    else if (value == "chain") c->topology = TopologyKind::LinearChain;
+    else if (value == "dumbbell") c->topology = TopologyKind::Dumbbell;
+    else if (value == "mesh") c->topology = TopologyKind::Mesh2D;
+    else if (value == "fat-tree3") c->topology = TopologyKind::FatTree3;
+    else return "unknown topology '" + value + "'";
+    return {};
+  }
+  if (key == "cct_fill") {
+    if (value == "geometric") c->cc.cct_fill = ib::CctFill::Geometric;
+    else if (value == "linear") c->cc.cct_fill = ib::CctFill::Linear;
+    else return "unknown cct_fill '" + value + "'";
+    return {};
+  }
+
+  if (key == "clos_leaves") return want_int([&](auto v) { c->clos.leaves = static_cast<std::int32_t>(v); });
+  if (key == "clos_spines") return want_int([&](auto v) { c->clos.spines = static_cast<std::int32_t>(v); });
+  if (key == "clos_nodes_per_leaf")
+    return want_int([&](auto v) { c->clos.nodes_per_leaf = static_cast<std::int32_t>(v); });
+  if (key == "single_nodes")
+    return want_int([&](auto v) { c->single_switch_nodes = static_cast<std::int32_t>(v); });
+  if (key == "chain_switches")
+    return want_int([&](auto v) { c->chain_switches = static_cast<std::int32_t>(v); });
+  if (key == "chain_nodes")
+    return want_int([&](auto v) { c->chain_nodes_per_switch = static_cast<std::int32_t>(v); });
+  if (key == "dumbbell_nodes")
+    return want_int([&](auto v) { c->dumbbell_nodes_per_side = static_cast<std::int32_t>(v); });
+  if (key == "mesh_rows") return want_int([&](auto v) { c->mesh_rows = static_cast<std::int32_t>(v); });
+  if (key == "mesh_cols") return want_int([&](auto v) { c->mesh_cols = static_cast<std::int32_t>(v); });
+  if (key == "mesh_nodes")
+    return want_int([&](auto v) { c->mesh_nodes_per_switch = static_cast<std::int32_t>(v); });
+  if (key == "ft3_pods") return want_int([&](auto v) { c->fat_tree3.pods = static_cast<std::int32_t>(v); });
+  if (key == "ft3_leaves_per_pod")
+    return want_int([&](auto v) { c->fat_tree3.leaves_per_pod = static_cast<std::int32_t>(v); });
+  if (key == "ft3_aggs_per_pod")
+    return want_int([&](auto v) { c->fat_tree3.aggs_per_pod = static_cast<std::int32_t>(v); });
+  if (key == "ft3_cores") return want_int([&](auto v) { c->fat_tree3.cores = static_cast<std::int32_t>(v); });
+  if (key == "ft3_nodes_per_leaf")
+    return want_int([&](auto v) { c->fat_tree3.nodes_per_leaf = static_cast<std::int32_t>(v); });
+
+  if (key == "fraction_b") return want_double([&](auto v) { c->scenario.fraction_b = v; });
+  if (key == "p_percent") return want_double([&](auto v) { c->scenario.p = v / 100.0; });
+  if (key == "fraction_c")
+    return want_double([&](auto v) { c->scenario.fraction_c_of_rest = v; });
+  if (key == "hotspots")
+    return want_int([&](auto v) { c->scenario.n_hotspots = static_cast<std::int32_t>(v); });
+  if (key == "lifetime_us")
+    return want_int([&](auto v) {
+      c->scenario.hotspot_lifetime = v > 0 ? v * core::kMicrosecond : core::kTimeNever;
+    });
+  if (key == "inject_gbps") return want_double([&](auto v) { c->scenario.capacity_gbps = v; });
+
+  if (key == "cc_enabled") return want_int([&](auto v) { c->cc.enabled = v != 0; });
+  if (key == "threshold_weight")
+    return want_int([&](auto v) { c->cc.threshold_weight = static_cast<std::uint8_t>(v); });
+  if (key == "marking_rate")
+    return want_int([&](auto v) { c->cc.marking_rate = static_cast<std::uint16_t>(v); });
+  if (key == "packet_size")
+    return want_int([&](auto v) { c->cc.packet_size = static_cast<std::uint16_t>(v); });
+  if (key == "victim_mask")
+    return want_int([&](auto v) { c->cc.victim_mask_hca_ports = v != 0; });
+  if (key == "ccti_increase")
+    return want_int([&](auto v) { c->cc.ccti_increase = static_cast<std::uint16_t>(v); });
+  if (key == "ccti_limit")
+    return want_int([&](auto v) { c->cc.ccti_limit = static_cast<std::uint16_t>(v); });
+  if (key == "ccti_min")
+    return want_int([&](auto v) { c->cc.ccti_min = static_cast<std::uint16_t>(v); });
+  if (key == "ccti_timer")
+    return want_int([&](auto v) { c->cc.ccti_timer = static_cast<std::uint16_t>(v); });
+  if (key == "sl_level") return want_int([&](auto v) { c->cc.sl_level = v != 0; });
+  if (key == "cct_base") return want_double([&](auto v) { c->cc.cct_base = v; });
+
+  if (key == "wire_gbps") return want_double([&](auto v) { c->fabric.wire_gbps = v; });
+  if (key == "hca_inject_gbps")
+    return want_double([&](auto v) { c->fabric.hca_inject_gbps = v; });
+  if (key == "hca_drain_gbps")
+    return want_double([&](auto v) { c->fabric.hca_drain_gbps = v; });
+  if (key == "n_vls") return want_int([&](auto v) { c->fabric.n_vls = static_cast<std::int32_t>(v); });
+  if (key == "cut_through") return want_int([&](auto v) { c->fabric.cut_through = v != 0; });
+  if (key == "switch_ibuf_bytes")
+    return want_int([&](auto v) { c->fabric.switch_ibuf_data_bytes = v; });
+  if (key == "hca_ibuf_bytes")
+    return want_int([&](auto v) { c->fabric.hca_ibuf_data_bytes = v; });
+
+  if (key == "sim_time_us")
+    return want_int([&](auto v) { c->sim_time = v * core::kMicrosecond; });
+  if (key == "warmup_us") return want_int([&](auto v) { c->warmup = v * core::kMicrosecond; });
+  if (key == "seed") return want_int([&](auto v) { c->seed = static_cast<std::uint64_t>(v); });
+
+  return "unknown key '" + key + "'";
+}
+
+}  // namespace
+
+std::string apply_config_text(const std::string& text, SimConfig* config) {
+  std::istringstream in(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      return "line " + std::to_string(line_number) + ": expected 'key = value'";
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty() || value.empty()) {
+      return "line " + std::to_string(line_number) + ": empty key or value";
+    }
+    const std::string err = apply_key(key, value, config);
+    if (!err.empty()) return "line " + std::to_string(line_number) + ": " + err;
+  }
+  return {};
+}
+
+std::string apply_config_file(const std::string& path, SimConfig* config) {
+  std::ifstream in(path);
+  if (!in.good()) return "cannot open config file '" + path + "'";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return apply_config_text(buf.str(), config);
+}
+
+}  // namespace ibsim::sim

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+
+#include "sim/sim_config.hpp"
+
+namespace ibsim::sim {
+
+/// Plain-text configuration for SimConfig: one `key = value` pair per
+/// line, `#` comments, whitespace-insensitive — the same flavour of file
+/// OpenSM uses for its CC settings, so a deployment-style workflow
+/// ("edit the conf, rerun") works without recompiling.
+///
+/// Recognised keys (all optional; unknown keys are an error):
+///
+///   topology            clos | single | chain | dumbbell | mesh
+///   clos_leaves, clos_spines, clos_nodes_per_leaf
+///   single_nodes, chain_switches, chain_nodes
+///   dumbbell_nodes, mesh_rows, mesh_cols, mesh_nodes
+///   fraction_b, p_percent, fraction_c, hotspots, lifetime_us, inject_gbps
+///   cc_enabled (0/1), threshold_weight, marking_rate, packet_size,
+///   victim_mask (0/1), ccti_increase, ccti_limit, ccti_min, ccti_timer,
+///   sl_level (0/1), cct_fill (geometric | linear), cct_base
+///   wire_gbps, hca_inject_gbps, hca_drain_gbps, n_vls, cut_through (0/1)
+///   switch_ibuf_bytes, hca_ibuf_bytes
+///   sim_time_us, warmup_us, seed
+///
+/// Returns an empty string on success, or a "line N: ..." diagnostic.
+[[nodiscard]] std::string apply_config_text(const std::string& text, SimConfig* config);
+
+/// Load and apply a config file; same diagnostics, plus I/O errors.
+[[nodiscard]] std::string apply_config_file(const std::string& path, SimConfig* config);
+
+}  // namespace ibsim::sim

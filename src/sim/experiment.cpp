@@ -1,0 +1,290 @@
+#include "sim/experiment.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "analysis/tmax.hpp"
+#include "core/assert.hpp"
+
+namespace ibsim::sim {
+
+ExperimentPreset ExperimentPreset::quick() {
+  ExperimentPreset p;
+  p.static_sim_time = 10 * core::kMillisecond;
+  p.static_warmup = 5 * core::kMillisecond;
+  p.ccti_increase = 4;
+  p.ccti_timer = 38;  // ~150 / 4
+  // Moving-hotspot axis scaled 1:4 against the paper (2.5 ms..0.25 ms
+  // instead of 10 ms..1 ms), matching the 4x-faster CC loop above so
+  // the lifetime-to-recovery ratio the sweep probes is preserved.
+  p.lifetimes = {2500 * core::kMicrosecond, 2000 * core::kMicrosecond,
+                 1500 * core::kMicrosecond, 1000 * core::kMicrosecond,
+                 500 * core::kMicrosecond,  250 * core::kMicrosecond};
+  p.moving_min_sim_time = 2 * core::kMillisecond;
+  p.moving_lifetimes_per_run = 6;
+  return p;
+}
+
+ExperimentPreset ExperimentPreset::paper() {
+  ExperimentPreset p;
+  p.static_sim_time = 60 * core::kMillisecond;
+  p.static_warmup = 30 * core::kMillisecond;
+  p.lifetimes = {10 * core::kMillisecond, 8 * core::kMillisecond, 6 * core::kMillisecond,
+                 4 * core::kMillisecond,  2 * core::kMillisecond, 1 * core::kMillisecond};
+  p.ccti_increase = 1;
+  p.ccti_timer = 150;
+  p.moving_min_sim_time = 10 * core::kMillisecond;
+  p.moving_lifetimes_per_run = 10;
+  return p;
+}
+
+ExperimentPreset ExperimentPreset::from_env(bool force_full) {
+  const char* env = std::getenv("IBSIM_FULL");
+  const bool full = force_full || (env != nullptr && env[0] == '1');
+  return full ? paper() : quick();
+}
+
+SimConfig ExperimentPreset::base_config() const {
+  SimConfig config;
+  config.topology = TopologyKind::FoldedClos;
+  config.clos = clos;
+  config.sim_time = static_sim_time;
+  config.warmup = static_warmup;
+  config.seed = seed;
+  config.cc.ccti_increase = ccti_increase;
+  config.cc.ccti_timer = ccti_timer;
+  return config;
+}
+
+std::vector<SimResult> run_parallel(const std::vector<SimConfig>& configs,
+                                    std::int32_t threads) {
+  std::vector<SimResult> results(configs.size());
+  if (configs.empty()) return results;
+  if (threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 4 : static_cast<std::int32_t>(hw);
+  }
+  const auto n_workers =
+      static_cast<std::size_t>(threads) < configs.size() ? static_cast<std::size_t>(threads)
+                                                         : configs.size();
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(n_workers);
+  for (std::size_t w = 0; w < n_workers; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= configs.size()) return;
+        results[i] = run_sim(configs[i]);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  return results;
+}
+
+// ---------------------------------------------------------------------------
+// Table II
+// ---------------------------------------------------------------------------
+
+Table2Result run_table2(const ExperimentPreset& preset) {
+  SimConfig base = preset.base_config();
+  base.scenario.fraction_b = 0.0;
+  base.scenario.fraction_c_of_rest = 0.8;  // 80% C / 20% V
+  base.scenario.n_hotspots = 8;
+
+  std::vector<SimConfig> configs;
+  for (const bool c_active : {false, true}) {
+    for (const bool cc_on : {false, true}) {
+      SimConfig config = base;
+      config.scenario.c_nodes_active = c_active;
+      config.cc.enabled = cc_on;
+      configs.push_back(config);
+    }
+  }
+  const std::vector<SimResult> r = run_parallel(configs, preset.threads);
+
+  Table2Result out;
+  out.no_hotspot_off = r[0].all_rcv_gbps;
+  out.no_hotspot_on = r[1].all_rcv_gbps;
+  out.hotspot_rcv_off = r[2].hotspot_rcv_gbps;
+  out.non_hotspot_rcv_off = r[2].non_hotspot_rcv_gbps;
+  out.total_throughput_off = r[2].total_throughput_gbps;
+  out.hotspot_rcv_on = r[3].hotspot_rcv_gbps;
+  out.non_hotspot_rcv_on = r[3].non_hotspot_rcv_gbps;
+  out.total_throughput_on = r[3].total_throughput_gbps;
+  return out;
+}
+
+analysis::TextTable format_table2(const Table2Result& t) {
+  analysis::TextTable table({"Metric", "Gbps"});
+  table.add_section("No hotspots, no CC");
+  table.add_kv("Avg. receive rate", t.no_hotspot_off);
+  table.add_section("No hotspots, CC on");
+  table.add_kv("Avg. receive rate", t.no_hotspot_on);
+  table.add_section("Hotspots, no CC");
+  table.add_kv("Hotspots avg. rcv.", t.hotspot_rcv_off);
+  table.add_kv("Non-hotspots avg. rcv", t.non_hotspot_rcv_off);
+  table.add_section("Hotspots, CC on");
+  table.add_kv("Hotspots avg. rcv.", t.hotspot_rcv_on);
+  table.add_kv("Non-hotspots avg. rcv", t.non_hotspot_rcv_on);
+  table.add_section("Total network throughput, hotspots");
+  table.add_kv("Without CC", t.total_throughput_off);
+  table.add_kv("With CC", t.total_throughput_on);
+  return table;
+}
+
+// ---------------------------------------------------------------------------
+// Figures 5-8 (windy forest)
+// ---------------------------------------------------------------------------
+
+WindyFigure run_windy_figure(const ExperimentPreset& preset, double fraction_b) {
+  std::vector<SimConfig> configs;
+  for (const double p : preset.p_values) {
+    for (const bool cc_on : {false, true}) {
+      SimConfig config = preset.base_config();
+      config.scenario.fraction_b = fraction_b;
+      config.scenario.p = p;
+      config.scenario.fraction_c_of_rest = 0.8;
+      config.scenario.n_hotspots = 8;
+      config.cc.enabled = cc_on;
+      configs.push_back(config);
+    }
+  }
+  const std::vector<SimResult> results = run_parallel(configs, preset.threads);
+
+  WindyFigure fig;
+  fig.fraction_b = fraction_b;
+  fig.non_hotspot_off.name = "nonhot_cc_off";
+  fig.non_hotspot_on.name = "nonhot_cc_on";
+  fig.tmax.name = "tmax";
+  fig.hotspot_off.name = "hot_cc_off";
+  fig.hotspot_on.name = "hot_cc_on";
+
+  analysis::Series total_off{"total_cc_off", {}, {}};
+  analysis::Series total_on{"total_cc_on", {}, {}};
+
+  const std::int32_t n = preset.clos.node_count();
+  const auto n_b = static_cast<std::int32_t>(std::llround(fraction_b * n));
+  const std::int32_t rest = n - n_b;
+  const auto n_c = static_cast<std::int32_t>(std::llround(0.8 * rest));
+  const std::int32_t n_v = rest - n_c;
+
+  for (std::size_t i = 0; i < preset.p_values.size(); ++i) {
+    const double p_pct = preset.p_values[i] * 100.0;
+    const SimResult& off = results[2 * i];
+    const SimResult& on = results[2 * i + 1];
+    fig.non_hotspot_off.add(p_pct, off.non_hotspot_rcv_gbps);
+    fig.non_hotspot_on.add(p_pct, on.non_hotspot_rcv_gbps);
+    fig.hotspot_off.add(p_pct, off.hotspot_rcv_gbps);
+    fig.hotspot_on.add(p_pct, on.hotspot_rcv_gbps);
+    total_off.add(p_pct, off.total_throughput_gbps);
+    total_on.add(p_pct, on.total_throughput_gbps);
+
+    analysis::TmaxInputs tin;
+    tin.n_nodes = n;
+    tin.n_b = n_b;
+    tin.n_c = n_c;
+    tin.n_v = n_v;
+    tin.p = preset.p_values[i];
+    fig.tmax.add(p_pct, analysis::tmax_gbps(tin));
+  }
+  fig.improvement = analysis::ratio_series("cc_improvement", total_on, total_off);
+  return fig;
+}
+
+void print_windy_figure(const WindyFigure& fig) {
+  std::printf("== Windy forest, %.0f%% B nodes ==\n", fig.fraction_b * 100.0);
+  std::printf("-- (a) avg receive rate, non-hotspots (Gb/s) --\n");
+  analysis::print_series("p (%)", {&fig.non_hotspot_off, &fig.non_hotspot_on, &fig.tmax});
+  std::printf("-- (b) avg receive rate, hotspots (Gb/s) --\n");
+  analysis::print_series("p (%)", {&fig.hotspot_off, &fig.hotspot_on});
+  std::printf("-- (c) total network throughput improvement by enabling CC (x) --\n");
+  analysis::print_series("p (%)", {&fig.improvement});
+  std::printf("peak improvement: %.1fx at p=%.0f%%\n\n", fig.improvement.max_y(),
+              fig.improvement.x_of_max_y());
+}
+
+void write_windy_csv(const WindyFigure& fig, const std::string& prefix) {
+  analysis::write_csv(prefix + "_a_nonhotspot.csv", "p_pct",
+                      {&fig.non_hotspot_off, &fig.non_hotspot_on, &fig.tmax});
+  analysis::write_csv(prefix + "_b_hotspot.csv", "p_pct",
+                      {&fig.hotspot_off, &fig.hotspot_on});
+  analysis::write_csv(prefix + "_c_improvement.csv", "p_pct", {&fig.improvement});
+}
+
+// ---------------------------------------------------------------------------
+// Figures 9-10 (moving hotspots)
+// ---------------------------------------------------------------------------
+
+namespace {
+MovingCurve run_moving(const ExperimentPreset& preset, const traffic::ScenarioSpec& scenario,
+                       std::string label) {
+  std::vector<SimConfig> configs;
+  for (const core::Time lifetime : preset.lifetimes) {
+    for (const bool cc_on : {false, true}) {
+      SimConfig config = preset.base_config();
+      config.scenario = scenario;
+      config.scenario.hotspot_lifetime = lifetime;
+      config.cc.enabled = cc_on;
+      // Simulate a fixed number of hotspot periods, with a floor so the
+      // shortest lifetimes still measure a meaningful window.
+      core::Time sim = lifetime * preset.moving_lifetimes_per_run;
+      if (sim < preset.moving_min_sim_time) sim = preset.moving_min_sim_time;
+      config.sim_time = sim;
+      config.warmup = lifetime < preset.static_warmup ? lifetime : preset.static_warmup;
+      configs.push_back(config);
+    }
+  }
+  const std::vector<SimResult> results = run_parallel(configs, preset.threads);
+
+  MovingCurve curve;
+  curve.label = std::move(label);
+  curve.off.name = "all_cc_off";
+  curve.on.name = "all_cc_on";
+  for (std::size_t i = 0; i < preset.lifetimes.size(); ++i) {
+    const double lifetime_ms = static_cast<double>(preset.lifetimes[i]) /
+                               static_cast<double>(core::kMillisecond);
+    curve.off.add(lifetime_ms, results[2 * i].all_rcv_gbps);
+    curve.on.add(lifetime_ms, results[2 * i + 1].all_rcv_gbps);
+  }
+  return curve;
+}
+}  // namespace
+
+MovingCurve run_moving_silent(const ExperimentPreset& preset, double fraction_v) {
+  traffic::ScenarioSpec scenario;
+  scenario.fraction_b = 0.0;
+  scenario.fraction_c_of_rest = 1.0 - fraction_v;
+  scenario.n_hotspots = 8;
+  char label[64];
+  std::snprintf(label, sizeof(label), "moving silent, %.0f%% V / %.0f%% C",
+                fraction_v * 100.0, (1.0 - fraction_v) * 100.0);
+  return run_moving(preset, scenario, label);
+}
+
+MovingCurve run_moving_windy(const ExperimentPreset& preset, double p) {
+  traffic::ScenarioSpec scenario;
+  scenario.fraction_b = 1.0;
+  scenario.p = p;
+  scenario.n_hotspots = 8;
+  char label[64];
+  std::snprintf(label, sizeof(label), "moving windy, 100%% B, p=%.0f%%", p * 100.0);
+  return run_moving(preset, scenario, label);
+}
+
+void print_moving_curve(const MovingCurve& curve) {
+  std::printf("== %s ==\n", curve.label.c_str());
+  std::printf("-- avg receive rate, all nodes (Gb/s) vs hotspot lifetime (ms) --\n");
+  analysis::print_series("lifetime_ms", {&curve.off, &curve.on});
+  std::printf("\n");
+}
+
+void write_moving_csv(const MovingCurve& curve, const std::string& prefix) {
+  analysis::write_csv(prefix + ".csv", "lifetime_ms", {&curve.off, &curve.on});
+}
+
+}  // namespace ibsim::sim

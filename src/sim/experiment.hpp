@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/series.hpp"
+#include "analysis/table.hpp"
+#include "sim/simulation.hpp"
+
+namespace ibsim::sim {
+
+/// Scale preset shared by the paper-reproduction benchmarks. The paper
+/// simulates 0.1 s timeslots on the 648-node fabric; throughput ratios
+/// converge orders of magnitude earlier, so the default ("quick") preset
+/// keeps the full topology but shortens the measured window, and scales
+/// the moving-hotspot axis together with the CCTI timer so the
+/// lifetime-to-recovery-time ratio matches the paper's sweep.
+/// `ExperimentPreset::from_env()` honours IBSIM_FULL=1 for paper-scale
+/// windows.
+struct ExperimentPreset {
+  topo::FoldedClosParams clos = topo::FoldedClosParams::sun_dcs_648();
+
+  // Static-hotspot experiments (Table II, figures 5-8).
+  core::Time static_sim_time = 2 * core::kMillisecond;
+  core::Time static_warmup = 500 * core::kMicrosecond;
+  std::vector<double> p_values = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+
+  // Moving-hotspot experiments (figures 9-10).
+  std::vector<core::Time> lifetimes;   ///< decreasing hotspot lifetimes
+  core::Time moving_min_sim_time = 0;
+  std::int32_t moving_lifetimes_per_run = 6;  ///< simulated hotspot periods
+
+  // CC control-loop scale. The quick preset runs the whole loop 4x
+  // faster (CCTI_Increase 4, CCTI_Timer 150/4) with hotspot lifetimes
+  // scaled by the same factor, so the convergence-to-window and
+  // lifetime-to-recovery ratios match the paper within windows that fit
+  // a laptop run; the paper preset uses the exact Table I values.
+  std::uint16_t ccti_increase = 1;
+  std::uint16_t ccti_timer = 150;
+
+  std::uint64_t seed = 1;
+  std::int32_t threads = 0;  ///< 0 = hardware concurrency
+
+  [[nodiscard]] static ExperimentPreset quick();
+  [[nodiscard]] static ExperimentPreset paper();
+  /// quick() unless IBSIM_FULL=1 (or a bench was passed --full).
+  [[nodiscard]] static ExperimentPreset from_env(bool force_full = false);
+
+  /// Base SimConfig with this preset's topology and timing.
+  [[nodiscard]] SimConfig base_config() const;
+};
+
+/// Run many independent simulations concurrently (one thread each, the
+/// sweep-level parallelism the harness uses). Results are positionally
+/// matched to `configs`; per-run determinism is unaffected.
+[[nodiscard]] std::vector<SimResult> run_parallel(const std::vector<SimConfig>& configs,
+                                                  std::int32_t threads = 0);
+
+// ---------------------------------------------------------------------------
+// Table II: the silent forest of congestion trees.
+// ---------------------------------------------------------------------------
+struct Table2Result {
+  double no_hotspot_off = 0.0;       ///< avg rcv, V nodes only, CC off
+  double no_hotspot_on = 0.0;        ///< avg rcv, V nodes only, CC on
+  double hotspot_rcv_off = 0.0;      ///< hotspots avg rcv, CC off
+  double non_hotspot_rcv_off = 0.0;  ///< non-hotspots avg rcv, CC off
+  double hotspot_rcv_on = 0.0;       ///< hotspots avg rcv, CC on
+  double non_hotspot_rcv_on = 0.0;   ///< non-hotspots avg rcv, CC on
+  double total_throughput_off = 0.0;
+  double total_throughput_on = 0.0;
+};
+
+[[nodiscard]] Table2Result run_table2(const ExperimentPreset& preset);
+[[nodiscard]] analysis::TextTable format_table2(const Table2Result& result);
+
+// ---------------------------------------------------------------------------
+// Figures 5-8: the windy forest, one figure per B-node fraction.
+// ---------------------------------------------------------------------------
+struct WindyFigure {
+  double fraction_b = 0.0;
+  analysis::Series non_hotspot_off;  ///< fig (a), CC off
+  analysis::Series non_hotspot_on;   ///< fig (a), CC on
+  analysis::Series tmax;             ///< fig (a), analytic ceiling
+  analysis::Series hotspot_off;      ///< fig (b), CC off
+  analysis::Series hotspot_on;       ///< fig (b), CC on
+  analysis::Series improvement;      ///< fig (c), total-throughput ratio on/off
+};
+
+[[nodiscard]] WindyFigure run_windy_figure(const ExperimentPreset& preset, double fraction_b);
+void print_windy_figure(const WindyFigure& figure);
+/// Write the three sub-figures as CSV files with the given path prefix.
+void write_windy_csv(const WindyFigure& figure, const std::string& prefix);
+
+// ---------------------------------------------------------------------------
+// Figures 9-10: moving congestion trees over decreasing hotspot lifetime.
+// ---------------------------------------------------------------------------
+struct MovingCurve {
+  std::string label;
+  analysis::Series off;  ///< avg rcv all nodes, CC off, vs lifetime (ms)
+  analysis::Series on;   ///< avg rcv all nodes, CC on
+};
+
+/// Figure 9: silent trees (B = 0) with moving hotspots, parameterised by
+/// the V-node share (paper: 20% and 60%).
+[[nodiscard]] MovingCurve run_moving_silent(const ExperimentPreset& preset, double fraction_v);
+
+/// Figure 10: pure windy trees (100% B) with moving hotspots, for one p.
+[[nodiscard]] MovingCurve run_moving_windy(const ExperimentPreset& preset, double p);
+
+void print_moving_curve(const MovingCurve& curve);
+void write_moving_csv(const MovingCurve& curve, const std::string& prefix);
+
+}  // namespace ibsim::sim

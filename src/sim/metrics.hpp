@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "fabric/interfaces.hpp"
+
+namespace ibsim::sim {
+
+/// Collects per-node delivery statistics from the HCA sinks: receive
+/// rates (the paper's primary metric), end-to-end packet latency, and a
+/// hotspot / non-hotspot classification supplied by the caller.
+class MetricsCollector final : public fabric::SinkObserver {
+ public:
+  MetricsCollector(std::int32_t n_nodes, double latency_hist_max_us);
+
+  void on_delivered(ib::NodeId node, const ib::Packet& pkt, core::Time now) override;
+
+  /// Start the measurement window (discard everything seen so far).
+  void reset_window(core::Time now);
+
+  /// Mark which nodes count as hotspots for aggregation.
+  void set_hotspots(const std::vector<ib::NodeId>& hotspots);
+
+  [[nodiscard]] core::Time window_start() const { return window_start_; }
+
+  /// Receive rate of one node over the window ending at `now`, Gb/s.
+  [[nodiscard]] double node_gbps(ib::NodeId node, core::Time now) const;
+
+  /// Mean receive rate over a node class, Gb/s.
+  [[nodiscard]] double avg_hotspot_gbps(core::Time now) const;
+  [[nodiscard]] double avg_non_hotspot_gbps(core::Time now) const;
+  [[nodiscard]] double avg_all_gbps(core::Time now) const;
+
+  /// Sum of all nodes' receive rates (the paper's "total network
+  /// throughput"), Gb/s.
+  [[nodiscard]] double total_throughput_gbps(core::Time now) const;
+
+  /// Jain fairness index over the given node class's receive rates.
+  [[nodiscard]] double jain_non_hotspot(core::Time now) const;
+
+  /// Cumulative bytes delivered to each node class since the window
+  /// start (used by the timeline sampler for interval deltas).
+  [[nodiscard]] std::int64_t hotspot_bytes() const;
+  [[nodiscard]] std::int64_t non_hotspot_bytes() const;
+  [[nodiscard]] std::int32_t hotspot_count() const { return n_hotspots_; }
+  [[nodiscard]] std::int32_t node_count() const { return static_cast<std::int32_t>(rx_.size()); }
+
+  [[nodiscard]] const core::Histogram& latency_us() const { return latency_us_; }
+  /// Latency split by receiving-node class: packets arriving at hotspots
+  /// vs at everyone else (victim latency is the HOL-blocking signature).
+  [[nodiscard]] const core::Histogram& hotspot_latency_us() const {
+    return latency_hotspot_us_;
+  }
+  [[nodiscard]] const core::Histogram& non_hotspot_latency_us() const {
+    return latency_non_hotspot_us_;
+  }
+  [[nodiscard]] std::int64_t delivered_bytes() const { return delivered_bytes_; }
+  [[nodiscard]] std::uint64_t delivered_packets() const { return delivered_packets_; }
+
+ private:
+  std::vector<core::RateCounter> rx_;
+  std::vector<bool> hotspot_;
+  std::int32_t n_hotspots_ = 0;
+  core::Histogram latency_us_;
+  core::Histogram latency_hotspot_us_;
+  core::Histogram latency_non_hotspot_us_;
+  core::Time window_start_ = 0;
+  std::int64_t delivered_bytes_ = 0;
+  std::uint64_t delivered_packets_ = 0;
+};
+
+}  // namespace ibsim::sim

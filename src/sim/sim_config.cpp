@@ -1,0 +1,41 @@
+#include "sim/sim_config.hpp"
+
+#include <cstdio>
+
+namespace ibsim::sim {
+
+const char* topology_name(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::SingleSwitch: return "single-switch";
+    case TopologyKind::FoldedClos: return "folded-clos";
+    case TopologyKind::FatTree3: return "fat-tree3";
+    case TopologyKind::LinearChain: return "linear-chain";
+    case TopologyKind::Dumbbell: return "dumbbell";
+    case TopologyKind::Mesh2D: return "mesh2d";
+  }
+  return "?";
+}
+
+std::int32_t SimConfig::node_count() const {
+  switch (topology) {
+    case TopologyKind::SingleSwitch: return single_switch_nodes;
+    case TopologyKind::FoldedClos: return clos.node_count();
+    case TopologyKind::FatTree3: return fat_tree3.node_count();
+    case TopologyKind::LinearChain: return chain_switches * chain_nodes_per_switch;
+    case TopologyKind::Dumbbell: return 2 * dumbbell_nodes_per_side;
+    case TopologyKind::Mesh2D: return mesh_rows * mesh_cols * mesh_nodes_per_switch;
+  }
+  return 0;
+}
+
+std::string SimConfig::describe() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%s (%d nodes), CC %s, %s, sim %s (warmup %s), seed %llu",
+                topology_name(topology), node_count(), cc.enabled ? "on" : "off",
+                scenario.describe().c_str(), core::format_time(sim_time).c_str(),
+                core::format_time(warmup).c_str(),
+                static_cast<unsigned long long>(seed));
+  return buf;
+}
+
+}  // namespace ibsim::sim

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fabric/params.hpp"
+#include "ib/cc_params.hpp"
+#include "topo/builders.hpp"
+#include "traffic/scenario.hpp"
+
+namespace ibsim::sim {
+
+/// Which physical topology to instantiate.
+enum class TopologyKind : std::uint8_t {
+  SingleSwitch,
+  FoldedClos,
+  FatTree3,
+  LinearChain,
+  Dumbbell,
+  Mesh2D,
+};
+
+[[nodiscard]] const char* topology_name(TopologyKind kind);
+
+/// Complete description of one simulation run: topology, fabric
+/// calibration, CC parameters, traffic scenario, and timing.
+struct SimConfig {
+  TopologyKind topology = TopologyKind::FoldedClos;
+  topo::FoldedClosParams clos = topo::FoldedClosParams::sun_dcs_648();
+  topo::FatTree3Params fat_tree3;
+  std::int32_t single_switch_nodes = 8;
+  std::int32_t chain_switches = 4;
+  std::int32_t chain_nodes_per_switch = 2;
+  std::int32_t dumbbell_nodes_per_side = 4;
+  std::int32_t mesh_rows = 4;
+  std::int32_t mesh_cols = 4;
+  std::int32_t mesh_nodes_per_switch = 4;
+
+  fabric::FabricParams fabric;
+  ib::CcParams cc = ib::CcParams::paper_table1();
+  traffic::ScenarioSpec scenario;
+
+  /// Total simulated time and the warm-up prefix excluded from metrics.
+  core::Time sim_time = 2 * core::kMillisecond;
+  core::Time warmup = 500 * core::kMicrosecond;
+
+  std::uint64_t seed = 1;
+
+  /// Latency histogram range (microseconds).
+  double latency_hist_max_us = 20000.0;
+
+  [[nodiscard]] std::int32_t node_count() const;
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace ibsim::sim

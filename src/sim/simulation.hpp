@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "cc/cc_manager.hpp"
+#include "core/scheduler.hpp"
+#include "fabric/fabric.hpp"
+#include "sim/metrics.hpp"
+#include "sim/sim_config.hpp"
+#include "topo/routing.hpp"
+#include "topo/topology.hpp"
+#include "traffic/scenario.hpp"
+
+namespace ibsim::sim {
+
+/// Aggregate outcome of one simulation run — the numbers the paper's
+/// tables and figures are built from.
+struct SimResult {
+  double hotspot_rcv_gbps = 0.0;      ///< avg receive rate of hotspot nodes
+  double non_hotspot_rcv_gbps = 0.0;  ///< avg receive rate of the rest
+  double all_rcv_gbps = 0.0;          ///< avg over every node (figs 9-10)
+  double total_throughput_gbps = 0.0; ///< sum of all receive rates
+  double jain_non_hotspot = 1.0;
+
+  double median_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+
+  std::uint64_t fecn_marked = 0;
+  std::uint64_t cnps_sent = 0;
+  std::uint64_t becn_received = 0;
+  std::int64_t delivered_bytes = 0;
+  std::uint64_t events_executed = 0;
+};
+
+/// One fully assembled simulation: topology, routing, CC, fabric,
+/// scenario, metrics — built from a SimConfig, run once.
+class Simulation {
+ public:
+  explicit Simulation(const SimConfig& config);
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Run warmup + measurement window; returns the collected result.
+  SimResult run();
+
+  // Component access for tests and custom harnesses.
+  [[nodiscard]] core::Scheduler& sched() { return sched_; }
+  [[nodiscard]] fabric::Fabric& fabric() { return *fabric_; }
+  [[nodiscard]] traffic::Scenario& scenario() { return *scenario_; }
+  [[nodiscard]] MetricsCollector& metrics() { return *metrics_; }
+  [[nodiscard]] const topo::Topology& topology() const { return topo_; }
+  [[nodiscard]] const SimConfig& config() const { return config_; }
+
+  /// Compute the result over the current measurement window without
+  /// running further (used by harnesses sampling mid-run).
+  [[nodiscard]] SimResult snapshot() const;
+
+ private:
+  SimConfig config_;
+  core::Scheduler sched_;
+  topo::Topology topo_;
+  topo::RoutingTables routing_;
+  std::unique_ptr<cc::CcManager> ccm_;
+  std::unique_ptr<fabric::Fabric> fabric_;
+  std::unique_ptr<traffic::Scenario> scenario_;
+  std::unique_ptr<MetricsCollector> metrics_;
+  bool ran_ = false;
+};
+
+/// Build, run and summarise in one call.
+[[nodiscard]] SimResult run_sim(const SimConfig& config);
+
+}  // namespace ibsim::sim

@@ -1,0 +1,113 @@
+#include "sim/timeline.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "core/assert.hpp"
+
+namespace ibsim::sim {
+
+namespace {
+constexpr std::uint32_t kSampleEvent = 0x5A11;
+}
+
+TimelineSampler::TimelineSampler(fabric::Fabric* fabric, const MetricsCollector* metrics,
+                                 core::Time interval)
+    : fabric_(fabric), metrics_(metrics), interval_(interval) {
+  IBSIM_ASSERT(interval > 0, "timeline needs a positive sampling interval");
+}
+
+void TimelineSampler::install(core::Scheduler& sched) {
+  IBSIM_ASSERT(!installed_, "timeline installed twice");
+  installed_ = true;
+  last_at_ = sched.now();
+  last_delivered_bytes_ = metrics_->delivered_bytes();
+  last_hotspot_bytes_ = static_cast<double>(metrics_->hotspot_bytes());
+  last_non_hotspot_bytes_ = static_cast<double>(metrics_->non_hotspot_bytes());
+  last_fecn_ = fabric_->total_fecn_marked();
+  last_becn_ = fabric_->total_becn_received();
+  sched.schedule_in(interval_, this, kSampleEvent);
+}
+
+void TimelineSampler::on_event(core::Scheduler& sched, const core::Event& ev) {
+  IBSIM_ASSERT(ev.kind == kSampleEvent, "timeline received an unknown event");
+  const core::Time now = sched.now();
+  const core::Time span = now - last_at_;
+
+  Sample sample;
+  sample.at = now;
+  const std::int64_t delivered = metrics_->delivered_bytes();
+  sample.total_gbps = core::rate_gbps(delivered - last_delivered_bytes_, span);
+
+  const auto hotspot_bytes = static_cast<double>(metrics_->hotspot_bytes());
+  const auto non_hotspot_bytes = static_cast<double>(metrics_->non_hotspot_bytes());
+  const std::int32_t n_hot = metrics_->hotspot_count();
+  const std::int32_t n_cold = metrics_->node_count() - n_hot;
+  if (n_hot > 0) {
+    sample.hotspot_gbps = core::rate_gbps(
+        static_cast<std::int64_t>(hotspot_bytes - last_hotspot_bytes_), span) /
+        n_hot;
+  }
+  if (n_cold > 0) {
+    sample.non_hotspot_gbps = core::rate_gbps(
+        static_cast<std::int64_t>(non_hotspot_bytes - last_non_hotspot_bytes_), span) /
+        n_cold;
+  }
+
+  sample.queued_bytes = fabric_->total_queued_bytes();
+  sample.throttled_flows = fabric_->total_active_cc_flows();
+  const std::int64_t ccti_sum = fabric_->total_ccti_sum();
+  sample.mean_ccti = sample.throttled_flows > 0
+                         ? static_cast<double>(ccti_sum) / sample.throttled_flows
+                         : 0.0;
+  const std::uint64_t fecn = fabric_->total_fecn_marked();
+  const std::uint64_t becn = fabric_->total_becn_received();
+  sample.fecn_marked = fecn - last_fecn_;
+  sample.becn_received = becn - last_becn_;
+  samples_.push_back(sample);
+
+  last_at_ = now;
+  last_delivered_bytes_ = delivered;
+  last_hotspot_bytes_ = hotspot_bytes;
+  last_non_hotspot_bytes_ = non_hotspot_bytes;
+  last_fecn_ = fecn;
+  last_becn_ = becn;
+
+  sched.schedule_in(interval_, this, kSampleEvent);
+}
+
+void TimelineSampler::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  IBSIM_ASSERT(out.good(), "cannot open timeline CSV file");
+  out << "t_us,total_gbps,hotspot_gbps,non_hotspot_gbps,queued_bytes,"
+         "throttled_flows,mean_ccti,fecn_marked,becn_received\n";
+  for (const Sample& s : samples_) {
+    out << static_cast<double>(s.at) / core::kMicrosecond << ',' << s.total_gbps << ','
+        << s.hotspot_gbps << ',' << s.non_hotspot_gbps << ',' << s.queued_bytes << ','
+        << s.throttled_flows << ',' << s.mean_ccti << ',' << s.fecn_marked << ','
+        << s.becn_received << '\n';
+  }
+}
+
+void TimelineSampler::print(std::size_t max_rows) const {
+  std::printf("%10s %10s %10s %10s %12s %9s %9s %8s\n", "t (us)", "total", "hot/node",
+              "cold/node", "queued (KB)", "throttled", "meanCCTI", "FECN");
+  const std::size_t stride = samples_.size() > max_rows ? samples_.size() / max_rows : 1;
+  for (std::size_t i = 0; i < samples_.size(); i += stride) {
+    const Sample& s = samples_[i];
+    std::printf("%10.0f %10.1f %10.2f %10.2f %12.1f %9d %9.1f %8llu\n",
+                static_cast<double>(s.at) / core::kMicrosecond, s.total_gbps,
+                s.hotspot_gbps, s.non_hotspot_gbps,
+                static_cast<double>(s.queued_bytes) / 1024.0, s.throttled_flows,
+                s.mean_ccti, static_cast<unsigned long long>(s.fecn_marked));
+  }
+}
+
+std::int64_t TimelineSampler::peak_queued_bytes() const {
+  std::int64_t peak = 0;
+  for (const Sample& s : samples_) peak = std::max(peak, s.queued_bytes);
+  return peak;
+}
+
+}  // namespace ibsim::sim

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/event.hpp"
+#include "core/scheduler.hpp"
+#include "fabric/fabric.hpp"
+#include "sim/metrics.hpp"
+
+namespace ibsim::sim {
+
+/// Periodic sampler of the fabric's congestion state: a time series of
+/// receive rates, queued bytes (the live size of the congestion trees),
+/// FECN/BECN activity, and the CC throttling mass. This is the
+/// instrument behind the "congestion tree grows, CC prunes it back"
+/// narrative of the paper's section III — it shows the tree's life cycle
+/// rather than just end-of-run averages.
+class TimelineSampler final : public core::EventHandler {
+ public:
+  struct Sample {
+    core::Time at = 0;
+    double total_gbps = 0.0;         ///< fabric receive rate over the interval
+    double hotspot_gbps = 0.0;       ///< avg per hotspot node
+    double non_hotspot_gbps = 0.0;   ///< avg per non-hotspot node
+    std::int64_t queued_bytes = 0;   ///< switch VoQ occupancy fabric-wide
+    std::int32_t throttled_flows = 0;
+    double mean_ccti = 0.0;          ///< mean CCTI over throttled flows
+    std::uint64_t fecn_marked = 0;   ///< marks during the interval
+    std::uint64_t becn_received = 0; ///< BECNs during the interval
+  };
+
+  /// Samples every `interval` once installed. The metrics collector
+  /// provides the delivery counters; the fabric provides queue and CC
+  /// telemetry.
+  TimelineSampler(fabric::Fabric* fabric, const MetricsCollector* metrics,
+                  core::Time interval);
+
+  /// Begin sampling at the current simulation time.
+  void install(core::Scheduler& sched);
+
+  void on_event(core::Scheduler& sched, const core::Event& ev) override;
+
+  [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
+
+  /// Write the series as CSV (one row per sample).
+  void write_csv(const std::string& path) const;
+
+  /// Render a compact text table of the series to stdout.
+  void print(std::size_t max_rows = 40) const;
+
+  /// Largest queued-bytes value seen — the congestion forest's high-water
+  /// mark.
+  [[nodiscard]] std::int64_t peak_queued_bytes() const;
+
+ private:
+  fabric::Fabric* fabric_;
+  const MetricsCollector* metrics_;
+  core::Time interval_;
+  std::vector<Sample> samples_;
+
+  // Previous-counter snapshots for interval deltas.
+  core::Time last_at_ = 0;
+  std::int64_t last_delivered_bytes_ = 0;
+  double last_hotspot_bytes_ = 0.0;
+  double last_non_hotspot_bytes_ = 0.0;
+  std::uint64_t last_fecn_ = 0;
+  std::uint64_t last_becn_ = 0;
+  bool installed_ = false;
+};
+
+}  // namespace ibsim::sim

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+
+#include "topo/topology.hpp"
+
+namespace ibsim::topo {
+
+/// A single crossbar switch with `nodes` HCAs attached — the smallest
+/// fabric that exhibits endpoint congestion (used by unit tests and the
+/// parking-lot example).
+[[nodiscard]] Topology single_switch(std::int32_t nodes);
+
+/// Parameters of a two-tier folded-Clos ("three-stage fat-tree" when the
+/// Clos is unfolded, the paper's terminology).
+struct FoldedClosParams {
+  std::int32_t leaves = 36;          ///< leaf (edge) switches
+  std::int32_t spines = 18;          ///< spine (core) switches
+  std::int32_t nodes_per_leaf = 18;  ///< HCAs below each leaf
+
+  /// The Sun Datacenter InfiniBand Switch 648 fabric used throughout the
+  /// paper: 54 x 36-port crossbars, 648 nodes, non-blocking.
+  [[nodiscard]] static FoldedClosParams sun_dcs_648() { return {36, 18, 18}; }
+
+  /// A proportionally shrunk instance (same 2:1 leaf:spine shape, still
+  /// non-blocking) for fast tests: `scale`=3 gives 6 leaves x 3 spines x
+  /// 3 nodes = 18 nodes.
+  [[nodiscard]] static FoldedClosParams scaled(std::int32_t leaves, std::int32_t spines,
+                                               std::int32_t nodes_per_leaf) {
+    return {leaves, spines, nodes_per_leaf};
+  }
+
+  [[nodiscard]] std::int32_t node_count() const { return leaves * nodes_per_leaf; }
+  [[nodiscard]] std::int32_t switch_count() const { return leaves + spines; }
+  /// Leaf port count: down-links plus one up-link per spine.
+  [[nodiscard]] std::int32_t leaf_ports() const { return nodes_per_leaf + spines; }
+};
+
+/// Build a folded Clos: every leaf connects to every spine with one link.
+/// Leaf ports [0, nodes_per_leaf) go down to HCAs, ports
+/// [nodes_per_leaf, nodes_per_leaf+spines) go up to spines; spine port i
+/// connects to leaf i.
+[[nodiscard]] Topology folded_clos(const FoldedClosParams& params);
+
+/// A chain of `switches` crossbars with `nodes_per_switch` HCAs on each —
+/// the classic "parking lot" scenario from the authors' hardware study
+/// [Gran et al., IPDPS 2010] where flows joining closer to the hotspot
+/// crowd out distant ones without CC.
+[[nodiscard]] Topology linear_chain(std::int32_t switches, std::int32_t nodes_per_switch);
+
+/// Two switches joined by a single bottleneck link with `nodes_per_side`
+/// HCAs on each side; the minimal congestion-spreading fabric.
+[[nodiscard]] Topology dumbbell(std::int32_t nodes_per_side);
+
+/// Parameters of a three-tier (leaf / aggregation / core) fat-tree —
+/// the "three-stage" structure of large InfiniBand installations when
+/// one chassis is not enough. Every leaf connects to every aggregation
+/// switch of its pod; every aggregation switch connects to every core.
+struct FatTree3Params {
+  std::int32_t pods = 4;
+  std::int32_t leaves_per_pod = 2;
+  std::int32_t aggs_per_pod = 2;
+  std::int32_t cores = 4;
+  std::int32_t nodes_per_leaf = 4;
+
+  [[nodiscard]] std::int32_t node_count() const {
+    return pods * leaves_per_pod * nodes_per_leaf;
+  }
+  [[nodiscard]] std::int32_t switch_count() const {
+    return pods * (leaves_per_pod + aggs_per_pod) + cores;
+  }
+};
+
+/// Build the three-tier fat-tree. Switch order: all leaves (pod-major),
+/// then all aggregation switches (pod-major), then the cores. Leaf ports
+/// [0, n) go to HCAs, then one up-port per pod aggregation switch;
+/// aggregation ports [0, leaves_per_pod) go down, then one up-port per
+/// core; core port (pod * aggs_per_pod + a) connects to agg a of pod.
+[[nodiscard]] Topology fat_tree3(const FatTree3Params& params);
+
+/// A rows x cols 2D mesh with `nodes_per_switch` HCAs on every switch —
+/// the topology family the paper's conclusion leaves as an open question
+/// for IB CC. Switch (r, c) is switches()[r * cols + c]; its ports are
+/// [0, n) down to HCAs, then X- , X+ , Y- , Y+ in that order, so
+/// first-port tie-breaking in the routing yields dimension-order (XY)
+/// routing, which is deadlock-free on a mesh.
+[[nodiscard]] Topology mesh2d(std::int32_t rows, std::int32_t cols,
+                              std::int32_t nodes_per_switch);
+
+}  // namespace ibsim::topo

@@ -1,0 +1,94 @@
+#include "topo/routing.hpp"
+
+#include <deque>
+#include <limits>
+
+#include "core/assert.hpp"
+
+namespace ibsim::topo {
+
+RoutingTables RoutingTables::compute(const Topology& topo, TieBreak tie_break) {
+  RoutingTables rt;
+  const std::int32_t n_dev = topo.device_count();
+  const std::int32_t n_nodes = topo.node_count();
+
+  rt.switch_slot_.assign(static_cast<std::size_t>(n_dev), -1);
+  for (std::size_t i = 0; i < topo.switches().size(); ++i) {
+    rt.switch_slot_[static_cast<std::size_t>(topo.switches()[i])] = static_cast<std::int32_t>(i);
+  }
+  rt.lfts_.assign(topo.switches().size(),
+                  std::vector<std::int32_t>(static_cast<std::size_t>(n_nodes), -1));
+
+  constexpr std::int32_t kUnreached = std::numeric_limits<std::int32_t>::max();
+  std::vector<std::int32_t> dist(static_cast<std::size_t>(n_dev));
+
+  for (ib::NodeId dst = 0; dst < n_nodes; ++dst) {
+    std::fill(dist.begin(), dist.end(), kUnreached);
+    std::deque<DeviceId> queue;
+    const DeviceId dst_dev = topo.hca_device(dst);
+    dist[static_cast<std::size_t>(dst_dev)] = 0;
+    queue.push_back(dst_dev);
+    while (!queue.empty()) {
+      const DeviceId dev = queue.front();
+      queue.pop_front();
+      const std::int32_t d = dist[static_cast<std::size_t>(dev)];
+      for (std::int32_t p = 0; p < topo.port_count(dev); ++p) {
+        const PortRef peer = topo.peer(PortRef{dev, p});
+        if (!peer.valid()) continue;
+        auto& pd = dist[static_cast<std::size_t>(peer.device)];
+        if (pd == kUnreached) {
+          pd = d + 1;
+          queue.push_back(peer.device);
+        }
+      }
+    }
+
+    for (std::size_t slot = 0; slot < topo.switches().size(); ++slot) {
+      const DeviceId sw = topo.switches()[slot];
+      const std::int32_t d = dist[static_cast<std::size_t>(sw)];
+      if (d == kUnreached) continue;  // disconnected: leave -1
+      // Candidate ports, in port order, whose peer is one hop closer.
+      std::vector<std::int32_t> candidates;
+      for (std::int32_t p = 0; p < topo.port_count(sw); ++p) {
+        const PortRef peer = topo.peer(PortRef{sw, p});
+        if (!peer.valid()) continue;
+        if (dist[static_cast<std::size_t>(peer.device)] == d - 1) candidates.push_back(p);
+      }
+      IBSIM_ASSERT(!candidates.empty(), "BFS-reachable switch must have a next hop");
+      const std::size_t pick =
+          tie_break == TieBreak::DModK
+              ? static_cast<std::size_t>(dst) % candidates.size()  // d-mod-k spreading
+              : 0;                                                 // lowest port (DOR)
+      rt.lfts_[slot][static_cast<std::size_t>(dst)] = candidates[pick];
+    }
+  }
+  return rt;
+}
+
+std::vector<DeviceId> RoutingTables::trace(const Topology& topo, ib::NodeId src,
+                                           ib::NodeId dst) const {
+  std::vector<DeviceId> path;
+  DeviceId dev = topo.hca_device(src);
+  path.push_back(dev);
+  if (src == dst) return path;
+  // Leave the source HCA through its only port.
+  PortRef hop = topo.peer(PortRef{dev, 0});
+  IBSIM_ASSERT(hop.valid(), "source HCA is not cabled");
+  dev = hop.device;
+  path.push_back(dev);
+  const DeviceId dst_dev = topo.hca_device(dst);
+  std::int32_t guard = topo.device_count() + 2;
+  while (dev != dst_dev) {
+    IBSIM_ASSERT(topo.kind(dev) == DeviceKind::Switch, "route wandered into an HCA");
+    const std::int32_t port = out_port(dev, dst);
+    IBSIM_ASSERT(port >= 0, "destination unreachable from switch");
+    hop = topo.peer(PortRef{dev, port});
+    IBSIM_ASSERT(hop.valid(), "LFT points at an uncabled port");
+    dev = hop.device;
+    path.push_back(dev);
+    IBSIM_ASSERT(--guard > 0, "routing loop detected");
+  }
+  return path;
+}
+
+}  // namespace ibsim::topo

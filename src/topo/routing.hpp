@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ib/types.hpp"
+#include "topo/topology.hpp"
+
+namespace ibsim::topo {
+
+/// Deterministic destination-based routing: one linear forwarding table
+/// (LFT) per switch, mapping destination NodeId to output port — exactly
+/// the "routing using linear forwarding tables" of the paper's model.
+///
+/// Tables are computed with per-destination BFS; among equal-length
+/// next hops a switch picks candidate[dst % candidates], the d-mod-k rule
+/// that yields the standard non-blocking spreading on fat-trees.
+class RoutingTables {
+ public:
+  /// How a switch chooses among equal-length next hops.
+  enum class TieBreak : std::uint8_t {
+    /// candidate[dst %% candidates]: the classic d-mod-k spreading that
+    /// balances fat-tree up-paths (the default).
+    DModK,
+    /// Always the lowest candidate port. With the mesh2d port layout
+    /// (X ports before Y ports) this yields dimension-order (XY)
+    /// routing, which is deadlock-free on meshes.
+    FirstPort,
+  };
+
+  /// Compute LFTs for every switch in `topo`.
+  [[nodiscard]] static RoutingTables compute(const Topology& topo,
+                                             TieBreak tie_break = TieBreak::DModK);
+
+  /// Output port switch `dev` uses towards end node `dst`.
+  [[nodiscard]] std::int32_t out_port(DeviceId dev, ib::NodeId dst) const {
+    return lfts_[static_cast<std::size_t>(switch_slot_[static_cast<std::size_t>(dev)])]
+                [static_cast<std::size_t>(dst)];
+  }
+
+  /// Follow the tables from `src` to `dst`; returns the sequence of
+  /// devices visited (starting with src's device, ending with dst's).
+  /// Used by tests and topology debugging.
+  [[nodiscard]] std::vector<DeviceId> trace(const Topology& topo, ib::NodeId src,
+                                            ib::NodeId dst) const;
+
+  /// Hop count (number of links traversed) from `src` to `dst`.
+  [[nodiscard]] std::int32_t hops(const Topology& topo, ib::NodeId src, ib::NodeId dst) const {
+    return static_cast<std::int32_t>(trace(topo, src, dst).size()) - 1;
+  }
+
+ private:
+  std::vector<std::int32_t> switch_slot_;          // DeviceId -> dense switch index
+  std::vector<std::vector<std::int32_t>> lfts_;    // [switch slot][dst] -> port
+};
+
+}  // namespace ibsim::topo

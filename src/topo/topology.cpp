@@ -1,0 +1,65 @@
+#include "topo/topology.hpp"
+
+#include "core/assert.hpp"
+
+namespace ibsim::topo {
+
+DeviceId Topology::add_switch(std::int32_t ports, std::string name) {
+  IBSIM_ASSERT(ports > 0, "switch needs at least one port");
+  const auto id = static_cast<DeviceId>(devices_.size());
+  if (name.empty()) name = "sw" + std::to_string(switches_.size());
+  devices_.push_back(Device{DeviceKind::Switch, ports, std::move(name),
+                            static_cast<std::int32_t>(port_peers_.size()), ib::kInvalidNode});
+  port_peers_.resize(port_peers_.size() + static_cast<std::size_t>(ports));
+  switches_.push_back(id);
+  return id;
+}
+
+DeviceId Topology::add_hca(std::string name) {
+  const auto id = static_cast<DeviceId>(devices_.size());
+  const auto node = static_cast<ib::NodeId>(hcas_.size());
+  if (name.empty()) name = "hca" + std::to_string(node);
+  devices_.push_back(Device{DeviceKind::Hca, 1, std::move(name),
+                            static_cast<std::int32_t>(port_peers_.size()), node});
+  port_peers_.resize(port_peers_.size() + 1);
+  hcas_.push_back(id);
+  return id;
+}
+
+std::size_t Topology::port_slot(PortRef p) const {
+  IBSIM_ASSERT(p.device >= 0 && p.device < device_count(), "device out of range");
+  const Device& dev = devices_[static_cast<std::size_t>(p.device)];
+  IBSIM_ASSERT(p.port >= 0 && p.port < dev.ports, "port out of range");
+  return static_cast<std::size_t>(dev.first_port + p.port);
+}
+
+void Topology::connect(PortRef a, PortRef b) {
+  IBSIM_ASSERT(a.device != b.device, "self-links are not allowed");
+  const std::size_t sa = port_slot(a);
+  const std::size_t sb = port_slot(b);
+  IBSIM_ASSERT(!port_peers_[sa].valid(), "port already cabled");
+  IBSIM_ASSERT(!port_peers_[sb].valid(), "port already cabled");
+  port_peers_[sa] = b;
+  port_peers_[sb] = a;
+}
+
+PortRef Topology::peer(PortRef p) const { return port_peers_[port_slot(p)]; }
+
+ib::NodeId Topology::node_of(DeviceId dev) const {
+  const Device& d = devices_[static_cast<std::size_t>(dev)];
+  IBSIM_ASSERT(d.kind == DeviceKind::Hca, "node_of called on a switch");
+  return d.node;
+}
+
+std::string Topology::validate() const {
+  for (DeviceId dev = 0; dev < device_count(); ++dev) {
+    const Device& d = devices_[static_cast<std::size_t>(dev)];
+    if (d.kind == DeviceKind::Hca && !peer(PortRef{dev, 0}).valid()) {
+      return "HCA '" + d.name + "' is not cabled";
+    }
+  }
+  if (hcas_.empty()) return "topology has no end nodes";
+  return {};
+}
+
+}  // namespace ibsim::topo

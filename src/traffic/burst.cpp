@@ -1,0 +1,75 @@
+#include "traffic/burst.hpp"
+
+#include "core/assert.hpp"
+
+namespace ibsim::traffic {
+
+BurstGenerator::BurstGenerator(ib::NodeId self, std::int32_t n_nodes,
+                               const BurstParams& params, const cc::FlowGate* gate,
+                               ib::PacketPool* pool, core::Rng rng)
+    : self_(self),
+      params_(params),
+      gate_(gate),
+      pool_(pool),
+      rng_(rng),
+      uniform_(self, n_nodes) {
+  IBSIM_ASSERT(params_.mean_on > 0 && params_.mean_off >= 0, "burst phases must be positive");
+  IBSIM_ASSERT(params_.rate_gbps > 0.0, "burst rate must be positive");
+  IBSIM_ASSERT(!params_.fixed_destination || params_.destination != ib::kInvalidNode,
+               "fixed-destination bursts need a destination");
+  // Start in an OFF phase so sources desynchronise by seed.
+  on_ = false;
+  phase_end_ = params_.mean_off > 0 ? draw_exponential(params_.mean_off) : 0;
+  current_dst_ = params_.fixed_destination ? params_.destination : uniform_.draw(rng_);
+}
+
+core::Time BurstGenerator::draw_exponential(core::Time mean) {
+  // Inverse-CDF with the draw bounded away from 0 and 1; at least 1 ps.
+  const double u = rng_.next_double();
+  const double x = -static_cast<double>(mean) * std::log(1.0 - u * 0.999999);
+  return x < 1.0 ? 1 : static_cast<core::Time>(x);
+}
+
+void BurstGenerator::advance_phases(core::Time now) {
+  while (phase_end_ <= now) {
+    on_ = !on_;
+    if (on_) {
+      ++bursts_;
+      next_send_ = phase_end_;  // burst starts where the OFF phase ended
+      if (!params_.fixed_destination && params_.new_destination_per_burst) {
+        current_dst_ = uniform_.draw(rng_);
+      }
+      const core::Time duration = draw_exponential(params_.mean_on);
+      on_time_ += duration;  // credited when the phase is scheduled
+      phase_end_ += duration;
+    } else {
+      phase_end_ += params_.mean_off > 0 ? draw_exponential(params_.mean_off) : 1;
+    }
+  }
+}
+
+fabric::TrafficSource::Poll BurstGenerator::poll(core::Time now) {
+  advance_phases(now);
+  if (!on_) return {nullptr, phase_end_};
+
+  core::Time ready = next_send_;
+  const core::Time flow_ready = gate_ != nullptr ? gate_->flow_ready_at(current_dst_) : 0;
+  if (flow_ready > ready) ready = flow_ready;
+  if (ready > now) {
+    // Wake at the earlier of "next packet slot" and "phase end" (the
+    // burst may end before the throttle clears).
+    return {nullptr, ready < phase_end_ ? ready : phase_end_};
+  }
+
+  ib::Packet* pkt = pool_->allocate();
+  pkt->src = self_;
+  pkt->dst = current_dst_;
+  pkt->bytes = params_.packet_bytes;
+  pkt->vl = ib::kDataVl;
+  pkt->injected_at = now;
+  bytes_sent_ += pkt->bytes;
+  next_send_ = now + core::transmit_time(pkt->bytes, params_.rate_gbps);
+  return {pkt, core::kTimeNever};
+}
+
+}  // namespace ibsim::traffic

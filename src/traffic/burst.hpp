@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "cc/ca_cc.hpp"
+#include "core/rng.hpp"
+#include "fabric/interfaces.hpp"
+#include "ib/packet.hpp"
+#include "traffic/destination.hpp"
+
+namespace ibsim::traffic {
+
+/// Parameters of an on/off burst source. Phase lengths are drawn from
+/// exponential distributions, the classic bursty-traffic model; the duty
+/// cycle is mean_on / (mean_on + mean_off).
+struct BurstParams {
+  core::Time mean_on = 100 * core::kMicrosecond;
+  core::Time mean_off = 300 * core::kMicrosecond;
+  double rate_gbps = 13.5;           ///< injection rate while ON
+  std::int32_t packet_bytes = ib::kMtuBytes;
+  bool fixed_destination = false;    ///< all bursts to one node vs uniform
+  ib::NodeId destination = ib::kInvalidNode;  ///< used when fixed
+  bool new_destination_per_burst = true;      ///< uniform: redraw per burst
+};
+
+/// On/off bursty traffic source — "network burstiness" is one of the
+/// congestion causes the paper's introduction lists. During an ON phase
+/// the source streams packets at `rate_gbps` towards its current
+/// destination (respecting the CC throttle); during OFF it is silent.
+class BurstGenerator final : public fabric::TrafficSource {
+ public:
+  /// `gate` may be null (CC disabled).
+  BurstGenerator(ib::NodeId self, std::int32_t n_nodes, const BurstParams& params,
+                 const cc::FlowGate* gate, ib::PacketPool* pool, core::Rng rng);
+
+  [[nodiscard]] Poll poll(core::Time now) override;
+
+  [[nodiscard]] std::int64_t bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] std::int64_t bursts_started() const { return bursts_; }
+  /// Simulated time this source has spent in ON phases up to the last
+  /// phase transition processed.
+  [[nodiscard]] core::Time on_time() const { return on_time_; }
+
+ private:
+  void advance_phases(core::Time now);
+  [[nodiscard]] core::Time draw_exponential(core::Time mean);
+
+  ib::NodeId self_;
+  BurstParams params_;
+  const cc::FlowGate* gate_;
+  ib::PacketPool* pool_;
+  core::Rng rng_;
+  UniformDestination uniform_;
+
+  bool on_ = false;
+  core::Time phase_end_ = 0;
+  core::Time next_send_ = 0;
+  ib::NodeId current_dst_ = ib::kInvalidNode;
+  std::int64_t bytes_sent_ = 0;
+  std::int64_t bursts_ = 0;
+  core::Time on_time_ = 0;
+};
+
+}  // namespace ibsim::traffic

@@ -1,0 +1,20 @@
+#include "traffic/destination.hpp"
+
+#include "core/assert.hpp"
+
+namespace ibsim::traffic {
+
+UniformDestination::UniformDestination(ib::NodeId self, std::int32_t n_nodes)
+    : self_(self), n_nodes_(n_nodes) {
+  IBSIM_ASSERT(n_nodes >= 2, "uniform destination needs at least two nodes");
+}
+
+ib::NodeId UniformDestination::draw(core::Rng& rng) {
+  // Draw over n-1 slots and skip self, so every other node is equally
+  // likely without rejection sampling.
+  auto pick = static_cast<ib::NodeId>(rng.next_below(static_cast<std::uint64_t>(n_nodes_ - 1)));
+  if (pick >= self_) ++pick;
+  return pick;
+}
+
+}  // namespace ibsim::traffic

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "cc/ca_cc.hpp"
+#include "core/rng.hpp"
+#include "fabric/interfaces.hpp"
+#include "ib/packet.hpp"
+#include "traffic/destination.hpp"
+#include "traffic/hotspot_schedule.hpp"
+
+namespace ibsim::traffic {
+
+/// Parameters of a B-node traffic generator (paper section III-B and
+/// Frame I). C nodes are B nodes with p = 1, V nodes B nodes with p = 0,
+/// so this single generator covers every role in the paper.
+struct BNodeParams {
+  double p = 0.5;             ///< fraction of capacity destined for the hotspot
+  double capacity_gbps = 13.5;///< injection capacity the p-budgets refer to
+  std::int32_t message_bytes = ib::kMessageBytes;
+  std::int32_t packet_bytes = ib::kMtuBytes;
+};
+
+/// Saturating two-stream generator implementing Frame I's semantics:
+///
+///  * the hotspot stream may have sent at most p x capacity x t bytes by
+///    any time t, the uniform stream at most (1-p) x capacity x t;
+///  * the two streams are independent: a hotspot flow held back by the
+///    CC throttle never blocks uniform traffic, and uniform traffic never
+///    exceeds its own share to "help out" — the link idles instead;
+///  * messages are 2 MTU packets to one destination, sent back-to-back
+///    when flow control and the CC injection-rate delay allow;
+///  * when both streams are ready the one further behind its share goes
+///    first (deficit order), reproducing Frame I's interleaving.
+class BNodeGenerator final : public fabric::TrafficSource {
+ public:
+  /// `gate` may be null (CC disabled). `hotspot` may be null when p == 0.
+  BNodeGenerator(ib::NodeId self, std::int32_t n_nodes, const BNodeParams& params,
+                 const HotspotProvider* hotspot, const cc::FlowGate* gate,
+                 ib::PacketPool* pool, core::Rng rng);
+
+  [[nodiscard]] Poll poll(core::Time now) override;
+
+  // Budget accounting, exposed for the Frame I property tests.
+  [[nodiscard]] std::int64_t hotspot_bytes_sent() const { return streams_[0].sent_bytes; }
+  [[nodiscard]] std::int64_t uniform_bytes_sent() const { return streams_[1].sent_bytes; }
+  [[nodiscard]] ib::NodeId node() const { return self_; }
+  [[nodiscard]] const BNodeParams& params() const { return params_; }
+
+ private:
+  struct Message {
+    ib::NodeId dst = ib::kInvalidNode;
+    std::int32_t packets = 0;
+    std::uint32_t seq = 0;
+  };
+
+  struct Stream {
+    double share = 0.0;            ///< fraction of capacity this stream may use
+    bool to_hotspot = false;
+    std::int64_t sent_bytes = 0;
+    Message pending;               ///< the open message, if packets > 0
+    /// Messages whose flow is CC-throttled, parked so they do not HOL
+    /// block the stream (per-QP queueing: a throttled QP never blocks
+    /// other QPs of the same port). Re-polled before new draws.
+    std::vector<Message> deferred;
+    std::uint32_t msg_seq = 0;
+  };
+
+  /// Earliest time `stream` may inject its next packet (budget + IRD),
+  /// opening a new message if none is pending.
+  [[nodiscard]] core::Time stream_ready_at(Stream& stream, core::Time now);
+  [[nodiscard]] ib::Packet* emit(Stream& stream, core::Time now);
+
+  ib::NodeId self_;
+  BNodeParams params_;
+  const HotspotProvider* hotspot_;
+  const cc::FlowGate* gate_;
+  ib::PacketPool* pool_;
+  core::Rng rng_;
+  UniformDestination uniform_;
+  Stream streams_[2];  ///< [0] hotspot, [1] uniform
+};
+
+}  // namespace ibsim::traffic

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/event.hpp"
+#include "core/rng.hpp"
+#include "core/scheduler.hpp"
+#include "ib/types.hpp"
+
+namespace ibsim::traffic {
+
+/// Where a contributor subset should currently send its hotspot traffic.
+class HotspotProvider {
+ public:
+  virtual ~HotspotProvider() = default;
+  [[nodiscard]] virtual ib::NodeId current_hotspot() const = 0;
+};
+
+/// The set of hotspots in the network and, for moving scenarios, their
+/// relocation over time (paper section V-C): every `lifetime`, all
+/// hotspots are re-drawn as random distinct end nodes, which tears one
+/// congestion-tree forest down and grows another somewhere else.
+///
+/// A `lifetime` of core::kTimeNever keeps the hotspots static (the silent
+/// and windy scenarios of sections V-A and V-B).
+class HotspotSchedule final : public core::EventHandler {
+ public:
+  HotspotSchedule(std::int32_t n_nodes, std::int32_t n_hotspots, core::Time lifetime,
+                  core::Rng rng);
+
+  /// Draw the initial hotspot set and, if moving, schedule relocations.
+  void install(core::Scheduler& sched);
+
+  void on_event(core::Scheduler& sched, const core::Event& ev) override;
+
+  [[nodiscard]] ib::NodeId hotspot(std::int32_t subset) const {
+    return hotspots_[static_cast<std::size_t>(subset)];
+  }
+  [[nodiscard]] const std::vector<ib::NodeId>& hotspots() const { return hotspots_; }
+  [[nodiscard]] bool is_hotspot(ib::NodeId node) const {
+    return is_hotspot_[static_cast<std::size_t>(node)];
+  }
+  [[nodiscard]] std::int32_t n_hotspots() const {
+    return static_cast<std::int32_t>(hotspots_.size());
+  }
+  [[nodiscard]] bool moving() const { return lifetime_ != core::kTimeNever; }
+  [[nodiscard]] core::Time lifetime() const { return lifetime_; }
+  [[nodiscard]] std::int32_t moves() const { return moves_; }
+
+ private:
+  void redraw();
+
+  std::int32_t n_nodes_;
+  core::Time lifetime_;
+  core::Rng rng_;
+  std::vector<ib::NodeId> hotspots_;
+  std::vector<bool> is_hotspot_;
+  std::int32_t moves_ = 0;
+};
+
+/// HotspotProvider view of one subset of a schedule.
+class ScheduleHotspot final : public HotspotProvider {
+ public:
+  ScheduleHotspot(const HotspotSchedule* schedule, std::int32_t subset)
+      : schedule_(schedule), subset_(subset) {}
+  [[nodiscard]] ib::NodeId current_hotspot() const override {
+    return schedule_->hotspot(subset_);
+  }
+
+ private:
+  const HotspotSchedule* schedule_;
+  std::int32_t subset_;
+};
+
+/// Fixed single hotspot (tests, minimal examples).
+class FixedHotspot final : public HotspotProvider {
+ public:
+  explicit FixedHotspot(ib::NodeId dst) : dst_(dst) {}
+  [[nodiscard]] ib::NodeId current_hotspot() const override { return dst_; }
+
+ private:
+  ib::NodeId dst_;
+};
+
+}  // namespace ibsim::traffic

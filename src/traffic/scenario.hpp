@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/scheduler.hpp"
+#include "fabric/fabric.hpp"
+#include "traffic/generator.hpp"
+#include "traffic/hotspot_schedule.hpp"
+
+namespace ibsim::traffic {
+
+/// Node roles from the paper's congestion-tree taxonomy (section III):
+/// C nodes send everything to their subset's hotspot, V nodes send
+/// uniformly, B nodes split p / (1-p) between the two.
+enum class NodeRole : std::uint8_t { B, C, V };
+
+[[nodiscard]] const char* role_name(NodeRole role);
+
+/// Declarative description of a traffic scenario, matching the knobs the
+/// paper's evaluation sweeps.
+struct ScenarioSpec {
+  /// Fraction of all nodes that are B nodes (the "x%" of section V-B).
+  double fraction_b = 0.0;
+  /// Hotspot share of a B node's traffic (the "p" axis), as a fraction.
+  double p = 0.5;
+  /// Of the nodes that are not B: fraction that are C (paper: 80% C,
+  /// 20% V).
+  double fraction_c_of_rest = 0.8;
+  /// Number of hotspots; contributors (B and C) are split evenly into
+  /// this many subsets.
+  std::int32_t n_hotspots = 8;
+  /// Hotspot lifetime; kTimeNever = static hotspots.
+  core::Time hotspot_lifetime = core::kTimeNever;
+  /// Table II's baseline rows disable the C nodes entirely ("before
+  /// enabling the C nodes").
+  bool c_nodes_active = true;
+  /// Injection capacity the p-budgets are computed against.
+  double capacity_gbps = 13.5;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// A fully instantiated scenario: role assignment, hotspot schedule, and
+/// one generator per sending node, wired onto a fabric.
+class Scenario {
+ public:
+  /// Build role assignment and generators for `n_nodes` end nodes.
+  Scenario(std::int32_t n_nodes, const ScenarioSpec& spec, core::Rng rng);
+
+  /// Attach generators to the fabric's HCAs and the schedule to the
+  /// scheduler. Call once, before the simulation starts.
+  void install(fabric::Fabric& fabric, core::Scheduler& sched);
+
+  [[nodiscard]] NodeRole role(ib::NodeId node) const {
+    return roles_[static_cast<std::size_t>(node)];
+  }
+  [[nodiscard]] const HotspotSchedule& schedule() const { return *schedule_; }
+  [[nodiscard]] bool is_hotspot(ib::NodeId node) const { return schedule_->is_hotspot(node); }
+  [[nodiscard]] std::int32_t count(NodeRole role) const;
+  [[nodiscard]] const std::vector<BNodeGenerator*>& generators() const { return gen_ptrs_; }
+
+ private:
+  std::int32_t n_nodes_;
+  ScenarioSpec spec_;
+  std::vector<NodeRole> roles_;
+  std::unique_ptr<HotspotSchedule> schedule_;
+  std::vector<std::unique_ptr<ScheduleHotspot>> providers_;  // one per subset
+  std::vector<std::unique_ptr<BNodeGenerator>> generators_;
+  std::vector<BNodeGenerator*> gen_ptrs_;
+  std::vector<std::int32_t> subset_of_node_;
+  core::Rng rng_;
+  bool installed_ = false;
+};
+
+}  // namespace ibsim::traffic

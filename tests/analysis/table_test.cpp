@@ -1,0 +1,75 @@
+#include "analysis/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ibsim::analysis {
+namespace {
+
+TEST(Fmt, Precision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 3), "2.000");
+  EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+TEST(TextTable, RendersHeadersAndRows) {
+  TextTable t({"Metric", "Value"});
+  t.add_row({"throughput", "13.5"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Metric"), std::string::npos);
+  EXPECT_NE(out.find("Value"), std::string::npos);
+  EXPECT_NE(out.find("throughput"), std::string::npos);
+  EXPECT_NE(out.find("13.5"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAlign) {
+  TextTable t({"A", "B"});
+  t.add_row({"short", "1"});
+  t.add_row({"much-longer-label", "2"});
+  const std::string out = t.render();
+  // Both value cells start at the same column.
+  const auto line_with = [&](const std::string& needle) {
+    const auto pos = out.find(needle);
+    const auto line_start = out.rfind('\n', pos) + 1;
+    return out.substr(line_start, out.find('\n', pos) - line_start);
+  };
+  const std::string l1 = line_with("short");
+  const std::string l2 = line_with("much-longer-label");
+  EXPECT_EQ(l1.find(" 1"), l2.find(" 2"));
+}
+
+TEST(TextTable, KvHelperFormats) {
+  TextTable t({"Metric", "Gbps"});
+  t.add_kv("rate", 13.6012, 3);
+  EXPECT_NE(t.render().find("13.601"), std::string::npos);
+}
+
+TEST(TextTable, SectionsRenderAsBanners) {
+  TextTable t({"Metric", "Gbps"});
+  t.add_section("Hotspots, no CC");
+  t.add_kv("rate", 1.0);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("-- Hotspots, no CC"), std::string::npos);
+}
+
+TEST(TextTable, CsvRendering) {
+  TextTable t({"Metric", "Gbps"});
+  t.add_section("part 1");
+  t.add_row({"rate", "2.5"});
+  const std::string csv = t.render_csv();
+  EXPECT_NE(csv.find("Metric,Gbps\n"), std::string::npos);
+  EXPECT_NE(csv.find("# part 1\n"), std::string::npos);
+  EXPECT_NE(csv.find("rate,2.5\n"), std::string::npos);
+}
+
+TEST(TextTableDeath, RowWidthChecked) {
+  TextTable t({"A", "B"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "width");
+}
+
+TEST(TextTableDeath, KvNeedsTwoColumns) {
+  TextTable t({"A", "B", "C"});
+  EXPECT_DEATH(t.add_kv("x", 1.0), "two-column");
+}
+
+}  // namespace
+}  // namespace ibsim::analysis

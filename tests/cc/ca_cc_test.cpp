@@ -1,0 +1,169 @@
+#include "cc/ca_cc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ib/types.hpp"
+
+namespace ibsim::cc {
+namespace {
+
+class RecordingCnpSender : public CnpSender {
+ public:
+  void send_cnp(ib::NodeId to, ib::NodeId flow_dst) override {
+    sent.push_back({to, flow_dst});
+  }
+  std::vector<std::pair<ib::NodeId, ib::NodeId>> sent;
+};
+
+class CaCcTest : public ::testing::Test {
+ protected:
+  CaCcTest()
+      : params_(ib::CcParams::paper_table1()), cct_(128, 13.5) {
+    cct_.populate_linear();
+  }
+
+  CaCcAgent make_agent(const ib::CcParams& params) {
+    return CaCcAgent(/*self=*/0, /*n_nodes=*/8, params, &cct_, &sched_, &sender_);
+  }
+
+  ib::CcParams params_;
+  ib::CongestionControlTable cct_;
+  core::Scheduler sched_;
+  RecordingCnpSender sender_;
+};
+
+TEST_F(CaCcTest, FlowsStartUnthrottled) {
+  CaCcAgent agent = make_agent(params_);
+  for (ib::NodeId d = 0; d < 8; ++d) {
+    EXPECT_EQ(agent.ccti(d), 0);
+    EXPECT_EQ(agent.flow_ready_at(d), 0);
+  }
+}
+
+TEST_F(CaCcTest, BecnIncreasesCcti) {
+  CaCcAgent agent = make_agent(params_);
+  agent.on_becn(3, 0);
+  EXPECT_EQ(agent.ccti(3), 1);
+  EXPECT_EQ(agent.ccti(2), 0);  // QP level: other flows untouched
+  agent.on_becn(3, 0);
+  EXPECT_EQ(agent.ccti(3), 2);
+  EXPECT_EQ(agent.becn_received(), 2u);
+}
+
+TEST_F(CaCcTest, CctiClampsAtLimit) {
+  CaCcAgent agent = make_agent(params_);
+  for (int i = 0; i < 500; ++i) agent.on_becn(1, 0);
+  EXPECT_EQ(agent.ccti(1), params_.ccti_limit);
+}
+
+TEST_F(CaCcTest, IncreaseParameterApplies) {
+  ib::CcParams p = params_;
+  p.ccti_increase = 5;
+  CaCcAgent agent = make_agent(p);
+  agent.on_becn(2, 0);
+  EXPECT_EQ(agent.ccti(2), 5);
+}
+
+TEST_F(CaCcTest, IrdDelaysNextPacket) {
+  CaCcAgent agent = make_agent(params_);
+  agent.on_becn(4, 0);  // ccti = 1 -> IRD = 1 packet time
+  agent.on_data_granted(4, ib::kMtuBytes, /*end=*/1000000);
+  const core::Time pkt_time = core::transmit_time(ib::kMtuBytes, 13.5);
+  EXPECT_EQ(agent.flow_ready_at(4), 1000000 + pkt_time);
+}
+
+TEST_F(CaCcTest, UnthrottledFlowReadyAtGrantEnd) {
+  CaCcAgent agent = make_agent(params_);
+  agent.on_data_granted(4, ib::kMtuBytes, 777);
+  EXPECT_EQ(agent.flow_ready_at(4), 777);
+}
+
+TEST_F(CaCcTest, TimerDecrementsAllThrottledFlows) {
+  CaCcAgent agent = make_agent(params_);
+  agent.on_becn(1, sched_.now());
+  agent.on_becn(1, sched_.now());
+  agent.on_becn(5, sched_.now());
+  EXPECT_TRUE(agent.timer_armed());
+  sched_.run_until(params_.timer_interval());
+  EXPECT_EQ(agent.ccti(1), 1);
+  EXPECT_EQ(agent.ccti(5), 0);
+  EXPECT_EQ(agent.timer_expirations(), 1u);
+}
+
+TEST_F(CaCcTest, TimerChainStopsWhenAllFlowsRecover) {
+  CaCcAgent agent = make_agent(params_);
+  agent.on_becn(1, sched_.now());
+  sched_.run();  // drains all timer events
+  EXPECT_EQ(agent.ccti(1), 0);
+  EXPECT_FALSE(agent.timer_armed());
+  // Two expirations: one decrements to zero, none needed after.
+  EXPECT_EQ(agent.timer_expirations(), 1u);
+  EXPECT_EQ(sched_.pending(), 0u);
+}
+
+TEST_F(CaCcTest, TimerRearmsOnNewBecn) {
+  CaCcAgent agent = make_agent(params_);
+  agent.on_becn(1, sched_.now());
+  sched_.run();
+  EXPECT_FALSE(agent.timer_armed());
+  agent.on_becn(2, sched_.now());
+  EXPECT_TRUE(agent.timer_armed());
+}
+
+TEST_F(CaCcTest, CctiMinIsFloor) {
+  ib::CcParams p = params_;
+  p.ccti_min = 3;
+  CaCcAgent agent = make_agent(p);
+  for (int i = 0; i < 10; ++i) agent.on_becn(1, sched_.now());
+  EXPECT_EQ(agent.ccti(1), 10);
+  sched_.run_until(20 * p.timer_interval());
+  EXPECT_EQ(agent.ccti(1), 3);  // never below the floor
+}
+
+TEST_F(CaCcTest, FecnTriggersCnpToSource) {
+  CaCcAgent agent = make_agent(params_);
+  agent.on_fecn(6);
+  ASSERT_EQ(sender_.sent.size(), 1u);
+  EXPECT_EQ(sender_.sent[0].first, 6);   // back to the data source
+  EXPECT_EQ(sender_.sent[0].second, 0);  // flow reference: this node
+  EXPECT_EQ(agent.cnps_sent(), 1u);
+}
+
+TEST_F(CaCcTest, DisabledAgentIgnoresEverything) {
+  ib::CcParams p = ib::CcParams::disabled();
+  CaCcAgent agent(0, 8, p, nullptr, &sched_, &sender_);
+  agent.on_becn(1, 0);
+  agent.on_fecn(2);
+  agent.on_data_granted(1, ib::kMtuBytes, 999);
+  EXPECT_EQ(agent.ccti(1), 0);
+  EXPECT_EQ(agent.flow_ready_at(1), 0);
+  EXPECT_TRUE(sender_.sent.empty());
+}
+
+TEST_F(CaCcTest, SlLevelSharesOneStateAcrossFlows) {
+  ib::CcParams p = params_;
+  p.sl_level = true;
+  CaCcAgent agent = make_agent(p);
+  agent.on_becn(1, 0);
+  agent.on_becn(2, 0);
+  // One BECN for any flow throttles every destination of the port.
+  EXPECT_EQ(agent.ccti(1), 2);
+  EXPECT_EQ(agent.ccti(5), 2);
+  agent.on_data_granted(3, ib::kMtuBytes, 500000);
+  EXPECT_GT(agent.flow_ready_at(7), 500000);
+}
+
+TEST_F(CaCcTest, ManyBecnsThenFullRecovery) {
+  CaCcAgent agent = make_agent(params_);
+  for (int i = 0; i < 40; ++i) agent.on_becn(2, sched_.now());
+  EXPECT_EQ(agent.ccti(2), 40);
+  sched_.run();  // timer chain runs to full recovery
+  EXPECT_EQ(agent.ccti(2), 0);
+  EXPECT_EQ(agent.timer_expirations(), 40u);
+  EXPECT_FALSE(agent.timer_armed());
+}
+
+}  // namespace
+}  // namespace ibsim::cc

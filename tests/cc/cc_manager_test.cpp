@@ -1,0 +1,63 @@
+#include "cc/cc_manager.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ibsim::cc {
+namespace {
+
+TEST(CcManager, BuildsGeometricCctOverLimit) {
+  CcManager mgr(ib::CcParams::paper_table1(), 128, 13.5);
+  EXPECT_TRUE(mgr.enabled());
+  EXPECT_EQ(mgr.cct().size(), 128u);
+  // Geometric fill: gentle first step (~5% slowdown), deep final step
+  // (beyond the ~64x a 65-contributor hotspot needs).
+  EXPECT_GT(mgr.cct().rate_fraction(1), 0.9);
+  EXPECT_LT(mgr.cct().rate_fraction(127), 1.0 / 128.0);
+  // Monotone non-increasing rates.
+  for (std::size_t i = 1; i < 128; ++i) {
+    EXPECT_LE(mgr.cct().rate_fraction(i), mgr.cct().rate_fraction(i - 1) + 1e-12);
+  }
+}
+
+TEST(CcManager, ThresholdBytesFromWeight) {
+  ib::CcParams p = ib::CcParams::paper_table1();
+  p.threshold_weight = 15;
+  CcManager mgr(p);
+  EXPECT_EQ(mgr.threshold_bytes(32 * 1024), 2048);  // 1/16 of the buffer
+  p.threshold_weight = 8;
+  CcManager mid(p);
+  EXPECT_EQ(mid.threshold_bytes(32 * 1024), 16 * 1024);  // 8/16
+}
+
+TEST(CcManager, WeightZeroIsUnreachable) {
+  ib::CcParams p = ib::CcParams::paper_table1();
+  p.threshold_weight = 0;
+  CcManager mgr(p);
+  EXPECT_EQ(mgr.threshold_bytes(32 * 1024), INT64_MAX);
+}
+
+TEST(CcManager, ThresholdNeverBelowOneByte) {
+  ib::CcParams p = ib::CcParams::paper_table1();
+  CcManager mgr(p);
+  EXPECT_GE(mgr.threshold_bytes(4), 1);
+}
+
+TEST(CcManager, DisabledStillConstructs) {
+  CcManager mgr(ib::CcParams::disabled());
+  EXPECT_FALSE(mgr.enabled());
+}
+
+TEST(CcManagerDeath, CctMustCoverLimit) {
+  ib::CcParams p = ib::CcParams::paper_table1();
+  p.ccti_limit = 200;
+  EXPECT_DEATH(CcManager(p, 128, 13.5), "cover");
+}
+
+TEST(CcManagerDeath, InvalidParamsAbort) {
+  ib::CcParams p = ib::CcParams::paper_table1();
+  p.threshold_weight = 99;
+  EXPECT_DEATH(CcManager mgr(p), "threshold_weight");
+}
+
+}  // namespace
+}  // namespace ibsim::cc

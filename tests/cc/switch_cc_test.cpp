@@ -1,0 +1,138 @@
+#include "cc/switch_cc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ibsim::cc {
+namespace {
+
+ib::CcParams params_with(std::uint8_t weight, std::uint16_t marking_rate = 0,
+                         std::uint16_t packet_size = 0) {
+  ib::CcParams p = ib::CcParams::paper_table1();
+  p.threshold_weight = weight;
+  p.marking_rate = marking_rate;
+  p.packet_size = packet_size;
+  return p;
+}
+
+TEST(SwitchPortCc, TracksQueuedBytes) {
+  SwitchPortCc cc;
+  cc.configure(params_with(15), 4096, false);
+  cc.on_enqueue(2048);
+  cc.on_enqueue(2048);
+  EXPECT_EQ(cc.queued_bytes(), 4096);
+  cc.on_dequeue(2048);
+  EXPECT_EQ(cc.queued_bytes(), 2048);
+}
+
+TEST(SwitchPortCc, ThresholdCrossingIsStrict) {
+  SwitchPortCc cc;
+  cc.configure(params_with(15), 4096, false);
+  cc.on_enqueue(2048);
+  EXPECT_FALSE(cc.threshold_exceeded());
+  cc.on_enqueue(2048);
+  // Exactly at the threshold: not congested yet (a lone back-to-back
+  // message must never self-mark).
+  EXPECT_FALSE(cc.threshold_exceeded());
+  cc.on_enqueue(2048);
+  EXPECT_TRUE(cc.threshold_exceeded());
+  cc.on_dequeue(4096);
+  EXPECT_FALSE(cc.threshold_exceeded());
+}
+
+TEST(SwitchPortCc, MarksWhenRootWithCredits) {
+  SwitchPortCc cc;
+  cc.configure(params_with(15), 2048, false);
+  cc.on_enqueue(4096);
+  EXPECT_TRUE(cc.decide_fecn(/*credits_after=*/1000, 2048));
+  EXPECT_EQ(cc.marked(), 1u);
+}
+
+TEST(SwitchPortCc, VictimWithoutCreditsDoesNotMark) {
+  SwitchPortCc cc;
+  cc.configure(params_with(15), 2048, /*victim_mask=*/false);
+  cc.on_enqueue(4096);
+  EXPECT_FALSE(cc.decide_fecn(/*credits_after=*/0, 2048));
+  EXPECT_EQ(cc.victim_suppressed(), 1u);
+  EXPECT_EQ(cc.marked(), 0u);
+}
+
+TEST(SwitchPortCc, VictimMaskOverridesCreditTest) {
+  SwitchPortCc cc;
+  cc.configure(params_with(15), 2048, /*victim_mask=*/true);
+  cc.on_enqueue(4096);
+  EXPECT_TRUE(cc.decide_fecn(/*credits_after=*/0, 2048));
+}
+
+TEST(SwitchPortCc, BelowThresholdNeverMarks) {
+  SwitchPortCc cc;
+  cc.configure(params_with(15), 1 << 20, true);
+  cc.on_enqueue(2048);
+  EXPECT_FALSE(cc.decide_fecn(1000, 2048));
+  EXPECT_EQ(cc.eligible(), 0u);
+}
+
+TEST(SwitchPortCc, WeightZeroDisablesDetection) {
+  SwitchPortCc cc;
+  cc.configure(params_with(0), 1, true);
+  cc.on_enqueue(1 << 20);
+  EXPECT_FALSE(cc.threshold_exceeded());
+  EXPECT_FALSE(cc.decide_fecn(1000, 2048));
+}
+
+TEST(SwitchPortCc, DisabledParamsNeverMark) {
+  SwitchPortCc cc;
+  ib::CcParams p = ib::CcParams::disabled();
+  cc.configure(p, 1, true);
+  cc.on_enqueue(1 << 20);
+  EXPECT_FALSE(cc.decide_fecn(1000, 2048));
+}
+
+TEST(SwitchPortCc, PacketSizeExemptsSmallPackets) {
+  SwitchPortCc cc;
+  // Packet_Size = 4 -> packets up to 256 B are never marked.
+  cc.configure(params_with(15, 0, 4), 2048, true);
+  cc.on_enqueue(1 << 20);
+  EXPECT_FALSE(cc.decide_fecn(1000, 64));
+  EXPECT_FALSE(cc.decide_fecn(1000, 256));
+  EXPECT_TRUE(cc.decide_fecn(1000, 257));
+  EXPECT_TRUE(cc.decide_fecn(1000, 2048));
+}
+
+TEST(SwitchPortCc, MarkingRateZeroMarksEveryEligible) {
+  SwitchPortCc cc;
+  cc.configure(params_with(15, 0), 0, true);
+  cc.on_enqueue(1 << 20);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(cc.decide_fecn(1000, 2048));
+  EXPECT_EQ(cc.marked(), 10u);
+  EXPECT_EQ(cc.eligible(), 10u);
+}
+
+TEST(SwitchPortCc, MarkingRateSpacesMarks) {
+  SwitchPortCc cc;
+  // Marking_Rate = 3: three eligible packets pass between marks.
+  cc.configure(params_with(15, 3), 0, true);
+  cc.on_enqueue(1 << 20);
+  int marked = 0;
+  for (int i = 0; i < 40; ++i) marked += cc.decide_fecn(1000, 2048) ? 1 : 0;
+  EXPECT_EQ(marked, 10);
+  EXPECT_EQ(cc.eligible(), 40u);
+}
+
+TEST(SwitchPortCc, MarkingRateCounterResetsBelowThreshold) {
+  SwitchPortCc cc;
+  // Marking_Rate = 1: one eligible packet passes between marks.
+  cc.configure(params_with(15, 1), 2048, true);
+  cc.on_enqueue(6144);
+  EXPECT_FALSE(cc.decide_fecn(1000, 2048));  // spacer
+  EXPECT_TRUE(cc.decide_fecn(1000, 2048));   // mark
+  EXPECT_FALSE(cc.decide_fecn(1000, 2048));  // spacer
+  cc.on_dequeue(6144);                        // queue drains
+  EXPECT_FALSE(cc.decide_fecn(1000, 2048));  // below threshold; counter resets
+  cc.on_enqueue(6144);
+  // Fresh congestion episode: the spacing pattern restarts.
+  EXPECT_FALSE(cc.decide_fecn(1000, 2048));
+  EXPECT_TRUE(cc.decide_fecn(1000, 2048));
+}
+
+}  // namespace
+}  // namespace ibsim::cc

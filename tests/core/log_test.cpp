@@ -1,0 +1,59 @@
+#include "core/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ibsim::core {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(Log::level()) {}
+  ~LogLevelGuard() { Log::set_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, DefaultThresholdIsWarn) {
+  LogLevelGuard guard;
+  Log::set_level(LogLevel::Warn);
+  EXPECT_FALSE(Log::enabled(LogLevel::Trace));
+  EXPECT_FALSE(Log::enabled(LogLevel::Debug));
+  EXPECT_FALSE(Log::enabled(LogLevel::Info));
+  EXPECT_TRUE(Log::enabled(LogLevel::Warn));
+  EXPECT_TRUE(Log::enabled(LogLevel::Error));
+}
+
+TEST(Log, ThresholdIsAdjustable) {
+  LogLevelGuard guard;
+  Log::set_level(LogLevel::Trace);
+  EXPECT_TRUE(Log::enabled(LogLevel::Trace));
+  Log::set_level(LogLevel::Error);
+  EXPECT_FALSE(Log::enabled(LogLevel::Warn));
+  EXPECT_TRUE(Log::enabled(LogLevel::Error));
+}
+
+TEST(Log, OffDisablesEverything) {
+  LogLevelGuard guard;
+  Log::set_level(LogLevel::Off);
+  EXPECT_FALSE(Log::enabled(LogLevel::Error));
+  EXPECT_FALSE(Log::enabled(LogLevel::Off));
+}
+
+TEST(Log, WriteBelowThresholdIsSilentNoCrash) {
+  LogLevelGuard guard;
+  Log::set_level(LogLevel::Error);
+  // Goes nowhere, must not crash or allocate the formatted string.
+  Log::write(LogLevel::Debug, 12345, "dropped %d", 1);
+  IBSIM_LOG(LogLevel::Info, 0, "also dropped %s", "x");
+}
+
+TEST(Log, WriteAboveThresholdFormats) {
+  LogLevelGuard guard;
+  Log::set_level(LogLevel::Error);
+  // Smoke: formatted output path executes (visually goes to stderr).
+  Log::write(LogLevel::Error, kMicrosecond, "test message %d/%s", 42, "ok");
+}
+
+}  // namespace
+}  // namespace ibsim::core

@@ -1,0 +1,191 @@
+#include "core/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace ibsim::core {
+namespace {
+
+/// Records the order and payloads of events it receives.
+class Recorder : public EventHandler {
+ public:
+  void on_event(Scheduler& sched, const Event& ev) override {
+    times.push_back(sched.now());
+    kinds.push_back(ev.kind);
+    payloads.push_back(ev.a);
+  }
+  std::vector<Time> times;
+  std::vector<std::uint32_t> kinds;
+  std::vector<std::uint64_t> payloads;
+};
+
+/// Handler that schedules a follow-up event on itself.
+class Chainer : public EventHandler {
+ public:
+  explicit Chainer(int remaining) : remaining_(remaining) {}
+  void on_event(Scheduler& sched, const Event&) override {
+    ++fired;
+    if (--remaining_ > 0) sched.schedule_in(10, this, 0);
+  }
+  int fired = 0;
+
+ private:
+  int remaining_;
+};
+
+TEST(Scheduler, StartsAtTimeZeroEmpty) {
+  Scheduler sched;
+  EXPECT_EQ(sched.now(), 0);
+  EXPECT_EQ(sched.pending(), 0u);
+  EXPECT_EQ(sched.executed(), 0u);
+}
+
+TEST(Scheduler, ExecutesInTimeOrder) {
+  Scheduler sched;
+  Recorder rec;
+  sched.schedule_at(30, &rec, 3);
+  sched.schedule_at(10, &rec, 1);
+  sched.schedule_at(20, &rec, 2);
+  sched.run();
+  ASSERT_EQ(rec.kinds.size(), 3u);
+  EXPECT_EQ(rec.kinds, (std::vector<std::uint32_t>{1, 2, 3}));
+  EXPECT_EQ(rec.times, (std::vector<Time>{10, 20, 30}));
+}
+
+TEST(Scheduler, TiesBreakByInsertionOrder) {
+  Scheduler sched;
+  Recorder rec;
+  for (std::uint64_t i = 0; i < 100; ++i) sched.schedule_at(42, &rec, 0, i);
+  sched.run();
+  ASSERT_EQ(rec.payloads.size(), 100u);
+  for (std::uint64_t i = 0; i < 100; ++i) EXPECT_EQ(rec.payloads[i], i);
+}
+
+TEST(Scheduler, RunUntilStopsAtHorizonInclusive) {
+  Scheduler sched;
+  Recorder rec;
+  sched.schedule_at(10, &rec, 1);
+  sched.schedule_at(20, &rec, 2);
+  sched.schedule_at(21, &rec, 3);
+  const std::uint64_t n = sched.run_until(20);
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(sched.pending(), 1u);
+  EXPECT_EQ(sched.now(), 20);
+}
+
+TEST(Scheduler, RunUntilAdvancesClockWhenQueueDrains) {
+  Scheduler sched;
+  Recorder rec;
+  sched.schedule_at(5, &rec, 1);
+  sched.run_until(1000);
+  EXPECT_EQ(sched.now(), 1000);
+}
+
+TEST(Scheduler, ResumesAfterHorizon) {
+  Scheduler sched;
+  Recorder rec;
+  sched.schedule_at(10, &rec, 1);
+  sched.schedule_at(30, &rec, 2);
+  sched.run_until(15);
+  EXPECT_EQ(rec.kinds.size(), 1u);
+  sched.run_until(40);
+  EXPECT_EQ(rec.kinds.size(), 2u);
+}
+
+TEST(Scheduler, HandlersCanScheduleDuringExecution) {
+  Scheduler sched;
+  Chainer chain(5);
+  sched.schedule_at(0, &chain, 0);
+  sched.run();
+  EXPECT_EQ(chain.fired, 5);
+  EXPECT_EQ(sched.now(), 40);
+}
+
+TEST(Scheduler, StopAbortsTheLoop) {
+  class Stopper : public EventHandler {
+   public:
+    void on_event(Scheduler& sched, const Event&) override {
+      ++fired;
+      sched.stop();
+    }
+    int fired = 0;
+  };
+  Scheduler sched;
+  Stopper stopper;
+  sched.schedule_at(1, &stopper, 0);
+  sched.schedule_at(2, &stopper, 0);
+  sched.run();
+  EXPECT_EQ(stopper.fired, 1);
+  EXPECT_EQ(sched.pending(), 1u);
+  // A subsequent run resumes.
+  sched.run();
+  EXPECT_EQ(stopper.fired, 2);
+}
+
+TEST(Scheduler, ClearDropsPendingEvents) {
+  Scheduler sched;
+  Recorder rec;
+  sched.schedule_at(10, &rec, 1);
+  sched.clear();
+  sched.run();
+  EXPECT_TRUE(rec.kinds.empty());
+}
+
+TEST(Scheduler, ExecutedCountsAcrossRuns) {
+  Scheduler sched;
+  Recorder rec;
+  for (Time t = 1; t <= 10; ++t) sched.schedule_at(t, &rec, 0);
+  sched.run_until(5);
+  sched.run_until(10);
+  EXPECT_EQ(sched.executed(), 10u);
+}
+
+TEST(Scheduler, SchedulingAtCurrentTimeDuringEventWorks) {
+  class SameTime : public EventHandler {
+   public:
+    void on_event(Scheduler& sched, const Event& ev) override {
+      ++fired;
+      if (ev.kind == 0) sched.schedule_at(sched.now(), this, 1);
+    }
+    int fired = 0;
+  };
+  Scheduler sched;
+  SameTime handler;
+  sched.schedule_at(7, &handler, 0);
+  sched.run();
+  EXPECT_EQ(handler.fired, 2);
+  EXPECT_EQ(sched.now(), 7);
+}
+
+TEST(SchedulerDeath, PastSchedulingAborts) {
+  Scheduler sched;
+  Recorder rec;
+  sched.schedule_at(100, &rec, 0);
+  sched.run();
+  EXPECT_DEATH(sched.schedule_at(50, &rec, 0), "past");
+}
+
+TEST(SchedulerDeath, NullTargetAborts) {
+  Scheduler sched;
+  EXPECT_DEATH(sched.schedule_at(1, nullptr, 0), "target");
+}
+
+TEST(Scheduler, LargeRandomBatchStaysSorted) {
+  Scheduler sched;
+  Recorder rec;
+  std::uint64_t state = 99;
+  for (int i = 0; i < 10000; ++i) {
+    sched.schedule_at(static_cast<Time>(splitmix64(state) % 1000000), &rec, 0);
+  }
+  sched.run();
+  ASSERT_EQ(rec.times.size(), 10000u);
+  for (std::size_t i = 1; i < rec.times.size(); ++i) {
+    EXPECT_LE(rec.times[i - 1], rec.times[i]);
+  }
+}
+
+}  // namespace
+}  // namespace ibsim::core

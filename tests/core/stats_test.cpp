@@ -1,0 +1,147 @@
+#include "core/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ibsim::core {
+namespace {
+
+TEST(RateCounter, AccumulatesBytesAndPackets) {
+  RateCounter counter;
+  counter.add(1000);
+  counter.add(2000);
+  EXPECT_EQ(counter.bytes(), 3000);
+  EXPECT_EQ(counter.packets(), 2);
+}
+
+TEST(RateCounter, GbpsOverWindow) {
+  RateCounter counter;
+  counter.reset(kMicrosecond);
+  counter.add(capacity_bytes(10.0, kMicrosecond));
+  EXPECT_NEAR(counter.gbps(2 * kMicrosecond), 10.0, 0.01);
+}
+
+TEST(RateCounter, ResetStartsNewWindow) {
+  RateCounter counter;
+  counter.add(999999);
+  counter.reset(100);
+  EXPECT_EQ(counter.bytes(), 0);
+  EXPECT_EQ(counter.window_start(), 100);
+}
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.sum(), 40.0);
+}
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(Summary, ResetClears) {
+  Summary s;
+  s.add(5.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.sum(), 0.0);
+}
+
+TEST(Histogram, BinsAndRanges) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_EQ(h.bins(), 10u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 3.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 4.0);
+}
+
+TEST(Histogram, CountsIntoCorrectBins) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(0.9);
+  h.add(9.99);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, UnderAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-1.0);
+  h.add(10.0);  // hi is exclusive
+  h.add(100.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, QuantileOfUniformFill) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 1.5);
+}
+
+TEST(Histogram, QuantileEmptyIsZero) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, ResetClearsEverything) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(0.5);
+  h.add(2.0);
+  h.reset();
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_EQ(h.bin_count(2), 0u);
+}
+
+TEST(TimeWeighted, ConstantSignal) {
+  TimeWeighted tw;
+  tw.set(0, 5.0);
+  EXPECT_DOUBLE_EQ(tw.average(1000), 5.0);
+}
+
+TEST(TimeWeighted, StepSignalAverages) {
+  TimeWeighted tw;
+  tw.set(0, 0.0);
+  tw.set(500, 10.0);  // 0 for half the window, 10 for the other half
+  EXPECT_DOUBLE_EQ(tw.average(1000), 5.0);
+}
+
+TEST(TimeWeighted, ResetRestartsWindow) {
+  TimeWeighted tw;
+  tw.set(0, 100.0);
+  tw.reset(1000);
+  EXPECT_DOUBLE_EQ(tw.average(2000), 100.0);  // value persists, window restarts
+  tw.set(2000, 0.0);
+  EXPECT_DOUBLE_EQ(tw.average(3000), 50.0);
+}
+
+TEST(Jain, PerfectlyFair) {
+  EXPECT_DOUBLE_EQ(jain_fairness({1.0, 1.0, 1.0, 1.0}), 1.0);
+}
+
+TEST(Jain, CompletelyUnfair) {
+  EXPECT_DOUBLE_EQ(jain_fairness({1.0, 0.0, 0.0, 0.0}), 0.25);
+}
+
+TEST(Jain, EdgeCases) {
+  EXPECT_DOUBLE_EQ(jain_fairness({}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness({0.0, 0.0}), 1.0);
+  EXPECT_NEAR(jain_fairness({1.0, 2.0, 3.0}), 36.0 / (3.0 * 14.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace ibsim::core

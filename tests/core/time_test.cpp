@@ -1,0 +1,59 @@
+#include "core/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ibsim::core {
+namespace {
+
+TEST(Time, UnitsNest) {
+  EXPECT_EQ(kNanosecond, 1000);
+  EXPECT_EQ(kMicrosecond, 1000 * kNanosecond);
+  EXPECT_EQ(kMillisecond, 1000 * kMicrosecond);
+  EXPECT_EQ(kSecond, 1000 * kMillisecond);
+}
+
+TEST(Time, TransmitTimeExactFor16Gbps) {
+  // One byte at 16 Gb/s is exactly 500 ps: the calibrated data rate was
+  // chosen so packet timings stay integral.
+  EXPECT_EQ(transmit_time(1, 16.0), 500);
+  EXPECT_EQ(transmit_time(2048, 16.0), 2048 * 500);
+}
+
+TEST(Time, TransmitTimeMtuAtInjectRate) {
+  // 2048 B at 13.5 Gb/s = 2048*8/13.5 ns = 1213.6 ns.
+  const Time t = transmit_time(2048, 13.5);
+  EXPECT_NEAR(static_cast<double>(t), 2048.0 * 8000.0 / 13.5, 1.0);
+}
+
+TEST(Time, TransmitTimeZeroBytes) { EXPECT_EQ(transmit_time(0, 16.0), 0); }
+
+TEST(Time, RateGbpsRoundTrips) {
+  const Time span = kMillisecond;
+  const std::int64_t bytes = capacity_bytes(13.5, span);
+  EXPECT_NEAR(rate_gbps(bytes, span), 13.5, 0.001);
+}
+
+TEST(Time, RateGbpsZeroSpanIsZero) {
+  EXPECT_EQ(rate_gbps(12345, 0), 0.0);
+  EXPECT_EQ(rate_gbps(12345, -5), 0.0);
+}
+
+TEST(Time, CapacityBytesLinear) {
+  EXPECT_EQ(capacity_bytes(8.0, kMicrosecond), 1000);  // 8 Gb/s = 1 B/ns
+}
+
+TEST(Time, FormatTimePicksUnits) {
+  EXPECT_EQ(format_time(500), "500 ps");
+  EXPECT_EQ(format_time(1500), "1.5 ns");
+  EXPECT_EQ(format_time(2 * kMicrosecond), "2.000 us");
+  EXPECT_EQ(format_time(3 * kMillisecond), "3.000 ms");
+  EXPECT_EQ(format_time(kSecond), "1.000 s");
+}
+
+TEST(Time, CcTimerUnitIsExact) {
+  // 1.024 us (the CCTI_Timer unit) is an exact picosecond count.
+  EXPECT_EQ(1024 * kNanosecond, 1024000);
+}
+
+}  // namespace
+}  // namespace ibsim::core

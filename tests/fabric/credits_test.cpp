@@ -1,0 +1,58 @@
+#include "fabric/credits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ibsim::fabric {
+namespace {
+
+TEST(CreditTracker, StartsFull) {
+  CreditTracker credits;
+  credits.initialize(32768);
+  EXPECT_EQ(credits.available(), 32768);
+  EXPECT_EQ(credits.capacity(), 32768);
+  EXPECT_EQ(credits.outstanding(), 0);
+}
+
+TEST(CreditTracker, ConsumeAndRefund) {
+  CreditTracker credits;
+  credits.initialize(4096);
+  credits.consume(2048);
+  EXPECT_EQ(credits.available(), 2048);
+  EXPECT_EQ(credits.outstanding(), 2048);
+  credits.refund(2048);
+  EXPECT_EQ(credits.available(), 4096);
+}
+
+TEST(CreditTracker, CanSendChecksExactFit) {
+  CreditTracker credits;
+  credits.initialize(2048);
+  EXPECT_TRUE(credits.can_send(2048));
+  EXPECT_FALSE(credits.can_send(2049));
+  credits.consume(2048);
+  EXPECT_FALSE(credits.can_send(1));
+  EXPECT_TRUE(credits.can_send(0));
+}
+
+TEST(CreditTracker, ManySmallConsumers) {
+  CreditTracker credits;
+  credits.initialize(64 * 100);
+  for (int i = 0; i < 100; ++i) credits.consume(64);
+  EXPECT_EQ(credits.available(), 0);
+  for (int i = 0; i < 100; ++i) credits.refund(64);
+  EXPECT_EQ(credits.available(), credits.capacity());
+}
+
+TEST(CreditTrackerDeath, OverdraftAborts) {
+  CreditTracker credits;
+  credits.initialize(100);
+  EXPECT_DEATH(credits.consume(101), "lossless");
+}
+
+TEST(CreditTrackerDeath, OverRefundAborts) {
+  CreditTracker credits;
+  credits.initialize(100);
+  EXPECT_DEATH(credits.refund(1), "overflow");
+}
+
+}  // namespace
+}  // namespace ibsim::fabric

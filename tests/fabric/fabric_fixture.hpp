@@ -1,0 +1,113 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cc/cc_manager.hpp"
+#include "core/scheduler.hpp"
+#include "fabric/fabric.hpp"
+#include "topo/builders.hpp"
+#include "topo/routing.hpp"
+
+namespace ibsim::fabric::testing {
+
+/// A scripted traffic source: emits a fixed list of (dst, bytes, count)
+/// bursts as fast as the HCA lets it, in order.
+class ScriptedSource final : public TrafficSource {
+ public:
+  explicit ScriptedSource(ib::NodeId self, ib::PacketPool* pool) : self_(self), pool_(pool) {}
+
+  void add_burst(ib::NodeId dst, std::int32_t bytes, std::int32_t count) {
+    bursts_.push_back({dst, bytes, count});
+  }
+
+  Poll poll(core::Time now) override {
+    while (!bursts_.empty() && bursts_.front().count == 0) bursts_.erase(bursts_.begin());
+    if (bursts_.empty()) return {nullptr, core::kTimeNever};
+    Burst& b = bursts_.front();
+    --b.count;
+    ib::Packet* pkt = pool_->allocate();
+    pkt->src = self_;
+    pkt->dst = b.dst;
+    pkt->bytes = b.bytes;
+    pkt->vl = ib::kDataVl;
+    pkt->injected_at = now;
+    ++emitted;
+    return {pkt, core::kTimeNever};
+  }
+
+  int emitted = 0;
+
+ private:
+  struct Burst {
+    ib::NodeId dst;
+    std::int32_t bytes;
+    std::int32_t count;
+  };
+  ib::NodeId self_;
+  ib::PacketPool* pool_;
+  std::vector<Burst> bursts_;
+};
+
+struct Delivery {
+  ib::NodeId node;
+  ib::NodeId src;
+  std::int32_t bytes;
+  bool fecn;
+  core::Time injected_at;
+  core::Time at;
+};
+
+class RecordingObserver final : public SinkObserver {
+ public:
+  void on_delivered(ib::NodeId node, const ib::Packet& pkt, core::Time now) override {
+    deliveries.push_back({node, pkt.src, pkt.bytes, pkt.fecn, pkt.injected_at, now});
+  }
+  std::vector<Delivery> deliveries;
+
+  [[nodiscard]] std::int64_t bytes_to(ib::NodeId node) const {
+    std::int64_t total = 0;
+    for (const Delivery& d : deliveries) {
+      if (d.node == node) total += d.bytes;
+    }
+    return total;
+  }
+};
+
+/// One fully wired fabric over any topology, with scripted sources.
+struct FabricFixture {
+  explicit FabricFixture(topo::Topology t,
+                         const ib::CcParams& cc = ib::CcParams::disabled(),
+                         const FabricParams& fparams = FabricParams{})
+      : topo(std::move(t)),
+        routing(topo::RoutingTables::compute(topo)),
+        ccm(cc, 128, fparams.hca_inject_gbps),
+        fabric(topo, routing, fparams, ccm, sched) {
+    for (ib::NodeId n = 0; n < topo.node_count(); ++n) {
+      fabric.hca(n).attach_observer(&observer);
+    }
+  }
+
+  ScriptedSource& source(ib::NodeId node) {
+    auto src = std::make_unique<ScriptedSource>(node, &fabric.pool());
+    ScriptedSource* raw = src.get();
+    sources.push_back(std::move(src));
+    fabric.hca(node).attach_source(raw);
+    return *raw;
+  }
+
+  void run(core::Time until = core::kTimeNever) {
+    fabric.start(sched);
+    sched.run_until(until);
+  }
+
+  core::Scheduler sched;
+  topo::Topology topo;
+  topo::RoutingTables routing;
+  cc::CcManager ccm;
+  Fabric fabric;
+  RecordingObserver observer;
+  std::vector<std::unique_ptr<ScriptedSource>> sources;
+};
+
+}  // namespace ibsim::fabric::testing

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "fabric_fixture.hpp"
+#include "ib/types.hpp"
+#include "topo/builders.hpp"
+
+namespace ibsim::fabric::testing {
+namespace {
+
+TEST(FlowControl, CreditsNeverExceedBufferCapacity) {
+  // Saturate a dumbbell bottleneck and check outstanding credits stay
+  // within the advertised buffer on every port at several points in time.
+  FabricFixture fx(topo::dumbbell(3));
+  for (ib::NodeId s = 0; s < 3; ++s) fx.source(s).add_burst(3, ib::kMtuBytes, 200);
+  fx.fabric.start(fx.sched);
+  for (core::Time t = 50 * core::kMicrosecond; t <= 400 * core::kMicrosecond;
+       t += 50 * core::kMicrosecond) {
+    fx.sched.run_until(t);
+    for (std::size_t i = 0; i < fx.fabric.switch_count(); ++i) {
+      auto& sw = fx.fabric.switch_at(i);
+      for (std::int32_t port = 0; port < sw.n_ports(); ++port) {
+        const OutputPort& op = sw.output(port);
+        if (!op.connected) continue;
+        for (const CreditTracker& credits : op.credits) {
+          EXPECT_GE(credits.available(), 0);
+          EXPECT_LE(credits.outstanding(), credits.capacity());
+        }
+      }
+    }
+  }
+}
+
+TEST(FlowControl, LosslessUnderHeavyFanIn) {
+  // 7 senders into one sink: every injected packet must be delivered,
+  // none dropped (the pool drains to zero live packets).
+  FabricFixture fx(topo::single_switch(8));
+  const int kPackets = 300;
+  for (ib::NodeId s = 1; s < 8; ++s) fx.source(s).add_burst(0, ib::kMtuBytes, kPackets);
+  fx.run();
+  EXPECT_EQ(fx.observer.deliveries.size(), static_cast<std::size_t>(7 * kPackets));
+  EXPECT_EQ(fx.fabric.pool().live(), 0);
+}
+
+TEST(FlowControl, BackpressurePropagatesThroughChain) {
+  // In a 3-switch chain, node 0 (on switch 0) sends to node 2 (switch 2)
+  // while node 1 (switch 1) also sends to node 2. The shared sink slows
+  // both; total still arrives losslessly.
+  FabricFixture fx(topo::linear_chain(3, 1));
+  fx.source(0).add_burst(2, ib::kMtuBytes, 150);
+  fx.source(1).add_burst(2, ib::kMtuBytes, 150);
+  fx.run();
+  EXPECT_EQ(fx.observer.bytes_to(2), 300 * ib::kMtuBytes);
+  EXPECT_EQ(fx.fabric.pool().live(), 0);
+}
+
+TEST(FlowControl, HolBlockingEmergesWithSharedBuffers) {
+  // The classic congestion-spreading experiment on a dumbbell (nodes
+  // 0-4 left, 5-9 right): nodes 0 and 1 overload node 5 across the
+  // bottleneck, node 2 sends to node 6 (also across the bottleneck,
+  // different destination). Without CC, the victim flow 2->6 is
+  // HOL-blocked behind the hotspot traffic piling up in the right-hand
+  // switch's shared ingress buffer and finishes far later than alone.
+  const int kPackets = 200;
+
+  // Baseline: victim alone.
+  FabricFixture alone(topo::dumbbell(5));
+  alone.source(2).add_burst(6, ib::kMtuBytes, kPackets);
+  alone.run();
+  core::Time t_alone = alone.observer.deliveries.back().at;
+
+  // With the hotspot flows present.
+  FabricFixture crowded(topo::dumbbell(5));
+  crowded.source(0).add_burst(5, ib::kMtuBytes, 3 * kPackets);
+  crowded.source(1).add_burst(5, ib::kMtuBytes, 3 * kPackets);
+  crowded.source(2).add_burst(6, ib::kMtuBytes, kPackets);
+  crowded.run();
+  core::Time t_victim = 0;
+  for (const Delivery& d : crowded.observer.deliveries) {
+    if (d.node == 6) t_victim = std::max(t_victim, d.at);
+  }
+  // HOL blocking slows the victim by a large factor (it shares the
+  // bottleneck ingress buffer with a jammed flow).
+  EXPECT_GT(t_victim, 2 * t_alone);
+}
+
+TEST(FlowControl, VictimOnDisjointPathUnaffected) {
+  // Flows on disjoint leaf pairs do not interact at all.
+  FabricFixture fx(topo::folded_clos(topo::FoldedClosParams::scaled(4, 2, 2)));
+  const int kPackets = 100;
+  // Hotspot inside leaf 0 (local traffic: nodes 0,1 both on leaf 0).
+  fx.source(0).add_burst(1, ib::kMtuBytes, 3 * kPackets);
+  // Disjoint flow: leaf 2 node -> same-leaf neighbour.
+  fx.source(4).add_burst(5, ib::kMtuBytes, kPackets);
+
+  FabricFixture solo(topo::folded_clos(topo::FoldedClosParams::scaled(4, 2, 2)));
+  solo.source(4).add_burst(5, ib::kMtuBytes, kPackets);
+
+  fx.run();
+  solo.run();
+  core::Time t_fx = 0;
+  for (const Delivery& d : fx.observer.deliveries) {
+    if (d.node == 5) t_fx = std::max(t_fx, d.at);
+  }
+  EXPECT_EQ(t_fx, solo.observer.deliveries.back().at);
+}
+
+TEST(FlowControl, CnpVlHasIndependentCredits) {
+  // Fill the data VL of the link from node 0's switch port; the CC agent
+  // can still push a CNP out on its own VL. We approximate by checking
+  // initial credit pools are per-VL with the configured capacities.
+  FabricParams params;
+  FabricFixture fx(topo::single_switch(2), ib::CcParams::paper_table1(), params);
+  OutputPort& hca_out = fx.fabric.hca(0).out();
+  ASSERT_EQ(hca_out.credits.size(), static_cast<std::size_t>(params.n_vls));
+  EXPECT_EQ(hca_out.credits[ib::kDataVl].capacity(), params.switch_ibuf_data_bytes);
+  EXPECT_EQ(hca_out.credits[params.cnp_vl()].capacity(), params.switch_ibuf_cnp_bytes);
+  // Switch ports facing HCAs advertise the HCA buffer sizes.
+  const OutputPort& sw_out = fx.fabric.switch_at(0).output(0);
+  EXPECT_EQ(sw_out.credits[ib::kDataVl].capacity(), params.hca_ibuf_data_bytes);
+  EXPECT_EQ(sw_out.credits[params.cnp_vl()].capacity(), params.hca_ibuf_cnp_bytes);
+}
+
+TEST(FlowControl, WireFasterThanDrainKeepsBufferBounded) {
+  FabricFixture fx(topo::single_switch(3));
+  fx.source(1).add_burst(0, ib::kMtuBytes, 500);
+  fx.fabric.start(fx.sched);
+  fx.sched.run_until(200 * core::kMicrosecond);
+  // The switch port towards HCA 0 can have at most the HCA buffer
+  // outstanding.
+  const OutputPort& to_hca = fx.fabric.switch_at(0).output(0);
+  EXPECT_LE(to_hca.credits[ib::kDataVl].outstanding(),
+            fx.fabric.params().hca_ibuf_data_bytes);
+  fx.sched.run_until(core::kTimeNever);
+  EXPECT_EQ(fx.fabric.pool().live(), 0);
+}
+
+}  // namespace
+}  // namespace ibsim::fabric::testing

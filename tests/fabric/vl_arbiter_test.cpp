@@ -1,0 +1,145 @@
+#include "fabric/vl_arbiter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace ibsim::fabric {
+namespace {
+
+TEST(VlArbiter, SingleLaneAlwaysPicksIt) {
+  VlArbiter arb = VlArbiter::make_default(1, 0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(arb.pick([](ib::Vl vl) { return vl == 0; }), 0);
+  }
+}
+
+TEST(VlArbiter, NoWorkReturnsMinusOne) {
+  VlArbiter arb = VlArbiter::make_default(2, 1);
+  EXPECT_EQ(arb.pick([](ib::Vl) { return false; }), -1);
+}
+
+TEST(VlArbiter, DefaultTablesPutCnpVlHigh) {
+  VlArbiter arb = VlArbiter::make_default(2, 1);
+  ASSERT_EQ(arb.high_table().size(), 1u);
+  EXPECT_EQ(arb.high_table()[0].vl, 1);
+  ASSERT_EQ(arb.low_table().size(), 1u);
+  EXPECT_EQ(arb.low_table()[0].vl, 0);
+}
+
+TEST(VlArbiter, HighPriorityLaneWins) {
+  VlArbiter arb = VlArbiter::make_default(2, 1);
+  // Both lanes busy: the CNP VL must always win.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(arb.pick([](ib::Vl) { return true; }), 1);
+  }
+}
+
+TEST(VlArbiter, FallsBackToLowWhenHighIdle) {
+  VlArbiter arb = VlArbiter::make_default(2, 1);
+  EXPECT_EQ(arb.pick([](ib::Vl vl) { return vl == 0; }), 0);
+}
+
+TEST(VlArbiter, WeightedRoundRobinHonoursWeights) {
+  VlArbiter arb;
+  arb.configure({}, {{0, 3}, {1, 1}});
+  std::map<int, int> served;
+  for (int i = 0; i < 400; ++i) {
+    const int vl = arb.pick([](ib::Vl) { return true; });
+    ASSERT_GE(vl, 0);
+    ++served[vl];
+  }
+  // 3:1 weighting.
+  EXPECT_NEAR(static_cast<double>(served[0]) / served[1], 3.0, 0.2);
+}
+
+TEST(VlArbiter, SkipsIdleLanesWithoutStalling) {
+  VlArbiter arb;
+  arb.configure({}, {{0, 2}, {1, 2}, {2, 2}});
+  // Only VL 2 has work; it must be chosen every time.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(arb.pick([](ib::Vl vl) { return vl == 2; }), 2);
+  }
+}
+
+TEST(VlArbiter, AlternatesBetweenEqualLanes) {
+  VlArbiter arb;
+  arb.configure({}, {{0, 1}, {1, 1}});
+  std::map<int, int> served;
+  for (int i = 0; i < 100; ++i) ++served[arb.pick([](ib::Vl) { return true; })];
+  EXPECT_EQ(served[0], 50);
+  EXPECT_EQ(served[1], 50);
+}
+
+TEST(VlArbiter, MakeDefaultManyVls) {
+  VlArbiter arb = VlArbiter::make_default(4, 3);
+  EXPECT_EQ(arb.high_table().size(), 1u);
+  EXPECT_EQ(arb.low_table().size(), 3u);
+  std::map<int, int> served;
+  // 576 = 3 lanes x 3 full quanta of weight 64.
+  for (int i = 0; i < 576; ++i) {
+    ++served[arb.pick([](ib::Vl vl) { return vl != 3; })];
+  }
+  // Data lanes share equally when the CNP lane is idle.
+  EXPECT_EQ(served[0], 192);
+  EXPECT_EQ(served[1], 192);
+  EXPECT_EQ(served[2], 192);
+}
+
+TEST(VlArbiter, HighLimitYieldsToLowTable) {
+  VlArbiter arb;
+  // Limit 1 => after 4096 bytes from the high table, one low grant.
+  arb.configure({{1, 1}}, {{0, 64}}, /*high_limit=*/1);
+  std::map<int, int> served;
+  for (int i = 0; i < 300; ++i) {
+    const int vl = arb.pick([](ib::Vl) { return true; });
+    ASSERT_GE(vl, 0);
+    ++served[vl];
+    arb.granted(2048);  // half the budget per grant
+  }
+  // Pattern: 2 high grants (4096 B), then 1 low: 1/3 of service to VL0.
+  EXPECT_EQ(served[0], 100);
+  EXPECT_EQ(served[1], 200);
+}
+
+TEST(VlArbiter, HighLimitUnlimitedNeverYields) {
+  VlArbiter arb;
+  arb.configure({{1, 1}}, {{0, 64}}, VlArbiter::kUnlimitedHighLimit);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(arb.pick([](ib::Vl) { return true; }), 1);
+    arb.granted(4096);
+  }
+}
+
+TEST(VlArbiter, ExhaustedHighStillServesWhenLowIdle) {
+  VlArbiter arb;
+  arb.configure({{1, 1}}, {{0, 64}}, /*high_limit=*/1);
+  // Only the high lane has work: the limit must not block it.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(arb.pick([](ib::Vl vl) { return vl == 1; }), 1);
+    arb.granted(4096);
+  }
+}
+
+TEST(VlArbiter, LowGrantRefillsHighBudget) {
+  VlArbiter arb;
+  arb.configure({{1, 1}}, {{0, 64}}, /*high_limit=*/1);
+  EXPECT_EQ(arb.pick([](ib::Vl) { return true; }), 1);
+  arb.granted(4096);  // budget spent
+  EXPECT_EQ(arb.pick([](ib::Vl) { return true; }), 0);  // low opportunity
+  arb.granted(2048);
+  EXPECT_EQ(arb.pick([](ib::Vl) { return true; }), 1);  // budget refilled
+}
+
+TEST(VlArbiterDeath, ZeroWeightRejected) {
+  VlArbiter arb;
+  EXPECT_DEATH(arb.configure({}, {{0, 0}}), "weight");
+}
+
+TEST(VlArbiterDeath, EmptyTablesRejected) {
+  VlArbiter arb;
+  EXPECT_DEATH(arb.configure({}, {}), "at least one");
+}
+
+}  // namespace
+}  // namespace ibsim::fabric

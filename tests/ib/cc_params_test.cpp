@@ -1,0 +1,95 @@
+#include "ib/cc_params.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/time.hpp"
+
+namespace ibsim::ib {
+namespace {
+
+TEST(CcParams, PaperTable1Values) {
+  const CcParams p = CcParams::paper_table1();
+  EXPECT_TRUE(p.enabled);
+  EXPECT_EQ(p.ccti_increase, 1);
+  EXPECT_EQ(p.ccti_limit, 127);
+  EXPECT_EQ(p.ccti_min, 0);
+  EXPECT_EQ(p.ccti_timer, 150);
+  EXPECT_EQ(p.threshold_weight, 15);
+  EXPECT_EQ(p.marking_rate, 0);
+  EXPECT_EQ(p.packet_size, 0);
+  EXPECT_TRUE(p.validate().empty());
+}
+
+TEST(CcParams, DisabledValidates) {
+  const CcParams p = CcParams::disabled();
+  EXPECT_FALSE(p.enabled);
+  EXPECT_TRUE(p.validate().empty());
+}
+
+TEST(CcParams, TimerIntervalUsesSpecUnit) {
+  CcParams p = CcParams::paper_table1();
+  // 150 x 1.024 us = 153.6 us.
+  EXPECT_EQ(p.timer_interval(), 153600 * core::kNanosecond);
+  p.ccti_timer = 1;
+  EXPECT_EQ(p.timer_interval(), 1024 * core::kNanosecond);
+}
+
+TEST(CcParams, ThresholdFractionUniformlyDecreasing) {
+  CcParams p;
+  double prev = 2.0;
+  for (std::uint8_t w = 1; w <= 15; ++w) {
+    p.threshold_weight = w;
+    const double frac = p.threshold_fraction();
+    EXPECT_LT(frac, prev) << "weight " << int(w);
+    EXPECT_GT(frac, 0.0);
+    EXPECT_LE(frac, 1.0);
+    prev = frac;
+  }
+}
+
+TEST(CcParams, ThresholdWeightEndpoints) {
+  CcParams p;
+  p.threshold_weight = 0;
+  EXPECT_GT(p.threshold_fraction(), 1.0);  // unreachable: marking disabled
+  p.threshold_weight = 15;
+  EXPECT_DOUBLE_EQ(p.threshold_fraction(), 1.0 / 16.0);
+  p.threshold_weight = 1;
+  EXPECT_DOUBLE_EQ(p.threshold_fraction(), 15.0 / 16.0);
+}
+
+TEST(CcParams, MinMarkableBytesIn64ByteUnits) {
+  CcParams p;
+  p.packet_size = 0;
+  EXPECT_EQ(p.min_markable_bytes(), 0);
+  p.packet_size = 4;
+  EXPECT_EQ(p.min_markable_bytes(), 256);
+}
+
+TEST(CcParams, ValidateRejectsBadRanges) {
+  CcParams p = CcParams::paper_table1();
+  p.threshold_weight = 16;
+  EXPECT_FALSE(p.validate().empty());
+
+  p = CcParams::paper_table1();
+  p.ccti_min = 200;
+  p.ccti_limit = 100;
+  EXPECT_FALSE(p.validate().empty());
+
+  p = CcParams::paper_table1();
+  p.ccti_increase = 0;
+  EXPECT_FALSE(p.validate().empty());
+
+  p = CcParams::paper_table1();
+  p.ccti_timer = 0;
+  EXPECT_FALSE(p.validate().empty());
+}
+
+TEST(CcParams, DisabledSkipsCaChecks) {
+  CcParams p = CcParams::disabled();
+  p.ccti_increase = 0;
+  p.ccti_timer = 0;
+  EXPECT_TRUE(p.validate().empty());
+}
+
+}  // namespace
+}  // namespace ibsim::ib

@@ -1,0 +1,109 @@
+#include "ib/cct.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/time.hpp"
+#include "ib/types.hpp"
+
+namespace ibsim::ib {
+namespace {
+
+TEST(Cct, EncodeDecodeRoundTrip) {
+  for (std::uint32_t shift = 0; shift < 4; ++shift) {
+    for (std::uint32_t mult : {0u, 1u, 100u, 16383u}) {
+      const std::uint16_t e = CongestionControlTable::encode(mult, shift);
+      EXPECT_EQ(CongestionControlTable::decode_factor(e), mult << shift);
+    }
+  }
+}
+
+TEST(Cct, EntryZeroAlwaysZeroDelay) {
+  CongestionControlTable cct(8, 13.5);
+  cct.set_entry(0, CongestionControlTable::encode(100, 1));
+  EXPECT_EQ(cct.entry(0), 0);
+  EXPECT_EQ(cct.ird_delay(0, kMtuBytes), 0);
+}
+
+TEST(Cct, IrdDelayScalesWithPacketLength) {
+  CongestionControlTable cct(8, 13.5);
+  cct.set_entry(3, CongestionControlTable::encode(3, 0));
+  const core::Time full = cct.ird_delay(3, kMtuBytes);
+  const core::Time half = cct.ird_delay(3, kMtuBytes / 2);
+  EXPECT_EQ(full, 2 * half);  // "relative to the packet length"
+}
+
+TEST(Cct, IrdDelayMatchesFactorTimesPacketTime) {
+  CongestionControlTable cct(128, 13.5);
+  cct.populate_linear();
+  const core::Time pkt_time = core::transmit_time(kMtuBytes, 13.5);
+  EXPECT_EQ(cct.ird_delay(1, kMtuBytes), pkt_time);
+  EXPECT_EQ(cct.ird_delay(10, kMtuBytes), 10 * pkt_time);
+  EXPECT_EQ(cct.ird_delay(127, kMtuBytes), 127 * pkt_time);
+}
+
+TEST(Cct, LinearPopulationYieldsHarmonicRates) {
+  CongestionControlTable cct(128, 13.5);
+  cct.populate_linear();
+  EXPECT_DOUBLE_EQ(cct.rate_fraction(0), 1.0);
+  EXPECT_DOUBLE_EQ(cct.rate_fraction(1), 0.5);
+  EXPECT_DOUBLE_EQ(cct.rate_fraction(3), 0.25);
+  EXPECT_DOUBLE_EQ(cct.rate_fraction(127), 1.0 / 128.0);
+}
+
+TEST(Cct, CctiClampedToTableEnd) {
+  CongestionControlTable cct(16, 13.5);
+  cct.populate_linear();
+  EXPECT_EQ(cct.ird_delay(999, kMtuBytes), cct.ird_delay(15, kMtuBytes));
+  EXPECT_DOUBLE_EQ(cct.rate_fraction(999), cct.rate_fraction(15));
+}
+
+TEST(Cct, LinearPopulationMonotone) {
+  CongestionControlTable cct(128, 13.5);
+  cct.populate_linear();
+  for (std::size_t i = 1; i < cct.size(); ++i) {
+    EXPECT_GE(cct.ird_delay(i, kMtuBytes), cct.ird_delay(i - 1, kMtuBytes))
+        << "at index " << i;
+  }
+}
+
+TEST(Cct, LinearPopulationHandles14BitOverflowViaShift) {
+  CongestionControlTable cct(40000, 13.5);
+  cct.populate_linear();
+  // Past the 14-bit multiplier range entries use the shift bits; the
+  // factor stays close to the index (within the rounding of one shift).
+  const std::uint32_t factor = CongestionControlTable::decode_factor(cct.entry(20000));
+  EXPECT_NEAR(static_cast<double>(factor), 20000.0, 2.0);
+}
+
+TEST(Cct, GeometricPopulationMonotoneAndSteeper) {
+  CongestionControlTable cct(128, 13.5);
+  cct.populate_geometric(1.05);
+  double prev = 1.0;
+  for (std::size_t i = 1; i < cct.size(); ++i) {
+    EXPECT_LE(cct.rate_fraction(i), prev + 1e-12);
+    prev = cct.rate_fraction(i);
+  }
+  // base^i - 1 at i=60: ~17.7x slowdown.
+  EXPECT_NEAR(1.0 / cct.rate_fraction(60), 18.7, 1.0);
+}
+
+TEST(CctDeath, EncodeRangeChecks) {
+  EXPECT_DEATH((void)CongestionControlTable::encode(1u << 14, 0), "14 bits");
+  EXPECT_DEATH((void)CongestionControlTable::encode(0, 4), "2 bits");
+}
+
+TEST(CctDeath, OutOfRangeIndex) {
+  CongestionControlTable cct(4, 13.5);
+  EXPECT_DEATH((void)cct.entry(4), "out of range");
+  EXPECT_DEATH(cct.set_entry(4, 0), "out of range");
+}
+
+TEST(Cct, RefRateStored) {
+  CongestionControlTable cct(4, 10.0);
+  EXPECT_DOUBLE_EQ(cct.ref_gbps(), 10.0);
+  cct.set_entry(1, CongestionControlTable::encode(1, 0));
+  EXPECT_EQ(cct.ird_delay(1, 1000), core::transmit_time(1000, 10.0));
+}
+
+}  // namespace
+}  // namespace ibsim::ib

@@ -1,0 +1,142 @@
+#include "ib/packet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ibsim::ib {
+namespace {
+
+TEST(PacketPool, AllocatesFreshPackets) {
+  PacketPool pool(16);
+  Packet* a = pool.allocate();
+  Packet* b = pool.allocate();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a->id, b->id);
+  EXPECT_EQ(pool.live(), 2);
+}
+
+TEST(PacketPool, RecyclesReleasedPackets) {
+  PacketPool pool(4);
+  Packet* a = pool.allocate();
+  a->bytes = 2048;
+  a->fecn = true;
+  pool.release(a);
+  Packet* b = pool.allocate();
+  EXPECT_EQ(a, b);  // LIFO freelist reuses the slot
+  EXPECT_EQ(b->bytes, 0);
+  EXPECT_FALSE(b->fecn);  // fully reset
+  EXPECT_EQ(b->dst, kInvalidNode);
+}
+
+TEST(PacketPool, GrowsBeyondOneChunk) {
+  PacketPool pool(4);
+  std::vector<Packet*> pkts;
+  for (int i = 0; i < 50; ++i) pkts.push_back(pool.allocate());
+  EXPECT_EQ(pool.live(), 50);
+  for (Packet* p : pkts) pool.release(p);
+  EXPECT_EQ(pool.live(), 0);
+}
+
+TEST(PacketPool, IdsAreUniqueAcrossRecycling) {
+  PacketPool pool(2);
+  Packet* a = pool.allocate();
+  const std::uint64_t id0 = a->id;
+  pool.release(a);
+  Packet* b = pool.allocate();
+  EXPECT_NE(b->id, id0);
+}
+
+TEST(PacketPoolDeath, DoubleAccountingCaught) {
+  PacketPool pool(2);
+  Packet* a = pool.allocate();
+  pool.release(a);
+  EXPECT_DEATH(pool.release(a), "more packets");
+}
+
+TEST(PacketQueue, FifoOrder) {
+  PacketPool pool(8);
+  PacketQueue q;
+  Packet* a = pool.allocate();
+  Packet* b = pool.allocate();
+  Packet* c = pool.allocate();
+  q.push_back(a);
+  q.push_back(b);
+  q.push_back(c);
+  EXPECT_EQ(q.pop_front(), a);
+  EXPECT_EQ(q.pop_front(), b);
+  EXPECT_EQ(q.pop_front(), c);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(PacketQueue, TracksCountAndBytes) {
+  PacketPool pool(8);
+  PacketQueue q;
+  Packet* a = pool.allocate();
+  a->bytes = 100;
+  Packet* b = pool.allocate();
+  b->bytes = 200;
+  q.push_back(a);
+  q.push_back(b);
+  EXPECT_EQ(q.count(), 2);
+  EXPECT_EQ(q.bytes(), 300);
+  (void)q.pop_front();
+  EXPECT_EQ(q.count(), 1);
+  EXPECT_EQ(q.bytes(), 200);
+}
+
+TEST(PacketQueue, PushFrontGoesFirst) {
+  PacketPool pool(8);
+  PacketQueue q;
+  Packet* a = pool.allocate();
+  Packet* b = pool.allocate();
+  q.push_back(a);
+  q.push_front(b);
+  EXPECT_EQ(q.front(), b);
+  EXPECT_EQ(q.pop_front(), b);
+  EXPECT_EQ(q.pop_front(), a);
+}
+
+TEST(PacketQueue, PushFrontIntoEmpty) {
+  PacketPool pool(2);
+  PacketQueue q;
+  Packet* a = pool.allocate();
+  q.push_front(a);
+  EXPECT_EQ(q.count(), 1);
+  EXPECT_EQ(q.pop_front(), a);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(PacketQueue, InterleavedOperations) {
+  PacketPool pool(16);
+  PacketQueue q;
+  std::vector<Packet*> order;
+  for (int i = 0; i < 5; ++i) {
+    Packet* p = pool.allocate();
+    order.push_back(p);
+    q.push_back(p);
+  }
+  EXPECT_EQ(q.pop_front(), order[0]);
+  Packet* extra = pool.allocate();
+  q.push_back(extra);
+  EXPECT_EQ(q.pop_front(), order[1]);
+  EXPECT_EQ(q.pop_front(), order[2]);
+  EXPECT_EQ(q.pop_front(), order[3]);
+  EXPECT_EQ(q.pop_front(), order[4]);
+  EXPECT_EQ(q.pop_front(), extra);
+}
+
+TEST(PacketQueueDeath, PopEmptyAborts) {
+  PacketQueue q;
+  EXPECT_DEATH((void)q.pop_front(), "empty");
+}
+
+TEST(PacketConstants, PaperFraming) {
+  // Section IV: MTU 2048 B, two packets per 4096 B message.
+  EXPECT_EQ(kMtuBytes, 2048);
+  EXPECT_EQ(kPacketsPerMessage, 2);
+  EXPECT_EQ(kMessageBytes, 4096);
+}
+
+}  // namespace
+}  // namespace ibsim::ib

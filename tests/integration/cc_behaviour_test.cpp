@@ -1,0 +1,164 @@
+// Integration tests of the full FECN -> BECN -> throttle loop (paper
+// section II) on small fabrics.
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+#include "traffic/scenario.hpp"
+
+namespace ibsim::sim {
+namespace {
+
+SimConfig hotspot_config(bool cc_on) {
+  SimConfig config;
+  config.topology = TopologyKind::FoldedClos;
+  config.clos = topo::FoldedClosParams::scaled(6, 3, 3);  // 18 nodes
+  config.sim_time = 3 * core::kMillisecond;
+  config.warmup = core::kMillisecond;
+  config.cc = cc_on ? ib::CcParams::paper_table1() : ib::CcParams::disabled();
+  // Faster loop so the small fixture converges well inside the window.
+  config.cc.ccti_increase = 4;
+  config.cc.ccti_timer = 38;
+  config.scenario.fraction_b = 0.0;
+  config.scenario.fraction_c_of_rest = 0.5;
+  config.scenario.n_hotspots = 1;
+  return config;
+}
+
+TEST(CcBehaviour, FeedbackLoopActivatesUnderCongestion) {
+  const SimResult r = run_sim(hotspot_config(true));
+  EXPECT_GT(r.fecn_marked, 100u);
+  EXPECT_GT(r.cnps_sent, 100u);
+  EXPECT_GT(r.becn_received, 100u);
+  // Every BECN comes from a CNP; in-flight CNPs account for the slack.
+  EXPECT_LE(r.becn_received, r.cnps_sent);
+}
+
+TEST(CcBehaviour, UniformTrafficPenaltyIsSmall) {
+  // Saturating uniform traffic causes transient queue build-ups that an
+  // aggressive threshold (weight 15) occasionally marks — the spec
+  // itself warns weight 15 may fire "even when the switch is not really
+  // congested". Figure 8(a) of the paper quantifies the resulting
+  // penalty at p=0 as ~3%; on this fixture we bound it at 10%.
+  // The penalty shrinks with node count (per-flow rates get finer
+  // relative to the CCT step): ~25%% at 18 nodes, ~15%% at 72, ~2.5%% at
+  // the paper's 648 (measured by the fig8 bench at p=0). Bound the
+  // 72-node fixture at 20%%.
+  SimConfig uniform_on = hotspot_config(true);
+  uniform_on.clos = topo::FoldedClosParams::scaled(12, 6, 6);  // 72 nodes
+  uniform_on.scenario.fraction_c_of_rest = 0.0;  // all uniform
+  uniform_on.scenario.n_hotspots = 0;
+  SimConfig uniform_off = uniform_on;
+  uniform_off.cc = ib::CcParams::disabled();
+  const SimResult on = run_sim(uniform_on);
+  const SimResult off = run_sim(uniform_off);
+  EXPECT_GT(on.all_rcv_gbps, 0.8 * off.all_rcv_gbps);
+}
+
+TEST(CcBehaviour, CcRescuesVictims) {
+  const SimResult off = run_sim(hotspot_config(false));
+  const SimResult on = run_sim(hotspot_config(true));
+  EXPECT_GT(on.non_hotspot_rcv_gbps, 1.5 * off.non_hotspot_rcv_gbps);
+  EXPECT_GT(on.total_throughput_gbps, off.total_throughput_gbps);
+}
+
+TEST(CcBehaviour, HotspotThroughputLargelyPreserved) {
+  const SimResult off = run_sim(hotspot_config(false));
+  const SimResult on = run_sim(hotspot_config(true));
+  // The paper reports only a small percentage drop at the hotspots.
+  EXPECT_GT(on.hotspot_rcv_gbps, 0.5 * off.hotspot_rcv_gbps);
+}
+
+TEST(CcBehaviour, CcImprovesFairnessAmongVictims) {
+  const SimResult off = run_sim(hotspot_config(false));
+  const SimResult on = run_sim(hotspot_config(true));
+  EXPECT_GT(on.jain_non_hotspot, off.jain_non_hotspot);
+}
+
+TEST(CcBehaviour, ThresholdWeightZeroDisablesTheLoop) {
+  SimConfig config = hotspot_config(true);
+  config.cc.threshold_weight = 0;
+  const SimResult r = run_sim(config);
+  EXPECT_EQ(r.fecn_marked, 0u);
+}
+
+TEST(CcBehaviour, LaxThresholdMarksLess) {
+  SimConfig aggressive = hotspot_config(true);
+  aggressive.cc.threshold_weight = 15;
+  SimConfig lax = hotspot_config(true);
+  lax.cc.threshold_weight = 1;
+  const SimResult a = run_sim(aggressive);
+  const SimResult l = run_sim(lax);
+  EXPECT_GT(a.fecn_marked, l.fecn_marked);
+}
+
+TEST(CcBehaviour, MarkingRateThinsMarks) {
+  SimConfig all = hotspot_config(true);
+  SimConfig sparse = hotspot_config(true);
+  sparse.cc.marking_rate = 7;  // one mark per 8 eligible packets
+  const SimResult a = run_sim(all);
+  const SimResult s = run_sim(sparse);
+  EXPECT_LT(s.fecn_marked, a.fecn_marked / 4);
+}
+
+TEST(CcBehaviour, PacketSizeExemptsCnpSizedPackets) {
+  SimConfig config = hotspot_config(true);
+  config.cc.packet_size = 32;  // 32 x 64 B = 2048: exempts all MTU packets too
+  const SimResult r = run_sim(config);
+  EXPECT_EQ(r.fecn_marked, 0u);
+}
+
+TEST(CcBehaviour, SlLevelCcThrottlesInnocentFlows) {
+  // Section II.2: operating at SL level throttles *all* flows of a
+  // source once any of its flows is marked — the uniform (victim-bound)
+  // traffic of B nodes is gated at the generator even though it does
+  // not contribute to the hotspot tree. Measured at the source: B nodes
+  // inject less uniform traffic under SL-level CC than under QP-level.
+  SimConfig qp = hotspot_config(true);
+  qp.scenario.fraction_b = 1.0;  // B nodes mix hotspot + uniform traffic
+  qp.scenario.p = 0.5;
+  SimConfig sl = qp;
+  sl.cc.sl_level = true;
+  Simulation sim_qp(qp);
+  (void)sim_qp.run();
+  Simulation sim_sl(sl);
+  (void)sim_sl.run();
+  std::int64_t uniform_qp = 0;
+  for (const auto* gen : sim_qp.scenario().generators()) {
+    uniform_qp += gen->uniform_bytes_sent();
+  }
+  std::int64_t uniform_sl = 0;
+  for (const auto* gen : sim_sl.scenario().generators()) {
+    uniform_sl += gen->uniform_bytes_sent();
+  }
+  EXPECT_LT(uniform_sl, uniform_qp);
+}
+
+TEST(CcBehaviour, DynamicTrafficNotHarmed) {
+  // Section V-C: as hotspots move faster, the CC advantage shrinks —
+  // but CC must not hurt. On this small fixture we assert the no-harm
+  // bound; the fig9/fig10 benches measure the actual advantage at paper
+  // scale.
+  SimConfig off = hotspot_config(false);
+  off.scenario.hotspot_lifetime = 2 * core::kMillisecond;
+  off.sim_time = 8 * core::kMillisecond;
+  SimConfig on = hotspot_config(true);
+  on.scenario.hotspot_lifetime = 2 * core::kMillisecond;
+  on.sim_time = 8 * core::kMillisecond;
+  const SimResult r_off = run_sim(off);
+  const SimResult r_on = run_sim(on);
+  EXPECT_GT(r_on.all_rcv_gbps, 0.9 * r_off.all_rcv_gbps);
+}
+
+TEST(CcBehaviour, CnpsFlowOnDedicatedVl) {
+  // With the CNP VL disabled (single lane), the loop still works — the
+  // dedicated lane is a robustness feature, not a correctness one.
+  SimConfig config = hotspot_config(true);
+  config.fabric.n_vls = 1;
+  config.fabric.cnp_on_own_vl = false;
+  const SimResult r = run_sim(config);
+  EXPECT_GT(r.becn_received, 0u);
+}
+
+}  // namespace
+}  // namespace ibsim::sim

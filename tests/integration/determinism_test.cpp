@@ -1,0 +1,72 @@
+// Replay determinism: identical configuration => bit-identical results.
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+
+namespace ibsim::sim {
+namespace {
+
+SimConfig busy_config(std::uint64_t seed) {
+  SimConfig config;
+  config.topology = TopologyKind::FoldedClos;
+  config.clos = topo::FoldedClosParams::scaled(4, 2, 3);  // 12 nodes
+  config.sim_time = core::kMillisecond;
+  config.warmup = 200 * core::kMicrosecond;
+  config.seed = seed;
+  config.scenario.fraction_b = 0.5;
+  config.scenario.p = 0.4;
+  config.scenario.n_hotspots = 2;
+  return config;
+}
+
+void expect_identical(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.total_throughput_gbps, b.total_throughput_gbps);
+  EXPECT_EQ(a.hotspot_rcv_gbps, b.hotspot_rcv_gbps);
+  EXPECT_EQ(a.non_hotspot_rcv_gbps, b.non_hotspot_rcv_gbps);
+  EXPECT_EQ(a.fecn_marked, b.fecn_marked);
+  EXPECT_EQ(a.becn_received, b.becn_received);
+  EXPECT_EQ(a.delivered_bytes, b.delivered_bytes);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+}
+
+TEST(Determinism, SameSeedBitIdentical) {
+  const SimResult a = run_sim(busy_config(42));
+  const SimResult b = run_sim(busy_config(42));
+  expect_identical(a, b);
+}
+
+TEST(Determinism, SameSeedWithCcBitIdentical) {
+  SimConfig config = busy_config(7);
+  config.cc.ccti_increase = 2;
+  const SimResult a = run_sim(config);
+  const SimResult b = run_sim(config);
+  expect_identical(a, b);
+}
+
+TEST(Determinism, SameSeedWithMovingHotspotsBitIdentical) {
+  SimConfig config = busy_config(11);
+  config.scenario.hotspot_lifetime = 200 * core::kMicrosecond;
+  const SimResult a = run_sim(config);
+  const SimResult b = run_sim(config);
+  expect_identical(a, b);
+}
+
+TEST(Determinism, DifferentSeedsDiffer) {
+  const SimResult a = run_sim(busy_config(1));
+  const SimResult b = run_sim(busy_config(2));
+  // Role placement and destinations differ; byte counts almost surely do.
+  EXPECT_NE(a.delivered_bytes, b.delivered_bytes);
+}
+
+TEST(Determinism, ResultsIndependentOfOtherSimulations) {
+  // Running another simulation in between (or concurrently elsewhere)
+  // must not perturb a seeded run — no hidden global state.
+  const SimResult a = run_sim(busy_config(99));
+  (void)run_sim(busy_config(123));
+  const SimResult b = run_sim(busy_config(99));
+  expect_identical(a, b);
+}
+
+}  // namespace
+}  // namespace ibsim::sim

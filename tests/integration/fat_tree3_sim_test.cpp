@@ -1,0 +1,70 @@
+// End-to-end CC behaviour on the three-tier fat-tree.
+
+#include <gtest/gtest.h>
+
+#include "sim/config_file.hpp"
+#include "sim/simulation.hpp"
+
+namespace ibsim::sim {
+namespace {
+
+SimConfig ft3_config(bool cc_on) {
+  SimConfig config;
+  config.topology = TopologyKind::FatTree3;
+  config.fat_tree3.pods = 3;
+  config.fat_tree3.leaves_per_pod = 2;
+  config.fat_tree3.aggs_per_pod = 2;
+  config.fat_tree3.cores = 3;
+  config.fat_tree3.nodes_per_leaf = 4;  // 24 nodes
+  config.sim_time = 3 * core::kMillisecond;
+  config.warmup = core::kMillisecond;
+  config.cc.enabled = cc_on;
+  config.cc.ccti_increase = 4;
+  config.cc.ccti_timer = 38;
+  config.scenario.fraction_b = 0.0;
+  config.scenario.fraction_c_of_rest = 0.6;
+  config.scenario.n_hotspots = 2;
+  return config;
+}
+
+TEST(FatTree3Sim, UniformTrafficFlows) {
+  SimConfig config = ft3_config(false);
+  config.scenario.fraction_c_of_rest = 0.0;
+  config.scenario.n_hotspots = 0;
+  const SimResult r = run_sim(config);
+  EXPECT_GT(r.all_rcv_gbps, 5.0);
+}
+
+TEST(FatTree3Sim, CcResolvesHotspotsAcrossThreeTiers) {
+  const SimResult off = run_sim(ft3_config(false));
+  const SimResult on = run_sim(ft3_config(true));
+  EXPECT_NEAR(off.hotspot_rcv_gbps, 13.6, 0.2);
+  EXPECT_GT(on.non_hotspot_rcv_gbps, 1.5 * off.non_hotspot_rcv_gbps);
+  EXPECT_GT(on.total_throughput_gbps, off.total_throughput_gbps);
+}
+
+TEST(FatTree3Sim, DeterministicReplay) {
+  const SimResult a = run_sim(ft3_config(true));
+  const SimResult b = run_sim(ft3_config(true));
+  EXPECT_EQ(a.delivered_bytes, b.delivered_bytes);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+}
+
+TEST(FatTree3Sim, ConfigFileSelectsIt) {
+  SimConfig config;
+  ASSERT_TRUE(apply_config_text(R"(
+topology = fat-tree3
+ft3_pods = 2
+ft3_leaves_per_pod = 2
+ft3_aggs_per_pod = 2
+ft3_cores = 2
+ft3_nodes_per_leaf = 3
+)",
+                                &config)
+                  .empty());
+  EXPECT_EQ(config.topology, TopologyKind::FatTree3);
+  EXPECT_EQ(config.node_count(), 12);
+}
+
+}  // namespace
+}  // namespace ibsim::sim

@@ -1,0 +1,154 @@
+#include "sim/config_file.hpp"
+
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace ibsim::sim {
+namespace {
+
+TEST(ConfigFile, AppliesEveryCategory) {
+  SimConfig config;
+  const std::string err = apply_config_text(R"(
+# topology
+topology = mesh
+mesh_rows = 5
+mesh_cols = 6
+mesh_nodes = 2
+
+# traffic
+fraction_b = 0.5
+p_percent = 60
+hotspots = 3
+lifetime_us = 500
+inject_gbps = 10
+
+# congestion control
+threshold_weight = 8
+ccti_increase = 2
+ccti_timer = 75
+cct_fill = linear
+
+# fabric
+wire_gbps = 32
+hca_inject_gbps = 27
+hca_drain_gbps = 27.2
+switch_ibuf_bytes = 65536
+
+# run
+sim_time_us = 2500
+seed = 99
+)",
+                                            &config);
+  ASSERT_TRUE(err.empty()) << err;
+  EXPECT_EQ(config.topology, TopologyKind::Mesh2D);
+  EXPECT_EQ(config.mesh_rows, 5);
+  EXPECT_EQ(config.mesh_cols, 6);
+  EXPECT_EQ(config.node_count(), 60);
+  EXPECT_DOUBLE_EQ(config.scenario.fraction_b, 0.5);
+  EXPECT_DOUBLE_EQ(config.scenario.p, 0.6);
+  EXPECT_EQ(config.scenario.n_hotspots, 3);
+  EXPECT_EQ(config.scenario.hotspot_lifetime, 500 * core::kMicrosecond);
+  EXPECT_DOUBLE_EQ(config.scenario.capacity_gbps, 10.0);
+  EXPECT_EQ(config.cc.threshold_weight, 8);
+  EXPECT_EQ(config.cc.ccti_increase, 2);
+  EXPECT_EQ(config.cc.ccti_timer, 75);
+  EXPECT_EQ(config.cc.cct_fill, ib::CctFill::Linear);
+  EXPECT_DOUBLE_EQ(config.fabric.wire_gbps, 32.0);
+  EXPECT_EQ(config.fabric.switch_ibuf_data_bytes, 65536);
+  EXPECT_EQ(config.sim_time, 2500 * core::kMicrosecond);
+  EXPECT_EQ(config.seed, 99u);
+}
+
+TEST(ConfigFile, DefaultsUntouchedWhenEmpty) {
+  SimConfig config;
+  const SimConfig reference;
+  EXPECT_TRUE(apply_config_text("", &config).empty());
+  EXPECT_TRUE(apply_config_text("# only comments\n\n", &config).empty());
+  EXPECT_EQ(config.node_count(), reference.node_count());
+  EXPECT_EQ(config.cc.ccti_timer, reference.cc.ccti_timer);
+}
+
+TEST(ConfigFile, LifetimeZeroMeansStatic) {
+  SimConfig config;
+  config.scenario.hotspot_lifetime = core::kMillisecond;
+  EXPECT_TRUE(apply_config_text("lifetime_us = 0\n", &config).empty());
+  EXPECT_EQ(config.scenario.hotspot_lifetime, core::kTimeNever);
+}
+
+TEST(ConfigFile, BooleansFromIntegers) {
+  SimConfig config;
+  EXPECT_TRUE(apply_config_text("cc_enabled = 0\nsl_level = 1\ncut_through = 0\n",
+                                &config)
+                  .empty());
+  EXPECT_FALSE(config.cc.enabled);
+  EXPECT_TRUE(config.cc.sl_level);
+  EXPECT_FALSE(config.fabric.cut_through);
+}
+
+TEST(ConfigFile, ReportsUnknownKeyWithLine) {
+  SimConfig config;
+  const std::string err = apply_config_text("seed = 1\nbogus = 2\n", &config);
+  EXPECT_NE(err.find("line 2"), std::string::npos);
+  EXPECT_NE(err.find("bogus"), std::string::npos);
+}
+
+TEST(ConfigFile, ReportsMalformedLine) {
+  SimConfig config;
+  EXPECT_NE(apply_config_text("no equals sign\n", &config).find("line 1"),
+            std::string::npos);
+  EXPECT_NE(apply_config_text("seed =\n", &config).find("empty"), std::string::npos);
+  EXPECT_NE(apply_config_text("seed = abc\n", &config).find("integer"), std::string::npos);
+  EXPECT_NE(apply_config_text("topology = ring\n", &config).find("unknown topology"),
+            std::string::npos);
+}
+
+TEST(ConfigFile, CommentsAndWhitespaceTolerated) {
+  SimConfig config;
+  EXPECT_TRUE(
+      apply_config_text("   seed=42   # trailing comment\n\t hotspots\t=\t7\n", &config)
+          .empty());
+  EXPECT_EQ(config.seed, 42u);
+  EXPECT_EQ(config.scenario.n_hotspots, 7);
+}
+
+TEST(ConfigFile, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/ibsim_config_test.conf";
+  {
+    std::ofstream out(path);
+    out << "topology = dumbbell\ndumbbell_nodes = 6\nseed = 5\n";
+  }
+  SimConfig config;
+  EXPECT_TRUE(apply_config_file(path, &config).empty());
+  EXPECT_EQ(config.topology, TopologyKind::Dumbbell);
+  EXPECT_EQ(config.node_count(), 12);
+  std::remove(path.c_str());
+}
+
+TEST(ConfigFile, MissingFileReported) {
+  SimConfig config;
+  EXPECT_NE(apply_config_file("/nonexistent/ibsim.conf", &config).find("cannot open"),
+            std::string::npos);
+}
+
+TEST(ConfigFile, LoadedConfigRunsEndToEnd) {
+  SimConfig config;
+  ASSERT_TRUE(apply_config_text(R"(
+topology = single
+single_nodes = 6
+fraction_c = 0.5
+hotspots = 1
+sim_time_us = 500
+warmup_us = 100
+)",
+                                &config)
+                  .empty());
+  const SimResult r = run_sim(config);
+  EXPECT_GT(r.delivered_bytes, 0);
+}
+
+}  // namespace
+}  // namespace ibsim::sim

@@ -1,0 +1,90 @@
+#include "sim/sim_config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+
+namespace ibsim::sim {
+namespace {
+
+TEST(SimConfig, NodeCountPerTopology) {
+  SimConfig config;
+  config.topology = TopologyKind::FoldedClos;
+  EXPECT_EQ(config.node_count(), 648);
+  config.topology = TopologyKind::SingleSwitch;
+  config.single_switch_nodes = 12;
+  EXPECT_EQ(config.node_count(), 12);
+  config.topology = TopologyKind::LinearChain;
+  config.chain_switches = 3;
+  config.chain_nodes_per_switch = 4;
+  EXPECT_EQ(config.node_count(), 12);
+  config.topology = TopologyKind::Dumbbell;
+  config.dumbbell_nodes_per_side = 5;
+  EXPECT_EQ(config.node_count(), 10);
+}
+
+TEST(SimConfig, DescribeMentionsKeyFacts) {
+  SimConfig config;
+  const std::string desc = config.describe();
+  EXPECT_NE(desc.find("folded-clos"), std::string::npos);
+  EXPECT_NE(desc.find("648"), std::string::npos);
+  EXPECT_NE(desc.find("CC on"), std::string::npos);
+}
+
+TEST(SimConfig, TopologyNames) {
+  EXPECT_STREQ(topology_name(TopologyKind::SingleSwitch), "single-switch");
+  EXPECT_STREQ(topology_name(TopologyKind::FoldedClos), "folded-clos");
+  EXPECT_STREQ(topology_name(TopologyKind::LinearChain), "linear-chain");
+  EXPECT_STREQ(topology_name(TopologyKind::Dumbbell), "dumbbell");
+}
+
+TEST(SimConfig, DefaultsMatchPaperSetup) {
+  SimConfig config;
+  EXPECT_EQ(config.clos.node_count(), 648);
+  EXPECT_TRUE(config.cc.enabled);
+  EXPECT_EQ(config.cc.ccti_timer, 150);
+  EXPECT_DOUBLE_EQ(config.fabric.hca_inject_gbps, 13.5);
+  EXPECT_DOUBLE_EQ(config.fabric.hca_drain_gbps, 13.6);
+}
+
+TEST(ExperimentPreset, QuickScalesLoopConsistently) {
+  const ExperimentPreset quick = ExperimentPreset::quick();
+  const ExperimentPreset paper = ExperimentPreset::paper();
+  // The quick preset's CCTI loop runs 4x faster...
+  EXPECT_EQ(quick.ccti_increase, 4 * paper.ccti_increase);
+  EXPECT_NEAR(static_cast<double>(paper.ccti_timer) / quick.ccti_timer, 4.0, 0.1);
+  // ...and its lifetime axis is compressed by the same factor.
+  ASSERT_EQ(quick.lifetimes.size(), paper.lifetimes.size());
+  for (std::size_t i = 0; i < quick.lifetimes.size(); ++i) {
+    EXPECT_EQ(paper.lifetimes[i], 4 * quick.lifetimes[i]);
+  }
+}
+
+TEST(ExperimentPreset, PaperUsesTable1Values) {
+  const ExperimentPreset paper = ExperimentPreset::paper();
+  EXPECT_EQ(paper.ccti_increase, 1);
+  EXPECT_EQ(paper.ccti_timer, 150);
+  const SimConfig config = paper.base_config();
+  EXPECT_EQ(config.cc.ccti_increase, 1);
+  EXPECT_EQ(config.cc.ccti_limit, 127);
+}
+
+TEST(ExperimentPreset, BaseConfigCarriesTiming) {
+  ExperimentPreset preset = ExperimentPreset::quick();
+  preset.seed = 77;
+  const SimConfig config = preset.base_config();
+  EXPECT_EQ(config.sim_time, preset.static_sim_time);
+  EXPECT_EQ(config.warmup, preset.static_warmup);
+  EXPECT_EQ(config.seed, 77u);
+  EXPECT_EQ(config.topology, TopologyKind::FoldedClos);
+}
+
+TEST(ExperimentPreset, PValuesCoverPaperAxis) {
+  const ExperimentPreset preset = ExperimentPreset::quick();
+  ASSERT_FALSE(preset.p_values.empty());
+  EXPECT_DOUBLE_EQ(preset.p_values.front(), 0.0);
+  EXPECT_DOUBLE_EQ(preset.p_values.back(), 1.0);
+}
+
+}  // namespace
+}  // namespace ibsim::sim

@@ -1,0 +1,118 @@
+#include "sim/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/simulation.hpp"
+
+namespace ibsim::sim {
+namespace {
+
+SimConfig timeline_config(bool cc_on) {
+  SimConfig config;
+  config.topology = TopologyKind::FoldedClos;
+  config.clos = topo::FoldedClosParams::scaled(4, 2, 3);  // 12 nodes
+  config.sim_time = core::kMillisecond;
+  config.warmup = 0;
+  config.cc.enabled = cc_on;
+  config.cc.ccti_increase = 4;
+  config.cc.ccti_timer = 38;
+  config.scenario.fraction_b = 0.0;
+  config.scenario.fraction_c_of_rest = 0.5;
+  config.scenario.n_hotspots = 1;
+  return config;
+}
+
+TEST(Timeline, SamplesAtTheConfiguredInterval) {
+  Simulation sim(timeline_config(true));
+  TimelineSampler timeline(&sim.fabric(), &sim.metrics(), 100 * core::kMicrosecond);
+  timeline.install(sim.sched());
+  (void)sim.run();
+  ASSERT_EQ(timeline.samples().size(), 10u);
+  for (std::size_t i = 0; i < timeline.samples().size(); ++i) {
+    EXPECT_EQ(timeline.samples()[i].at,
+              static_cast<core::Time>(i + 1) * 100 * core::kMicrosecond);
+  }
+}
+
+TEST(Timeline, RatesMatchFinalMetrics) {
+  Simulation sim(timeline_config(false));
+  TimelineSampler timeline(&sim.fabric(), &sim.metrics(), 100 * core::kMicrosecond);
+  timeline.install(sim.sched());
+  const SimResult r = sim.run();
+  // The interval rates integrate back to the run's delivered bytes:
+  // sum(rate_i * interval) == total delivered.
+  double integrated = 0.0;
+  for (const auto& s : timeline.samples()) {
+    integrated += s.total_gbps * 100e-6 / 8e-9;  // Gb/s x 100us in bytes
+  }
+  EXPECT_NEAR(integrated, static_cast<double>(r.delivered_bytes),
+              static_cast<double>(r.delivered_bytes) * 0.001 + 10.0);
+}
+
+TEST(Timeline, CongestionTreeVisibleWithoutCc) {
+  Simulation sim(timeline_config(false));
+  TimelineSampler timeline(&sim.fabric(), &sim.metrics(), 50 * core::kMicrosecond);
+  timeline.install(sim.sched());
+  (void)sim.run();
+  // The tree builds and stays: queued bytes grow to a sustained plateau.
+  EXPECT_GT(timeline.peak_queued_bytes(), 100 * 1024);
+  EXPECT_GT(timeline.samples().back().queued_bytes, 100 * 1024);
+  // Without CC no flow is ever throttled.
+  for (const auto& s : timeline.samples()) {
+    EXPECT_EQ(s.throttled_flows, 0);
+    EXPECT_EQ(s.fecn_marked, 0u);
+  }
+}
+
+TEST(Timeline, CcPrunesTheTree) {
+  SimConfig config = timeline_config(true);
+  config.sim_time = 3 * core::kMillisecond;
+  Simulation sim(config);
+  TimelineSampler timeline(&sim.fabric(), &sim.metrics(), 100 * core::kMicrosecond);
+  timeline.install(sim.sched());
+  (void)sim.run();
+  // The tree grows, marking fires, throttles accumulate, and the tree is
+  // pruned well below its peak by the end of the run.
+  EXPECT_GT(timeline.peak_queued_bytes(), 50 * 1024);
+  EXPECT_LT(timeline.samples().back().queued_bytes, timeline.peak_queued_bytes() / 2);
+  bool saw_marks = false;
+  bool saw_throttled = false;
+  for (const auto& s : timeline.samples()) {
+    saw_marks |= s.fecn_marked > 0;
+    saw_throttled |= s.throttled_flows > 0;
+  }
+  EXPECT_TRUE(saw_marks);
+  EXPECT_TRUE(saw_throttled);
+  EXPECT_GT(timeline.samples().back().mean_ccti, 0.0);
+}
+
+TEST(Timeline, CsvHasHeaderAndRows) {
+  Simulation sim(timeline_config(true));
+  TimelineSampler timeline(&sim.fabric(), &sim.metrics(), 200 * core::kMicrosecond);
+  timeline.install(sim.sched());
+  (void)sim.run();
+  const std::string path = ::testing::TempDir() + "/timeline_test.csv";
+  timeline.write_csv(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_NE(line.find("t_us,total_gbps"), std::string::npos);
+  int rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 5);
+  std::remove(path.c_str());
+}
+
+TEST(TimelineDeath, DoubleInstallAborts) {
+  Simulation sim(timeline_config(true));
+  TimelineSampler timeline(&sim.fabric(), &sim.metrics(), 100 * core::kMicrosecond);
+  timeline.install(sim.sched());
+  EXPECT_DEATH(timeline.install(sim.sched()), "twice");
+}
+
+}  // namespace
+}  // namespace ibsim::sim

@@ -1,0 +1,112 @@
+#include "topo/builders.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ibsim::topo {
+namespace {
+
+TEST(Builders, SingleSwitchShape) {
+  const Topology topo = single_switch(8);
+  EXPECT_EQ(topo.node_count(), 8);
+  EXPECT_EQ(topo.switches().size(), 1u);
+  EXPECT_TRUE(topo.validate().empty());
+  // Every HCA is cabled to a distinct switch port.
+  for (ib::NodeId n = 0; n < 8; ++n) {
+    const PortRef peer = topo.peer(PortRef{topo.hca_device(n), 0});
+    EXPECT_EQ(peer.device, topo.switches()[0]);
+    EXPECT_EQ(peer.port, n);
+  }
+}
+
+TEST(Builders, SunDcs648Dimensions) {
+  const FoldedClosParams params = FoldedClosParams::sun_dcs_648();
+  EXPECT_EQ(params.node_count(), 648);
+  EXPECT_EQ(params.switch_count(), 54);
+  EXPECT_EQ(params.leaf_ports(), 36);  // 36-port crossbars
+}
+
+TEST(Builders, FoldedClosSmallInstance) {
+  const Topology topo = folded_clos(FoldedClosParams::scaled(4, 2, 3));
+  EXPECT_EQ(topo.node_count(), 12);
+  EXPECT_EQ(topo.switches().size(), 6u);
+  EXPECT_TRUE(topo.validate().empty());
+}
+
+TEST(Builders, FoldedClosLeafSpineWiring) {
+  const FoldedClosParams params = FoldedClosParams::scaled(4, 2, 3);
+  const Topology topo = folded_clos(params);
+  // Leaves are the first 4 switches, spines the next 2; every leaf
+  // connects to every spine exactly once, spine port l = leaf l.
+  for (std::int32_t l = 0; l < params.leaves; ++l) {
+    const DeviceId leaf = topo.switches()[static_cast<std::size_t>(l)];
+    for (std::int32_t s = 0; s < params.spines; ++s) {
+      const DeviceId spine = topo.switches()[static_cast<std::size_t>(params.leaves + s)];
+      const PortRef up = topo.peer(PortRef{leaf, params.nodes_per_leaf + s});
+      EXPECT_EQ(up.device, spine);
+      EXPECT_EQ(up.port, l);
+    }
+  }
+}
+
+TEST(Builders, FoldedClosNodesLeafMajor) {
+  const FoldedClosParams params = FoldedClosParams::scaled(3, 2, 4);
+  const Topology topo = folded_clos(params);
+  // NodeId / nodes_per_leaf identifies the leaf switch.
+  for (ib::NodeId n = 0; n < topo.node_count(); ++n) {
+    const PortRef peer = topo.peer(PortRef{topo.hca_device(n), 0});
+    const std::int32_t expected_leaf = n / params.nodes_per_leaf;
+    EXPECT_EQ(peer.device, topo.switches()[static_cast<std::size_t>(expected_leaf)]);
+    EXPECT_EQ(peer.port, n % params.nodes_per_leaf);
+  }
+}
+
+TEST(Builders, FoldedClosFullScaleBuilds) {
+  const Topology topo = folded_clos(FoldedClosParams::sun_dcs_648());
+  EXPECT_EQ(topo.node_count(), 648);
+  EXPECT_EQ(topo.switches().size(), 54u);
+  EXPECT_TRUE(topo.validate().empty());
+  // Spines use all 36 ports (one per leaf), leaves use 18+18.
+  for (std::size_t i = 36; i < 54; ++i) {
+    EXPECT_EQ(topo.port_count(topo.switches()[i]), 36);
+  }
+}
+
+TEST(Builders, LinearChainShape) {
+  const Topology topo = linear_chain(4, 2);
+  EXPECT_EQ(topo.node_count(), 8);
+  EXPECT_EQ(topo.switches().size(), 4u);
+  EXPECT_TRUE(topo.validate().empty());
+}
+
+TEST(Builders, LinearChainNeighbourLinks) {
+  const Topology topo = linear_chain(3, 1);
+  const auto& sws = topo.switches();
+  // Switch i connects to switch i+1 (port n+1 -> port n).
+  for (std::size_t i = 0; i + 1 < sws.size(); ++i) {
+    const PortRef next = topo.peer(PortRef{sws[i], 2});
+    EXPECT_EQ(next.device, sws[i + 1]);
+    EXPECT_EQ(next.port, 1);
+  }
+  // Chain ends are open.
+  EXPECT_FALSE(topo.peer(PortRef{sws[0], 1}).valid());
+  EXPECT_FALSE(topo.peer(PortRef{sws[2], 2}).valid());
+}
+
+TEST(Builders, DumbbellShape) {
+  const Topology topo = dumbbell(4);
+  EXPECT_EQ(topo.node_count(), 8);
+  EXPECT_EQ(topo.switches().size(), 2u);
+  EXPECT_TRUE(topo.validate().empty());
+  // The bottleneck link joins the two switches.
+  const PortRef bridge = topo.peer(PortRef{topo.switches()[0], 4});
+  EXPECT_EQ(bridge.device, topo.switches()[1]);
+}
+
+TEST(BuildersDeath, RejectsDegenerateDimensions) {
+  EXPECT_DEATH((void)single_switch(1), "at least two");
+  EXPECT_DEATH((void)linear_chain(1, 2), "at least two");
+  EXPECT_DEATH((void)folded_clos(FoldedClosParams::scaled(0, 1, 1)), "positive");
+}
+
+}  // namespace
+}  // namespace ibsim::topo

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "topo/builders.hpp"
+#include "topo/routing.hpp"
+
+namespace ibsim::topo {
+namespace {
+
+TEST(Mesh2d, ShapeAndValidation) {
+  const Topology topo = mesh2d(3, 4, 2);
+  EXPECT_EQ(topo.switches().size(), 12u);
+  EXPECT_EQ(topo.node_count(), 24);
+  EXPECT_TRUE(topo.validate().empty());
+}
+
+TEST(Mesh2d, PortLayoutXThenY) {
+  const std::int32_t n = 2;
+  const Topology topo = mesh2d(3, 3, n);
+  const auto at = [&](int r, int c) { return topo.switches()[static_cast<std::size_t>(r * 3 + c)]; };
+  // Centre switch (1,1): X- to (1,0), X+ to (1,2), Y- to (0,1), Y+ to (2,1).
+  EXPECT_EQ(topo.peer(PortRef{at(1, 1), n + 0}).device, at(1, 0));
+  EXPECT_EQ(topo.peer(PortRef{at(1, 1), n + 1}).device, at(1, 2));
+  EXPECT_EQ(topo.peer(PortRef{at(1, 1), n + 2}).device, at(0, 1));
+  EXPECT_EQ(topo.peer(PortRef{at(1, 1), n + 3}).device, at(2, 1));
+}
+
+TEST(Mesh2d, EdgesHaveOpenPorts) {
+  const std::int32_t n = 1;
+  const Topology topo = mesh2d(2, 2, n);
+  const DeviceId corner = topo.switches()[0];  // (0,0)
+  EXPECT_FALSE(topo.peer(PortRef{corner, n + 0}).valid());  // no X-
+  EXPECT_FALSE(topo.peer(PortRef{corner, n + 2}).valid());  // no Y-
+  EXPECT_TRUE(topo.peer(PortRef{corner, n + 1}).valid());   // X+
+  EXPECT_TRUE(topo.peer(PortRef{corner, n + 3}).valid());   // Y+
+}
+
+TEST(Mesh2d, FirstPortTieBreakIsDimensionOrder) {
+  const std::int32_t rows = 4;
+  const std::int32_t cols = 4;
+  const std::int32_t n = 2;
+  const Topology topo = mesh2d(rows, cols, n);
+  const RoutingTables rt =
+      RoutingTables::compute(topo, RoutingTables::TieBreak::FirstPort);
+  // Every route corrects X before Y: once a hop moves in Y, no later hop
+  // moves in X.
+  for (ib::NodeId src = 0; src < topo.node_count(); ++src) {
+    for (ib::NodeId dst = 0; dst < topo.node_count(); ++dst) {
+      if (src == dst) continue;
+      const auto path = rt.trace(topo, src, dst);
+      bool seen_y = false;
+      for (std::size_t i = 1; i + 1 < path.size() - 1 + 1; ++i) {
+        if (i + 1 >= path.size()) break;
+        const DeviceId a = path[i];
+        const DeviceId b = path[i + 1];
+        if (topo.kind(a) != DeviceKind::Switch || topo.kind(b) != DeviceKind::Switch) {
+          continue;
+        }
+        // Switch indices encode coordinates: idx = r * cols + c.
+        const auto idx = [&](DeviceId dev) {
+          for (std::size_t s = 0; s < topo.switches().size(); ++s) {
+            if (topo.switches()[s] == dev) return static_cast<std::int32_t>(s);
+          }
+          return -1;
+        };
+        const std::int32_t ia = idx(a);
+        const std::int32_t ib_ = idx(b);
+        const bool x_move = ia / cols == ib_ / cols;
+        if (x_move) {
+          EXPECT_FALSE(seen_y) << "X move after Y move: src=" << src << " dst=" << dst;
+        } else {
+          seen_y = true;
+        }
+      }
+    }
+  }
+}
+
+TEST(Mesh2d, HopCountsAreManhattan) {
+  const std::int32_t cols = 3;
+  const std::int32_t n = 2;
+  const Topology topo = mesh2d(3, cols, n);
+  const RoutingTables rt =
+      RoutingTables::compute(topo, RoutingTables::TieBreak::FirstPort);
+  for (ib::NodeId src = 0; src < topo.node_count(); ++src) {
+    for (ib::NodeId dst = 0; dst < topo.node_count(); ++dst) {
+      if (src == dst) continue;
+      const std::int32_t s_sw = src / n;
+      const std::int32_t d_sw = dst / n;
+      const std::int32_t manhattan =
+          std::abs(s_sw / cols - d_sw / cols) + std::abs(s_sw % cols - d_sw % cols);
+      EXPECT_EQ(rt.hops(topo, src, dst), manhattan + 2) << src << "->" << dst;
+    }
+  }
+}
+
+TEST(Mesh2d, SingleRowDegeneratesToChain) {
+  const Topology topo = mesh2d(1, 4, 1);
+  const RoutingTables rt =
+      RoutingTables::compute(topo, RoutingTables::TieBreak::FirstPort);
+  EXPECT_EQ(rt.hops(topo, 0, 3), 5);
+}
+
+TEST(Mesh2dDeath, RejectsDegenerate) {
+  EXPECT_DEATH((void)mesh2d(1, 1, 2), "two switches");
+  EXPECT_DEATH((void)mesh2d(2, 2, 0), "nodes");
+}
+
+}  // namespace
+}  // namespace ibsim::topo

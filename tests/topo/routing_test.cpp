@@ -1,0 +1,122 @@
+#include "topo/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topo/builders.hpp"
+
+namespace ibsim::topo {
+namespace {
+
+TEST(Routing, SingleSwitchDirect) {
+  const Topology topo = single_switch(4);
+  const RoutingTables rt = RoutingTables::compute(topo);
+  const DeviceId sw = topo.switches()[0];
+  for (ib::NodeId dst = 0; dst < 4; ++dst) {
+    EXPECT_EQ(rt.out_port(sw, dst), dst);  // port i hosts node i
+  }
+}
+
+TEST(Routing, TraceSelfIsTrivial) {
+  const Topology topo = single_switch(4);
+  const RoutingTables rt = RoutingTables::compute(topo);
+  const auto path = rt.trace(topo, 2, 2);
+  EXPECT_EQ(path.size(), 1u);
+}
+
+TEST(Routing, SingleSwitchTwoHops) {
+  const Topology topo = single_switch(4);
+  const RoutingTables rt = RoutingTables::compute(topo);
+  EXPECT_EQ(rt.hops(topo, 0, 3), 2);  // HCA -> switch -> HCA
+}
+
+TEST(Routing, FoldedClosAllPairsReachableWithCorrectHops) {
+  const FoldedClosParams params = FoldedClosParams::scaled(4, 2, 3);
+  const Topology topo = folded_clos(params);
+  const RoutingTables rt = RoutingTables::compute(topo);
+  for (ib::NodeId src = 0; src < topo.node_count(); ++src) {
+    for (ib::NodeId dst = 0; dst < topo.node_count(); ++dst) {
+      if (src == dst) continue;
+      const bool same_leaf = src / params.nodes_per_leaf == dst / params.nodes_per_leaf;
+      EXPECT_EQ(rt.hops(topo, src, dst), same_leaf ? 2 : 4)
+          << "src=" << src << " dst=" << dst;
+    }
+  }
+}
+
+TEST(Routing, DModKSpreadsAcrossSpines) {
+  const FoldedClosParams params = FoldedClosParams::scaled(4, 2, 3);
+  const Topology topo = folded_clos(params);
+  const RoutingTables rt = RoutingTables::compute(topo);
+  const DeviceId leaf0 = topo.switches()[0];
+  // Destinations on other leaves must use up-ports spread by dst % spines.
+  std::set<std::int32_t> up_ports_used;
+  for (ib::NodeId dst = params.nodes_per_leaf; dst < topo.node_count(); ++dst) {
+    const std::int32_t port = rt.out_port(leaf0, dst);
+    EXPECT_GE(port, params.nodes_per_leaf);  // an up port
+    up_ports_used.insert(port);
+    EXPECT_EQ(port, params.nodes_per_leaf + dst % params.spines);
+  }
+  EXPECT_EQ(up_ports_used.size(), static_cast<std::size_t>(params.spines));
+}
+
+TEST(Routing, DownPathIsDirect) {
+  const FoldedClosParams params = FoldedClosParams::scaled(4, 2, 3);
+  const Topology topo = folded_clos(params);
+  const RoutingTables rt = RoutingTables::compute(topo);
+  // From a spine, the route to any node goes to its leaf.
+  const DeviceId spine0 = topo.switches()[4];
+  for (ib::NodeId dst = 0; dst < topo.node_count(); ++dst) {
+    EXPECT_EQ(rt.out_port(spine0, dst), dst / params.nodes_per_leaf);
+  }
+}
+
+TEST(Routing, LocalTrafficStaysOnLeaf) {
+  const FoldedClosParams params = FoldedClosParams::scaled(4, 2, 3);
+  const Topology topo = folded_clos(params);
+  const RoutingTables rt = RoutingTables::compute(topo);
+  // Same-leaf destinations go straight down, never to a spine.
+  const DeviceId leaf0 = topo.switches()[0];
+  for (ib::NodeId dst = 0; dst < params.nodes_per_leaf; ++dst) {
+    EXPECT_EQ(rt.out_port(leaf0, dst), dst);
+  }
+}
+
+TEST(Routing, ChainRoutesAlongTheLine) {
+  const Topology topo = linear_chain(4, 1);
+  const RoutingTables rt = RoutingTables::compute(topo);
+  EXPECT_EQ(rt.hops(topo, 0, 3), 5);  // hca->sw0->sw1->sw2->sw3->hca
+  EXPECT_EQ(rt.hops(topo, 3, 0), 5);
+  EXPECT_EQ(rt.hops(topo, 1, 2), 3);
+}
+
+TEST(Routing, DumbbellCrossesBottleneck) {
+  const Topology topo = dumbbell(3);
+  const RoutingTables rt = RoutingTables::compute(topo);
+  EXPECT_EQ(rt.hops(topo, 0, 1), 2);  // same side
+  EXPECT_EQ(rt.hops(topo, 0, 3), 3);  // across the bridge
+}
+
+TEST(Routing, PathsFollowPhysicalLinks) {
+  const Topology topo = folded_clos(FoldedClosParams::scaled(3, 2, 2));
+  const RoutingTables rt = RoutingTables::compute(topo);
+  for (ib::NodeId src = 0; src < topo.node_count(); ++src) {
+    for (ib::NodeId dst = 0; dst < topo.node_count(); ++dst) {
+      if (src == dst) continue;
+      const auto path = rt.trace(topo, src, dst);  // trace asserts link validity
+      EXPECT_EQ(path.front(), topo.hca_device(src));
+      EXPECT_EQ(path.back(), topo.hca_device(dst));
+    }
+  }
+}
+
+TEST(Routing, FullScaleComputeIsFeasible) {
+  const Topology topo = folded_clos(FoldedClosParams::sun_dcs_648());
+  const RoutingTables rt = RoutingTables::compute(topo);
+  EXPECT_EQ(rt.hops(topo, 0, 1), 2);    // same leaf
+  EXPECT_EQ(rt.hops(topo, 0, 647), 4);  // across spines
+}
+
+}  // namespace
+}  // namespace ibsim::topo

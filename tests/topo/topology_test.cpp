@@ -1,0 +1,119 @@
+#include "topo/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ibsim::topo {
+namespace {
+
+TEST(Topology, AddDevices) {
+  Topology topo;
+  const DeviceId sw = topo.add_switch(4, "sw");
+  const DeviceId hca = topo.add_hca("node");
+  EXPECT_EQ(topo.device_count(), 2);
+  EXPECT_EQ(topo.kind(sw), DeviceKind::Switch);
+  EXPECT_EQ(topo.kind(hca), DeviceKind::Hca);
+  EXPECT_EQ(topo.port_count(sw), 4);
+  EXPECT_EQ(topo.port_count(hca), 1);
+  EXPECT_EQ(topo.name(sw), "sw");
+}
+
+TEST(Topology, NodeIdsFollowCreationOrder) {
+  Topology topo;
+  (void)topo.add_switch(4);
+  const DeviceId h0 = topo.add_hca();
+  const DeviceId h1 = topo.add_hca();
+  EXPECT_EQ(topo.node_count(), 2);
+  EXPECT_EQ(topo.node_of(h0), 0);
+  EXPECT_EQ(topo.node_of(h1), 1);
+  EXPECT_EQ(topo.hca_device(0), h0);
+  EXPECT_EQ(topo.hca_device(1), h1);
+}
+
+TEST(Topology, ConnectIsSymmetric) {
+  Topology topo;
+  const DeviceId sw = topo.add_switch(4);
+  const DeviceId hca = topo.add_hca();
+  topo.connect(PortRef{hca, 0}, PortRef{sw, 2});
+  EXPECT_EQ(topo.peer(PortRef{hca, 0}), (PortRef{sw, 2}));
+  EXPECT_EQ(topo.peer(PortRef{sw, 2}), (PortRef{hca, 0}));
+}
+
+TEST(Topology, UncabledPortHasInvalidPeer) {
+  Topology topo;
+  const DeviceId sw = topo.add_switch(4);
+  EXPECT_FALSE(topo.peer(PortRef{sw, 0}).valid());
+  EXPECT_FALSE(topo.connected(PortRef{sw, 0}));
+}
+
+TEST(Topology, DefaultNames) {
+  Topology topo;
+  const DeviceId s0 = topo.add_switch(2);
+  const DeviceId h0 = topo.add_hca();
+  EXPECT_EQ(topo.name(s0), "sw0");
+  EXPECT_EQ(topo.name(h0), "hca0");
+}
+
+TEST(Topology, SwitchesListedInOrder) {
+  Topology topo;
+  const DeviceId s0 = topo.add_switch(2);
+  (void)topo.add_hca();
+  const DeviceId s1 = topo.add_switch(2);
+  ASSERT_EQ(topo.switches().size(), 2u);
+  EXPECT_EQ(topo.switches()[0], s0);
+  EXPECT_EQ(topo.switches()[1], s1);
+}
+
+TEST(Topology, ValidateCatchesUncabledHca) {
+  Topology topo;
+  (void)topo.add_switch(2);
+  (void)topo.add_hca("lonely");
+  const std::string err = topo.validate();
+  EXPECT_NE(err.find("lonely"), std::string::npos);
+}
+
+TEST(Topology, ValidateCatchesEmpty) {
+  Topology topo;
+  (void)topo.add_switch(2);
+  EXPECT_FALSE(topo.validate().empty());
+}
+
+TEST(Topology, ValidatePassesWhenCabled) {
+  Topology topo;
+  const DeviceId sw = topo.add_switch(2);
+  const DeviceId h0 = topo.add_hca();
+  const DeviceId h1 = topo.add_hca();
+  topo.connect(PortRef{h0, 0}, PortRef{sw, 0});
+  topo.connect(PortRef{h1, 0}, PortRef{sw, 1});
+  EXPECT_TRUE(topo.validate().empty());
+}
+
+TEST(TopologyDeath, DoubleCablingAborts) {
+  Topology topo;
+  const DeviceId sw = topo.add_switch(4);
+  const DeviceId h0 = topo.add_hca();
+  const DeviceId h1 = topo.add_hca();
+  topo.connect(PortRef{h0, 0}, PortRef{sw, 0});
+  EXPECT_DEATH(topo.connect(PortRef{h1, 0}, PortRef{sw, 0}), "already cabled");
+}
+
+TEST(TopologyDeath, SelfLinkAborts) {
+  Topology topo;
+  const DeviceId sw = topo.add_switch(4);
+  EXPECT_DEATH(topo.connect(PortRef{sw, 0}, PortRef{sw, 1}), "self-link");
+}
+
+TEST(TopologyDeath, PortOutOfRangeAborts) {
+  Topology topo;
+  const DeviceId sw = topo.add_switch(2);
+  const DeviceId hca = topo.add_hca();
+  EXPECT_DEATH(topo.connect(PortRef{hca, 0}, PortRef{sw, 5}), "port out of range");
+}
+
+TEST(TopologyDeath, NodeOfSwitchAborts) {
+  Topology topo;
+  const DeviceId sw = topo.add_switch(2);
+  EXPECT_DEATH((void)topo.node_of(sw), "switch");
+}
+
+}  // namespace
+}  // namespace ibsim::topo

@@ -1,0 +1,164 @@
+#include "traffic/burst.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace ibsim::traffic {
+namespace {
+
+class BurstTest : public ::testing::Test {
+ protected:
+  /// Drive the generator like an idealised HCA: emit whenever ready,
+  /// jump to the retry hint otherwise.
+  void drive(BurstGenerator& gen, core::Time until) {
+    core::Time now = 0;
+    while (now < until) {
+      auto res = gen.poll(now);
+      if (res.pkt != nullptr) {
+        const core::Time pace = core::transmit_time(res.pkt->bytes, 13.5);
+        pool_.release(res.pkt);
+        now += pace;
+      } else {
+        ASSERT_GT(res.retry_at, now) << "burst generator must make progress";
+        now = res.retry_at;
+      }
+    }
+  }
+
+  ib::PacketPool pool_;
+};
+
+TEST_F(BurstTest, DutyCycleMatchesPhaseMeans) {
+  BurstParams params;
+  params.mean_on = 100 * core::kMicrosecond;
+  params.mean_off = 300 * core::kMicrosecond;
+  params.rate_gbps = 13.5;
+  BurstGenerator gen(0, 8, params, nullptr, &pool_, core::Rng(1));
+  const core::Time horizon = 200 * core::kMillisecond;
+  drive(gen, horizon);
+  // Average rate = duty cycle x burst rate = 0.25 x 13.5.
+  const double gbps = core::rate_gbps(gen.bytes_sent(), horizon);
+  EXPECT_NEAR(gbps, 13.5 * 0.25, 0.6);
+  // And on_time tracks the same duty cycle.
+  EXPECT_NEAR(static_cast<double>(gen.on_time()) / static_cast<double>(horizon), 0.25,
+              0.05);
+}
+
+TEST_F(BurstTest, SilentDuringOffPhases) {
+  BurstParams params;
+  params.mean_on = 50 * core::kMicrosecond;
+  params.mean_off = 200 * core::kMicrosecond;
+  BurstGenerator gen(0, 8, params, nullptr, &pool_, core::Rng(2));
+  // Consecutive sends within a burst are packet-time spaced; gaps between
+  // bursts are much longer. Both must appear.
+  core::Time now = 0;
+  int long_gaps = 0;
+  int short_gaps = 0;
+  core::Time last_send = -1;
+  while (now < 20 * core::kMillisecond) {
+    auto res = gen.poll(now);
+    if (res.pkt != nullptr) {
+      if (last_send >= 0) {
+        const core::Time gap = now - last_send;
+        if (gap > 10 * core::kMicrosecond) ++long_gaps;
+        if (gap <= 2 * core::transmit_time(ib::kMtuBytes, params.rate_gbps)) ++short_gaps;
+      }
+      last_send = now;
+      pool_.release(res.pkt);
+      now += core::transmit_time(res.pkt->bytes, params.rate_gbps);
+    } else {
+      now = res.retry_at;
+    }
+  }
+  EXPECT_GT(long_gaps, 5);
+  EXPECT_GT(short_gaps, 50);
+}
+
+TEST_F(BurstTest, FixedDestinationHonoured) {
+  BurstParams params;
+  params.fixed_destination = true;
+  params.destination = 5;
+  BurstGenerator gen(0, 8, params, nullptr, &pool_, core::Rng(3));
+  core::Time now = 0;
+  for (int i = 0; i < 500 && now < 50 * core::kMillisecond;) {
+    auto res = gen.poll(now);
+    if (res.pkt != nullptr) {
+      EXPECT_EQ(res.pkt->dst, 5);
+      pool_.release(res.pkt);
+      ++i;
+      now += 1000;
+    } else {
+      now = res.retry_at;
+    }
+  }
+}
+
+TEST_F(BurstTest, RedrawsDestinationPerBurst) {
+  BurstParams params;
+  params.mean_on = 20 * core::kMicrosecond;
+  params.mean_off = 20 * core::kMicrosecond;
+  params.new_destination_per_burst = true;
+  BurstGenerator gen(0, 32, params, nullptr, &pool_, core::Rng(4));
+  std::map<ib::NodeId, int> dsts;
+  core::Time now = 0;
+  while (now < 10 * core::kMillisecond) {
+    auto res = gen.poll(now);
+    if (res.pkt != nullptr) {
+      ++dsts[res.pkt->dst];
+      pool_.release(res.pkt);
+      now += core::transmit_time(ib::kMtuBytes, params.rate_gbps);
+    } else {
+      now = res.retry_at;
+    }
+  }
+  // Many bursts, many destinations.
+  EXPECT_GT(gen.bursts_started(), 50);
+  EXPECT_GT(dsts.size(), 10u);
+  EXPECT_EQ(dsts.count(0), 0u);  // never self
+}
+
+TEST_F(BurstTest, RespectsFlowGate) {
+  class BlockAllGate : public cc::FlowGate {
+   public:
+    core::Time flow_ready_at(ib::NodeId) const override { return core::kSecond; }
+  } gate;
+  BurstParams params;
+  BurstGenerator gen(0, 8, params, &gate, &pool_, core::Rng(5));
+  core::Time now = 0;
+  for (int i = 0; i < 100; ++i) {
+    auto res = gen.poll(now);
+    EXPECT_EQ(res.pkt, nullptr);
+    ASSERT_GT(res.retry_at, now);
+    now = res.retry_at;
+    if (now >= 100 * core::kMillisecond) break;
+  }
+  EXPECT_EQ(gen.bytes_sent(), 0);
+}
+
+TEST_F(BurstTest, DeterministicBySeed) {
+  BurstParams params;
+  BurstGenerator a(0, 8, params, nullptr, &pool_, core::Rng(7));
+  BurstGenerator b(0, 8, params, nullptr, &pool_, core::Rng(7));
+  core::Time now_a = 0;
+  core::Time now_b = 0;
+  for (int i = 0; i < 200; ++i) {
+    auto ra = a.poll(now_a);
+    auto rb = b.poll(now_b);
+    EXPECT_EQ(ra.pkt == nullptr, rb.pkt == nullptr);
+    if (ra.pkt != nullptr) {
+      EXPECT_EQ(ra.pkt->dst, rb.pkt->dst);
+      pool_.release(ra.pkt);
+      pool_.release(rb.pkt);
+      now_a += 1000;
+      now_b += 1000;
+    } else {
+      EXPECT_EQ(ra.retry_at, rb.retry_at);
+      now_a = ra.retry_at;
+      now_b = rb.retry_at;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ibsim::traffic

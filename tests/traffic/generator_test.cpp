@@ -1,0 +1,229 @@
+#include "traffic/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace ibsim::traffic {
+namespace {
+
+/// FlowGate stub with programmable per-destination ready times.
+class StubGate : public cc::FlowGate {
+ public:
+  core::Time flow_ready_at(ib::NodeId dst) const override {
+    auto it = ready.find(dst);
+    return it == ready.end() ? 0 : it->second;
+  }
+  std::map<ib::NodeId, core::Time> ready;
+};
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  static constexpr std::int32_t kNodes = 16;
+
+  BNodeGenerator make(double p, const cc::FlowGate* gate = nullptr,
+                      const HotspotProvider* hotspot = nullptr) {
+    BNodeParams params;
+    params.p = p;
+    if (p > 0 && hotspot == nullptr) hotspot = &fixed_;
+    return BNodeGenerator(/*self=*/0, kNodes, params, hotspot, gate, &pool_, core::Rng(7));
+  }
+
+  /// Drain the generator greedily at time `now`; returns emitted packets.
+  static std::vector<ib::Packet*> drain(BNodeGenerator& gen, core::Time now, int max_pkts) {
+    std::vector<ib::Packet*> out;
+    for (int i = 0; i < max_pkts; ++i) {
+      auto res = gen.poll(now);
+      if (res.pkt == nullptr) break;
+      out.push_back(res.pkt);
+    }
+    return out;
+  }
+
+  ib::PacketPool pool_;
+  FixedHotspot fixed_{5};
+};
+
+TEST_F(GeneratorTest, PureHotspotNodeSendsOnlyToHotspot) {
+  BNodeGenerator gen = make(1.0);
+  // At t the budget allows capacity x t bytes.
+  const core::Time t = core::kMillisecond;
+  auto pkts = drain(gen, t, 1000);
+  ASSERT_FALSE(pkts.empty());
+  for (ib::Packet* pkt : pkts) {
+    EXPECT_EQ(pkt->dst, 5);
+    EXPECT_TRUE(pkt->hotspot_stream);
+    EXPECT_EQ(pkt->src, 0);
+    EXPECT_EQ(pkt->bytes, ib::kMtuBytes);
+  }
+}
+
+TEST_F(GeneratorTest, PureUniformNodeNeverHitsHotspotStream) {
+  BNodeGenerator gen = make(0.0);
+  auto pkts = drain(gen, core::kMillisecond, 1000);
+  ASSERT_FALSE(pkts.empty());
+  for (ib::Packet* pkt : pkts) {
+    EXPECT_FALSE(pkt->hotspot_stream);
+    EXPECT_NE(pkt->dst, 0);  // never self
+  }
+  EXPECT_EQ(gen.hotspot_bytes_sent(), 0);
+}
+
+TEST_F(GeneratorTest, BudgetCapsCumulativeBytes) {
+  // Frame I: by time t the hotspot stream has sent at most p x cap x t,
+  // the uniform stream at most (1-p) x cap x t.
+  BNodeGenerator gen = make(0.5);
+  const core::Time t = core::kMillisecond;
+  (void)drain(gen, t, 100000);
+  const std::int64_t budget = core::capacity_bytes(13.5, t);
+  EXPECT_LE(gen.hotspot_bytes_sent(), budget / 2 + ib::kMtuBytes);
+  EXPECT_LE(gen.uniform_bytes_sent(), budget / 2 + ib::kMtuBytes);
+  // And the generator actually uses its budget (within one packet).
+  EXPECT_GE(gen.hotspot_bytes_sent(), budget / 2 - ib::kMtuBytes);
+  EXPECT_GE(gen.uniform_bytes_sent(), budget / 2 - ib::kMtuBytes);
+}
+
+TEST_F(GeneratorTest, BudgetSplitFollowsP) {
+  for (double p : {0.1, 0.3, 0.6, 0.9}) {
+    BNodeGenerator gen = make(p);
+    const core::Time t = 10 * core::kMillisecond;
+    (void)drain(gen, t, 200000);
+    const double total =
+        static_cast<double>(gen.hotspot_bytes_sent() + gen.uniform_bytes_sent());
+    EXPECT_NEAR(static_cast<double>(gen.hotspot_bytes_sent()) / total, p, 0.01)
+        << "p=" << p;
+  }
+}
+
+TEST_F(GeneratorTest, RetryHintIsBudgetRefillTime) {
+  BNodeGenerator gen = make(1.0);
+  const core::Time t = core::kMicrosecond;
+  (void)drain(gen, t, 100000);  // exhaust the budget at t
+  auto res = gen.poll(t);
+  EXPECT_EQ(res.pkt, nullptr);
+  ASSERT_NE(res.retry_at, core::kTimeNever);
+  EXPECT_GT(res.retry_at, t);
+  // At the hinted time the generator must be ready again.
+  auto next = gen.poll(res.retry_at);
+  EXPECT_NE(next.pkt, nullptr);
+}
+
+TEST_F(GeneratorTest, MessagesAreTwoConsecutivePackets) {
+  BNodeGenerator gen = make(1.0);
+  auto pkts = drain(gen, core::kMillisecond, 10);
+  ASSERT_GE(pkts.size(), 4u);
+  // Packets pair up into messages: same msg_seq twice, then the next.
+  EXPECT_EQ(pkts[0]->msg_seq, pkts[1]->msg_seq);
+  EXPECT_EQ(pkts[2]->msg_seq, pkts[3]->msg_seq);
+  EXPECT_NE(pkts[0]->msg_seq, pkts[2]->msg_seq);
+}
+
+TEST_F(GeneratorTest, ThrottledHotspotFlowDoesNotBlockUniform) {
+  // Frame I's key independence property: the hotspot flow is throttled
+  // far into the future, yet uniform traffic keeps flowing.
+  StubGate gate;
+  gate.ready[5] = core::kSecond;  // hotspot flow blocked for a long time
+  BNodeGenerator gen = make(0.5, &gate);
+  const core::Time t = core::kMillisecond;
+  auto pkts = drain(gen, t, 100000);
+  ASSERT_FALSE(pkts.empty());
+  for (ib::Packet* pkt : pkts) EXPECT_FALSE(pkt->hotspot_stream);
+  // Uniform used its (1-p) share; hotspot sent nothing.
+  EXPECT_EQ(gen.hotspot_bytes_sent(), 0);
+  EXPECT_GE(gen.uniform_bytes_sent(), core::capacity_bytes(13.5, t) / 2 - ib::kMtuBytes);
+}
+
+TEST_F(GeneratorTest, UniformDoesNotExceedItsShareWhenHotspotBlocked) {
+  // ...and the uniform stream must NOT absorb the hotspot stream's
+  // unused budget: the link goes idle instead (Frame I).
+  StubGate gate;
+  gate.ready[5] = core::kSecond;
+  BNodeGenerator gen = make(0.5, &gate);
+  const core::Time t = core::kMillisecond;
+  (void)drain(gen, t, 100000);
+  EXPECT_LE(gen.uniform_bytes_sent(), core::capacity_bytes(13.5, t) / 2 + ib::kMtuBytes);
+  auto res = gen.poll(t);
+  EXPECT_EQ(res.pkt, nullptr);  // link idles
+}
+
+TEST_F(GeneratorTest, ThrottledUniformFlowsParkWithoutStallingTheRest) {
+  // Every flow except destination 5 is throttled: uniform messages to
+  // other destinations are parked (per-QP queueing), and only packets to
+  // the ready destination leave the node — from either stream.
+  StubGate gate;
+  for (ib::NodeId d = 0; d < kNodes; ++d) gate.ready[d] = core::kSecond;
+  gate.ready[5] = 0;  // only the hotspot destination is unthrottled
+  BNodeGenerator gen = make(0.5, &gate);
+  auto pkts = drain(gen, core::kMillisecond, 100000);
+  ASSERT_FALSE(pkts.empty());
+  for (ib::Packet* pkt : pkts) EXPECT_EQ(pkt->dst, 5);
+  // The hotspot stream certainly ran; uniform draws that landed on 5
+  // may have run too, but nothing else did.
+  EXPECT_GT(gen.hotspot_bytes_sent(), 0);
+}
+
+TEST_F(GeneratorTest, DeficitInterleavesStreams) {
+  BNodeGenerator gen = make(0.5);
+  auto pkts = drain(gen, core::kMillisecond, 40);
+  ASSERT_EQ(pkts.size(), 40u);
+  // With equal shares, streams alternate at message granularity: within
+  // any window of 8 packets both streams appear.
+  for (std::size_t i = 0; i + 8 <= pkts.size(); i += 8) {
+    int hotspot = 0;
+    for (std::size_t j = i; j < i + 8; ++j) hotspot += pkts[j]->hotspot_stream ? 1 : 0;
+    EXPECT_GT(hotspot, 0);
+    EXPECT_LT(hotspot, 8);
+  }
+}
+
+TEST_F(GeneratorTest, HotspotProviderFollowedPerMessage) {
+  // Swap the provider's target between polls: the generator picks up the
+  // new hotspot at the next message boundary.
+  class MutableHotspot : public HotspotProvider {
+   public:
+    ib::NodeId current_hotspot() const override { return current; }
+    ib::NodeId current = 3;
+  };
+  MutableHotspot hs;
+  BNodeGenerator gen = make(1.0, nullptr, &hs);
+  auto first = drain(gen, 10 * core::kMicrosecond, 2);  // one full message
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first[0]->dst, 3);
+  hs.current = 9;
+  auto second = drain(gen, core::kMillisecond, 2);
+  ASSERT_EQ(second.size(), 2u);
+  EXPECT_EQ(second[0]->dst, 9);
+}
+
+TEST_F(GeneratorTest, SelfHotspotRedirectsUniformly) {
+  FixedHotspot self_hs(0);  // node 0's hotspot is itself
+  BNodeGenerator gen = make(1.0, nullptr, &self_hs);
+  auto pkts = drain(gen, core::kMillisecond, 100);
+  ASSERT_FALSE(pkts.empty());
+  for (ib::Packet* pkt : pkts) EXPECT_NE(pkt->dst, 0);
+}
+
+TEST_F(GeneratorTest, InjectedAtStamped) {
+  BNodeGenerator gen = make(0.0);
+  auto res = gen.poll(12345678);
+  ASSERT_NE(res.pkt, nullptr);
+  EXPECT_EQ(res.pkt->injected_at, 12345678);
+}
+
+TEST_F(GeneratorTest, SameSeedSameSequence) {
+  BNodeParams params;
+  params.p = 0.5;
+  BNodeGenerator a(0, kNodes, params, &fixed_, nullptr, &pool_, core::Rng(99));
+  BNodeGenerator b(0, kNodes, params, &fixed_, nullptr, &pool_, core::Rng(99));
+  for (int i = 0; i < 200; ++i) {
+    auto ra = a.poll(core::kMillisecond);
+    auto rb = b.poll(core::kMillisecond);
+    ASSERT_NE(ra.pkt, nullptr);
+    ASSERT_NE(rb.pkt, nullptr);
+    EXPECT_EQ(ra.pkt->dst, rb.pkt->dst);
+    EXPECT_EQ(ra.pkt->hotspot_stream, rb.pkt->hotspot_stream);
+  }
+}
+
+}  // namespace
+}  // namespace ibsim::traffic

@@ -1,0 +1,100 @@
+#include "traffic/hotspot_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ibsim::traffic {
+namespace {
+
+TEST(HotspotSchedule, DrawsDistinctHotspots) {
+  HotspotSchedule sched(20, 8, core::kTimeNever, core::Rng(1));
+  std::set<ib::NodeId> unique(sched.hotspots().begin(), sched.hotspots().end());
+  EXPECT_EQ(unique.size(), 8u);
+  for (const ib::NodeId hs : sched.hotspots()) {
+    EXPECT_GE(hs, 0);
+    EXPECT_LT(hs, 20);
+    EXPECT_TRUE(sched.is_hotspot(hs));
+  }
+}
+
+TEST(HotspotSchedule, NonHotspotsClassified) {
+  HotspotSchedule sched(20, 2, core::kTimeNever, core::Rng(2));
+  int count = 0;
+  for (ib::NodeId n = 0; n < 20; ++n) count += sched.is_hotspot(n) ? 1 : 0;
+  EXPECT_EQ(count, 2);
+}
+
+TEST(HotspotSchedule, StaticScheduleNeverMoves) {
+  core::Scheduler sched_core;
+  HotspotSchedule sched(10, 2, core::kTimeNever, core::Rng(3));
+  sched.install(sched_core);
+  EXPECT_FALSE(sched.moving());
+  EXPECT_EQ(sched_core.pending(), 0u);  // no move events scheduled
+  sched_core.run_until(core::kSecond);
+  EXPECT_EQ(sched.moves(), 0);
+}
+
+TEST(HotspotSchedule, MovingScheduleRelocatesEachLifetime) {
+  core::Scheduler sched_core;
+  HotspotSchedule sched(50, 4, core::kMillisecond, core::Rng(4));
+  sched.install(sched_core);
+  EXPECT_TRUE(sched.moving());
+  sched_core.run_until(5 * core::kMillisecond + 1);
+  EXPECT_EQ(sched.moves(), 5);
+}
+
+TEST(HotspotSchedule, MovesChangeTheSet) {
+  core::Scheduler sched_core;
+  HotspotSchedule sched(648, 8, core::kMillisecond, core::Rng(5));
+  sched.install(sched_core);
+  const std::vector<ib::NodeId> before = sched.hotspots();
+  sched_core.run_until(core::kMillisecond);
+  const std::vector<ib::NodeId> after = sched.hotspots();
+  // With 8 of 648 slots, a redraw virtually surely differs.
+  EXPECT_NE(before, after);
+  // And the set stays distinct.
+  std::set<ib::NodeId> unique(after.begin(), after.end());
+  EXPECT_EQ(unique.size(), 8u);
+}
+
+TEST(HotspotSchedule, SubsetProvidersTrackTheSchedule) {
+  core::Scheduler sched_core;
+  HotspotSchedule sched(100, 3, core::kMillisecond, core::Rng(6));
+  ScheduleHotspot p0(&sched, 0);
+  ScheduleHotspot p2(&sched, 2);
+  sched.install(sched_core);
+  EXPECT_EQ(p0.current_hotspot(), sched.hotspot(0));
+  EXPECT_EQ(p2.current_hotspot(), sched.hotspot(2));
+  sched_core.run_until(core::kMillisecond);
+  EXPECT_EQ(p0.current_hotspot(), sched.hotspot(0));
+}
+
+TEST(HotspotSchedule, SameSeedSameDraws) {
+  HotspotSchedule a(648, 8, core::kTimeNever, core::Rng(42));
+  HotspotSchedule b(648, 8, core::kTimeNever, core::Rng(42));
+  EXPECT_EQ(a.hotspots(), b.hotspots());
+}
+
+TEST(HotspotSchedule, AllNodesHotspotDegenerate) {
+  HotspotSchedule sched(4, 4, core::kTimeNever, core::Rng(7));
+  std::set<ib::NodeId> unique(sched.hotspots().begin(), sched.hotspots().end());
+  EXPECT_EQ(unique.size(), 4u);
+}
+
+TEST(HotspotSchedule, ZeroHotspots) {
+  core::Scheduler sched_core;
+  HotspotSchedule sched(10, 0, core::kMillisecond, core::Rng(8));
+  sched.install(sched_core);
+  EXPECT_EQ(sched.n_hotspots(), 0);
+  sched_core.run_until(10 * core::kMillisecond);
+  EXPECT_EQ(sched.moves(), 0);  // nothing to move
+}
+
+TEST(FixedHotspot, AlwaysSame) {
+  FixedHotspot p(5);
+  EXPECT_EQ(p.current_hotspot(), 5);
+}
+
+}  // namespace
+}  // namespace ibsim::traffic

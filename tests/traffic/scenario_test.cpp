@@ -1,0 +1,127 @@
+#include "traffic/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/builders.hpp"
+
+namespace ibsim::traffic {
+namespace {
+
+ScenarioSpec windy_spec(double fraction_b, double p) {
+  ScenarioSpec spec;
+  spec.fraction_b = fraction_b;
+  spec.p = p;
+  spec.fraction_c_of_rest = 0.8;
+  spec.n_hotspots = 8;
+  return spec;
+}
+
+TEST(Scenario, RoleCountsMatchFractions) {
+  const Scenario scen(648, windy_spec(0.25, 0.5), core::Rng(1));
+  EXPECT_EQ(scen.count(NodeRole::B), 162);
+  EXPECT_EQ(scen.count(NodeRole::C), 389);  // 0.8 x 486, rounded
+  EXPECT_EQ(scen.count(NodeRole::V), 97);
+}
+
+TEST(Scenario, AllBAndAllVExtremes) {
+  const Scenario all_b(100, windy_spec(1.0, 0.3), core::Rng(2));
+  EXPECT_EQ(all_b.count(NodeRole::B), 100);
+  ScenarioSpec spec = windy_spec(0.0, 0.0);
+  spec.fraction_c_of_rest = 0.0;
+  const Scenario all_v(100, spec, core::Rng(3));
+  EXPECT_EQ(all_v.count(NodeRole::V), 100);
+}
+
+TEST(Scenario, RolesAreSeedDeterministic) {
+  const Scenario a(100, windy_spec(0.5, 0.5), core::Rng(42));
+  const Scenario b(100, windy_spec(0.5, 0.5), core::Rng(42));
+  for (ib::NodeId n = 0; n < 100; ++n) EXPECT_EQ(a.role(n), b.role(n));
+  EXPECT_EQ(a.schedule().hotspots(), b.schedule().hotspots());
+}
+
+TEST(Scenario, DifferentSeedsPlaceRolesDifferently) {
+  const Scenario a(200, windy_spec(0.5, 0.5), core::Rng(1));
+  const Scenario b(200, windy_spec(0.5, 0.5), core::Rng(2));
+  int diff = 0;
+  for (ib::NodeId n = 0; n < 200; ++n) diff += (a.role(n) != b.role(n)) ? 1 : 0;
+  EXPECT_GT(diff, 10);
+}
+
+TEST(Scenario, InstallAttachesGeneratorsToAllActiveNodes) {
+  core::Scheduler sched;
+  const topo::Topology topo = topo::single_switch(16);
+  const topo::RoutingTables routing = topo::RoutingTables::compute(topo);
+  const cc::CcManager ccm(ib::CcParams::disabled());
+  fabric::Fabric fab(topo, routing, fabric::FabricParams{}, ccm, sched);
+
+  ScenarioSpec spec = windy_spec(0.5, 0.5);
+  spec.n_hotspots = 2;
+  Scenario scen(16, spec, core::Rng(4));
+  scen.install(fab, sched);
+  EXPECT_EQ(scen.generators().size(), 16u);  // every node sends
+}
+
+TEST(Scenario, InactiveCNodesGetNoGenerator) {
+  core::Scheduler sched;
+  const topo::Topology topo = topo::single_switch(16);
+  const topo::RoutingTables routing = topo::RoutingTables::compute(topo);
+  const cc::CcManager ccm(ib::CcParams::disabled());
+  fabric::Fabric fab(topo, routing, fabric::FabricParams{}, ccm, sched);
+
+  ScenarioSpec spec = windy_spec(0.0, 0.0);
+  spec.c_nodes_active = false;
+  spec.n_hotspots = 2;
+  Scenario scen(16, spec, core::Rng(5));
+  scen.install(fab, sched);
+  EXPECT_EQ(static_cast<std::int32_t>(scen.generators().size()),
+            scen.count(NodeRole::V));
+}
+
+TEST(Scenario, GeneratorPMatchesRole) {
+  core::Scheduler sched;
+  const topo::Topology topo = topo::single_switch(16);
+  const topo::RoutingTables routing = topo::RoutingTables::compute(topo);
+  const cc::CcManager ccm(ib::CcParams::disabled());
+  fabric::Fabric fab(topo, routing, fabric::FabricParams{}, ccm, sched);
+
+  ScenarioSpec spec = windy_spec(0.5, 0.3);
+  spec.n_hotspots = 2;
+  Scenario scen(16, spec, core::Rng(6));
+  scen.install(fab, sched);
+  for (const BNodeGenerator* gen : scen.generators()) {
+    switch (scen.role(gen->node())) {
+      case NodeRole::B: EXPECT_DOUBLE_EQ(gen->params().p, 0.3); break;
+      case NodeRole::C: EXPECT_DOUBLE_EQ(gen->params().p, 1.0); break;
+      case NodeRole::V: EXPECT_DOUBLE_EQ(gen->params().p, 0.0); break;
+    }
+  }
+}
+
+TEST(Scenario, DescribeMentionsParameters) {
+  const std::string desc = windy_spec(0.25, 0.6).describe();
+  EXPECT_NE(desc.find("B=25%"), std::string::npos);
+  EXPECT_NE(desc.find("p=60%"), std::string::npos);
+  EXPECT_NE(desc.find("hotspots=8"), std::string::npos);
+}
+
+TEST(Scenario, RoleNames) {
+  EXPECT_STREQ(role_name(NodeRole::B), "B");
+  EXPECT_STREQ(role_name(NodeRole::C), "C");
+  EXPECT_STREQ(role_name(NodeRole::V), "V");
+}
+
+TEST(ScenarioDeath, DoubleInstallAborts) {
+  core::Scheduler sched;
+  const topo::Topology topo = topo::single_switch(4);
+  const topo::RoutingTables routing = topo::RoutingTables::compute(topo);
+  const cc::CcManager ccm(ib::CcParams::disabled());
+  fabric::Fabric fab(topo, routing, fabric::FabricParams{}, ccm, sched);
+  ScenarioSpec spec = windy_spec(0.0, 0.0);
+  spec.n_hotspots = 1;
+  Scenario scen(4, spec, core::Rng(7));
+  scen.install(fab, sched);
+  EXPECT_DEATH(scen.install(fab, sched), "twice");
+}
+
+}  // namespace
+}  // namespace ibsim::traffic
