@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cc_params.dir/ablation_cc_params.cpp.o"
+  "CMakeFiles/ablation_cc_params.dir/ablation_cc_params.cpp.o.d"
+  "ablation_cc_params"
+  "ablation_cc_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cc_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_diagnostics.dir/cc_diagnostics.cpp.o"
+  "CMakeFiles/cc_diagnostics.dir/cc_diagnostics.cpp.o.d"
+  "cc_diagnostics"
+  "cc_diagnostics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_diagnostics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_burst_cc.dir/ext_burst_cc.cpp.o"
+  "CMakeFiles/ext_burst_cc.dir/ext_burst_cc.cpp.o.d"
+  "ext_burst_cc"
+  "ext_burst_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_burst_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

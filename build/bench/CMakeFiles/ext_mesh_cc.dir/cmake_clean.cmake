@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_mesh_cc.dir/ext_mesh_cc.cpp.o"
+  "CMakeFiles/ext_mesh_cc.dir/ext_mesh_cc.cpp.o.d"
+  "ext_mesh_cc"
+  "ext_mesh_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_mesh_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_moving_windy.dir/fig10_moving_windy.cpp.o"
+  "CMakeFiles/fig10_moving_windy.dir/fig10_moving_windy.cpp.o.d"
+  "fig10_moving_windy"
+  "fig10_moving_windy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_moving_windy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

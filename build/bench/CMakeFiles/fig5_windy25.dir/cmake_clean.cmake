@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_windy25.dir/fig5_windy25.cpp.o"
+  "CMakeFiles/fig5_windy25.dir/fig5_windy25.cpp.o.d"
+  "fig5_windy25"
+  "fig5_windy25.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_windy25.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_windy50.dir/fig6_windy50.cpp.o"
+  "CMakeFiles/fig6_windy50.dir/fig6_windy50.cpp.o.d"
+  "fig6_windy50"
+  "fig6_windy50.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_windy50.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

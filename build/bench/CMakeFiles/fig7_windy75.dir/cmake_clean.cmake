@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_windy75.dir/fig7_windy75.cpp.o"
+  "CMakeFiles/fig7_windy75.dir/fig7_windy75.cpp.o.d"
+  "fig7_windy75"
+  "fig7_windy75.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_windy75.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_windy100.dir/fig8_windy100.cpp.o"
+  "CMakeFiles/fig8_windy100.dir/fig8_windy100.cpp.o.d"
+  "fig8_windy100"
+  "fig8_windy100.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_windy100.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

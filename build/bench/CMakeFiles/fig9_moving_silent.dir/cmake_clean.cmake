@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_moving_silent.dir/fig9_moving_silent.cpp.o"
+  "CMakeFiles/fig9_moving_silent.dir/fig9_moving_silent.cpp.o.d"
+  "fig9_moving_silent"
+  "fig9_moving_silent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_moving_silent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

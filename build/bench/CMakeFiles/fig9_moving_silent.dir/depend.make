@@ -1,0 +1,2 @@
+# Empty dependencies file for fig9_moving_silent.
+# This may be replaced when dependencies are built.

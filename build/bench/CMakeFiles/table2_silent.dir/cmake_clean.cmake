@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_silent.dir/table2_silent.cpp.o"
+  "CMakeFiles/table2_silent.dir/table2_silent.cpp.o.d"
+  "table2_silent"
+  "table2_silent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_silent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_timeline.dir/cc_timeline.cpp.o"
+  "CMakeFiles/cc_timeline.dir/cc_timeline.cpp.o.d"
+  "cc_timeline"
+  "cc_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moving_hotspots.dir/moving_hotspots.cpp.o"
+  "CMakeFiles/moving_hotspots.dir/moving_hotspots.cpp.o.d"
+  "moving_hotspots"
+  "moving_hotspots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moving_hotspots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

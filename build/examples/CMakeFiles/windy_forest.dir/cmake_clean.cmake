@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/windy_forest.dir/windy_forest.cpp.o"
+  "CMakeFiles/windy_forest.dir/windy_forest.cpp.o.d"
+  "windy_forest"
+  "windy_forest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/windy_forest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibsim_analysis.dir/analysis/series.cpp.o"
+  "CMakeFiles/ibsim_analysis.dir/analysis/series.cpp.o.d"
+  "CMakeFiles/ibsim_analysis.dir/analysis/table.cpp.o"
+  "CMakeFiles/ibsim_analysis.dir/analysis/table.cpp.o.d"
+  "CMakeFiles/ibsim_analysis.dir/analysis/tmax.cpp.o"
+  "CMakeFiles/ibsim_analysis.dir/analysis/tmax.cpp.o.d"
+  "libibsim_analysis.a"
+  "libibsim_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibsim_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cc/ca_cc.cpp" "src/CMakeFiles/ibsim_cc.dir/cc/ca_cc.cpp.o" "gcc" "src/CMakeFiles/ibsim_cc.dir/cc/ca_cc.cpp.o.d"
+  "/root/repo/src/cc/cc_manager.cpp" "src/CMakeFiles/ibsim_cc.dir/cc/cc_manager.cpp.o" "gcc" "src/CMakeFiles/ibsim_cc.dir/cc/cc_manager.cpp.o.d"
+  "/root/repo/src/cc/switch_cc.cpp" "src/CMakeFiles/ibsim_cc.dir/cc/switch_cc.cpp.o" "gcc" "src/CMakeFiles/ibsim_cc.dir/cc/switch_cc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ibsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ibsim_ib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibsim_cc.dir/cc/ca_cc.cpp.o"
+  "CMakeFiles/ibsim_cc.dir/cc/ca_cc.cpp.o.d"
+  "CMakeFiles/ibsim_cc.dir/cc/cc_manager.cpp.o"
+  "CMakeFiles/ibsim_cc.dir/cc/cc_manager.cpp.o.d"
+  "CMakeFiles/ibsim_cc.dir/cc/switch_cc.cpp.o"
+  "CMakeFiles/ibsim_cc.dir/cc/switch_cc.cpp.o.d"
+  "libibsim_cc.a"
+  "libibsim_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibsim_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/log.cpp" "src/CMakeFiles/ibsim_core.dir/core/log.cpp.o" "gcc" "src/CMakeFiles/ibsim_core.dir/core/log.cpp.o.d"
+  "/root/repo/src/core/rng.cpp" "src/CMakeFiles/ibsim_core.dir/core/rng.cpp.o" "gcc" "src/CMakeFiles/ibsim_core.dir/core/rng.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/CMakeFiles/ibsim_core.dir/core/scheduler.cpp.o" "gcc" "src/CMakeFiles/ibsim_core.dir/core/scheduler.cpp.o.d"
+  "/root/repo/src/core/stats.cpp" "src/CMakeFiles/ibsim_core.dir/core/stats.cpp.o" "gcc" "src/CMakeFiles/ibsim_core.dir/core/stats.cpp.o.d"
+  "/root/repo/src/core/time.cpp" "src/CMakeFiles/ibsim_core.dir/core/time.cpp.o" "gcc" "src/CMakeFiles/ibsim_core.dir/core/time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

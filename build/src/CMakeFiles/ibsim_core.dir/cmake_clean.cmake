@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibsim_core.dir/core/log.cpp.o"
+  "CMakeFiles/ibsim_core.dir/core/log.cpp.o.d"
+  "CMakeFiles/ibsim_core.dir/core/rng.cpp.o"
+  "CMakeFiles/ibsim_core.dir/core/rng.cpp.o.d"
+  "CMakeFiles/ibsim_core.dir/core/scheduler.cpp.o"
+  "CMakeFiles/ibsim_core.dir/core/scheduler.cpp.o.d"
+  "CMakeFiles/ibsim_core.dir/core/stats.cpp.o"
+  "CMakeFiles/ibsim_core.dir/core/stats.cpp.o.d"
+  "CMakeFiles/ibsim_core.dir/core/time.cpp.o"
+  "CMakeFiles/ibsim_core.dir/core/time.cpp.o.d"
+  "libibsim_core.a"
+  "libibsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabric/fabric.cpp" "src/CMakeFiles/ibsim_fabric.dir/fabric/fabric.cpp.o" "gcc" "src/CMakeFiles/ibsim_fabric.dir/fabric/fabric.cpp.o.d"
+  "/root/repo/src/fabric/hca.cpp" "src/CMakeFiles/ibsim_fabric.dir/fabric/hca.cpp.o" "gcc" "src/CMakeFiles/ibsim_fabric.dir/fabric/hca.cpp.o.d"
+  "/root/repo/src/fabric/switch_device.cpp" "src/CMakeFiles/ibsim_fabric.dir/fabric/switch_device.cpp.o" "gcc" "src/CMakeFiles/ibsim_fabric.dir/fabric/switch_device.cpp.o.d"
+  "/root/repo/src/fabric/vl_arbiter.cpp" "src/CMakeFiles/ibsim_fabric.dir/fabric/vl_arbiter.cpp.o" "gcc" "src/CMakeFiles/ibsim_fabric.dir/fabric/vl_arbiter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ibsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ibsim_ib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ibsim_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ibsim_cc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibsim_fabric.dir/fabric/fabric.cpp.o"
+  "CMakeFiles/ibsim_fabric.dir/fabric/fabric.cpp.o.d"
+  "CMakeFiles/ibsim_fabric.dir/fabric/hca.cpp.o"
+  "CMakeFiles/ibsim_fabric.dir/fabric/hca.cpp.o.d"
+  "CMakeFiles/ibsim_fabric.dir/fabric/switch_device.cpp.o"
+  "CMakeFiles/ibsim_fabric.dir/fabric/switch_device.cpp.o.d"
+  "CMakeFiles/ibsim_fabric.dir/fabric/vl_arbiter.cpp.o"
+  "CMakeFiles/ibsim_fabric.dir/fabric/vl_arbiter.cpp.o.d"
+  "libibsim_fabric.a"
+  "libibsim_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibsim_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

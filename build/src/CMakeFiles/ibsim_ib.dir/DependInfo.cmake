@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ib/cc_params.cpp" "src/CMakeFiles/ibsim_ib.dir/ib/cc_params.cpp.o" "gcc" "src/CMakeFiles/ibsim_ib.dir/ib/cc_params.cpp.o.d"
+  "/root/repo/src/ib/cct.cpp" "src/CMakeFiles/ibsim_ib.dir/ib/cct.cpp.o" "gcc" "src/CMakeFiles/ibsim_ib.dir/ib/cct.cpp.o.d"
+  "/root/repo/src/ib/packet.cpp" "src/CMakeFiles/ibsim_ib.dir/ib/packet.cpp.o" "gcc" "src/CMakeFiles/ibsim_ib.dir/ib/packet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ibsim_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibsim_ib.dir/ib/cc_params.cpp.o"
+  "CMakeFiles/ibsim_ib.dir/ib/cc_params.cpp.o.d"
+  "CMakeFiles/ibsim_ib.dir/ib/cct.cpp.o"
+  "CMakeFiles/ibsim_ib.dir/ib/cct.cpp.o.d"
+  "CMakeFiles/ibsim_ib.dir/ib/packet.cpp.o"
+  "CMakeFiles/ibsim_ib.dir/ib/packet.cpp.o.d"
+  "libibsim_ib.a"
+  "libibsim_ib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibsim_ib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cli.cpp" "src/CMakeFiles/ibsim_sim.dir/sim/cli.cpp.o" "gcc" "src/CMakeFiles/ibsim_sim.dir/sim/cli.cpp.o.d"
+  "/root/repo/src/sim/config_file.cpp" "src/CMakeFiles/ibsim_sim.dir/sim/config_file.cpp.o" "gcc" "src/CMakeFiles/ibsim_sim.dir/sim/config_file.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/CMakeFiles/ibsim_sim.dir/sim/experiment.cpp.o" "gcc" "src/CMakeFiles/ibsim_sim.dir/sim/experiment.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/CMakeFiles/ibsim_sim.dir/sim/metrics.cpp.o" "gcc" "src/CMakeFiles/ibsim_sim.dir/sim/metrics.cpp.o.d"
+  "/root/repo/src/sim/sim_config.cpp" "src/CMakeFiles/ibsim_sim.dir/sim/sim_config.cpp.o" "gcc" "src/CMakeFiles/ibsim_sim.dir/sim/sim_config.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "src/CMakeFiles/ibsim_sim.dir/sim/simulation.cpp.o" "gcc" "src/CMakeFiles/ibsim_sim.dir/sim/simulation.cpp.o.d"
+  "/root/repo/src/sim/timeline.cpp" "src/CMakeFiles/ibsim_sim.dir/sim/timeline.cpp.o" "gcc" "src/CMakeFiles/ibsim_sim.dir/sim/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ibsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ibsim_ib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ibsim_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ibsim_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ibsim_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ibsim_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ibsim_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

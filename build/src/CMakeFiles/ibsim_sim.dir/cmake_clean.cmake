@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibsim_sim.dir/sim/cli.cpp.o"
+  "CMakeFiles/ibsim_sim.dir/sim/cli.cpp.o.d"
+  "CMakeFiles/ibsim_sim.dir/sim/config_file.cpp.o"
+  "CMakeFiles/ibsim_sim.dir/sim/config_file.cpp.o.d"
+  "CMakeFiles/ibsim_sim.dir/sim/experiment.cpp.o"
+  "CMakeFiles/ibsim_sim.dir/sim/experiment.cpp.o.d"
+  "CMakeFiles/ibsim_sim.dir/sim/metrics.cpp.o"
+  "CMakeFiles/ibsim_sim.dir/sim/metrics.cpp.o.d"
+  "CMakeFiles/ibsim_sim.dir/sim/sim_config.cpp.o"
+  "CMakeFiles/ibsim_sim.dir/sim/sim_config.cpp.o.d"
+  "CMakeFiles/ibsim_sim.dir/sim/simulation.cpp.o"
+  "CMakeFiles/ibsim_sim.dir/sim/simulation.cpp.o.d"
+  "CMakeFiles/ibsim_sim.dir/sim/timeline.cpp.o"
+  "CMakeFiles/ibsim_sim.dir/sim/timeline.cpp.o.d"
+  "libibsim_sim.a"
+  "libibsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

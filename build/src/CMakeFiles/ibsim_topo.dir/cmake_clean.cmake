@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibsim_topo.dir/topo/builders.cpp.o"
+  "CMakeFiles/ibsim_topo.dir/topo/builders.cpp.o.d"
+  "CMakeFiles/ibsim_topo.dir/topo/routing.cpp.o"
+  "CMakeFiles/ibsim_topo.dir/topo/routing.cpp.o.d"
+  "CMakeFiles/ibsim_topo.dir/topo/topology.cpp.o"
+  "CMakeFiles/ibsim_topo.dir/topo/topology.cpp.o.d"
+  "libibsim_topo.a"
+  "libibsim_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibsim_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/burst.cpp" "src/CMakeFiles/ibsim_traffic.dir/traffic/burst.cpp.o" "gcc" "src/CMakeFiles/ibsim_traffic.dir/traffic/burst.cpp.o.d"
+  "/root/repo/src/traffic/destination.cpp" "src/CMakeFiles/ibsim_traffic.dir/traffic/destination.cpp.o" "gcc" "src/CMakeFiles/ibsim_traffic.dir/traffic/destination.cpp.o.d"
+  "/root/repo/src/traffic/generator.cpp" "src/CMakeFiles/ibsim_traffic.dir/traffic/generator.cpp.o" "gcc" "src/CMakeFiles/ibsim_traffic.dir/traffic/generator.cpp.o.d"
+  "/root/repo/src/traffic/hotspot_schedule.cpp" "src/CMakeFiles/ibsim_traffic.dir/traffic/hotspot_schedule.cpp.o" "gcc" "src/CMakeFiles/ibsim_traffic.dir/traffic/hotspot_schedule.cpp.o.d"
+  "/root/repo/src/traffic/scenario.cpp" "src/CMakeFiles/ibsim_traffic.dir/traffic/scenario.cpp.o" "gcc" "src/CMakeFiles/ibsim_traffic.dir/traffic/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ibsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ibsim_ib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ibsim_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ibsim_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ibsim_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

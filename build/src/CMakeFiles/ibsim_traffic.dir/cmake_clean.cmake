@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibsim_traffic.dir/traffic/burst.cpp.o"
+  "CMakeFiles/ibsim_traffic.dir/traffic/burst.cpp.o.d"
+  "CMakeFiles/ibsim_traffic.dir/traffic/destination.cpp.o"
+  "CMakeFiles/ibsim_traffic.dir/traffic/destination.cpp.o.d"
+  "CMakeFiles/ibsim_traffic.dir/traffic/generator.cpp.o"
+  "CMakeFiles/ibsim_traffic.dir/traffic/generator.cpp.o.d"
+  "CMakeFiles/ibsim_traffic.dir/traffic/hotspot_schedule.cpp.o"
+  "CMakeFiles/ibsim_traffic.dir/traffic/hotspot_schedule.cpp.o.d"
+  "CMakeFiles/ibsim_traffic.dir/traffic/scenario.cpp.o"
+  "CMakeFiles/ibsim_traffic.dir/traffic/scenario.cpp.o.d"
+  "libibsim_traffic.a"
+  "libibsim_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibsim_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

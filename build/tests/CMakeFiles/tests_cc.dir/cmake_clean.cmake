@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_cc.dir/cc/ca_cc_test.cpp.o"
+  "CMakeFiles/tests_cc.dir/cc/ca_cc_test.cpp.o.d"
+  "CMakeFiles/tests_cc.dir/cc/cc_manager_test.cpp.o"
+  "CMakeFiles/tests_cc.dir/cc/cc_manager_test.cpp.o.d"
+  "CMakeFiles/tests_cc.dir/cc/switch_cc_test.cpp.o"
+  "CMakeFiles/tests_cc.dir/cc/switch_cc_test.cpp.o.d"
+  "tests_cc"
+  "tests_cc.pdb"
+  "tests_cc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

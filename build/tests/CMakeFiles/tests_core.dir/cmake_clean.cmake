@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_core.dir/core/log_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/log_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/rng_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/rng_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/scheduler_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/scheduler_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/stats_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/stats_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/time_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/time_test.cpp.o.d"
+  "tests_core"
+  "tests_core.pdb"
+  "tests_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fabric/credits_test.cpp" "tests/CMakeFiles/tests_fabric.dir/fabric/credits_test.cpp.o" "gcc" "tests/CMakeFiles/tests_fabric.dir/fabric/credits_test.cpp.o.d"
+  "/root/repo/tests/fabric/flow_control_test.cpp" "tests/CMakeFiles/tests_fabric.dir/fabric/flow_control_test.cpp.o" "gcc" "tests/CMakeFiles/tests_fabric.dir/fabric/flow_control_test.cpp.o.d"
+  "/root/repo/tests/fabric/hca_test.cpp" "tests/CMakeFiles/tests_fabric.dir/fabric/hca_test.cpp.o" "gcc" "tests/CMakeFiles/tests_fabric.dir/fabric/hca_test.cpp.o.d"
+  "/root/repo/tests/fabric/packet_path_test.cpp" "tests/CMakeFiles/tests_fabric.dir/fabric/packet_path_test.cpp.o" "gcc" "tests/CMakeFiles/tests_fabric.dir/fabric/packet_path_test.cpp.o.d"
+  "/root/repo/tests/fabric/params_test.cpp" "tests/CMakeFiles/tests_fabric.dir/fabric/params_test.cpp.o" "gcc" "tests/CMakeFiles/tests_fabric.dir/fabric/params_test.cpp.o.d"
+  "/root/repo/tests/fabric/vl_arbiter_test.cpp" "tests/CMakeFiles/tests_fabric.dir/fabric/vl_arbiter_test.cpp.o" "gcc" "tests/CMakeFiles/tests_fabric.dir/fabric/vl_arbiter_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ibsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ibsim_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ibsim_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ibsim_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ibsim_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ibsim_ib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ibsim_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ibsim_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

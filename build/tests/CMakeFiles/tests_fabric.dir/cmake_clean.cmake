@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_fabric.dir/fabric/credits_test.cpp.o"
+  "CMakeFiles/tests_fabric.dir/fabric/credits_test.cpp.o.d"
+  "CMakeFiles/tests_fabric.dir/fabric/flow_control_test.cpp.o"
+  "CMakeFiles/tests_fabric.dir/fabric/flow_control_test.cpp.o.d"
+  "CMakeFiles/tests_fabric.dir/fabric/hca_test.cpp.o"
+  "CMakeFiles/tests_fabric.dir/fabric/hca_test.cpp.o.d"
+  "CMakeFiles/tests_fabric.dir/fabric/packet_path_test.cpp.o"
+  "CMakeFiles/tests_fabric.dir/fabric/packet_path_test.cpp.o.d"
+  "CMakeFiles/tests_fabric.dir/fabric/params_test.cpp.o"
+  "CMakeFiles/tests_fabric.dir/fabric/params_test.cpp.o.d"
+  "CMakeFiles/tests_fabric.dir/fabric/vl_arbiter_test.cpp.o"
+  "CMakeFiles/tests_fabric.dir/fabric/vl_arbiter_test.cpp.o.d"
+  "tests_fabric"
+  "tests_fabric.pdb"
+  "tests_fabric[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

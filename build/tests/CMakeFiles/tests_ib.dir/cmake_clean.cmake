@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_ib.dir/ib/cc_params_test.cpp.o"
+  "CMakeFiles/tests_ib.dir/ib/cc_params_test.cpp.o.d"
+  "CMakeFiles/tests_ib.dir/ib/cct_test.cpp.o"
+  "CMakeFiles/tests_ib.dir/ib/cct_test.cpp.o.d"
+  "CMakeFiles/tests_ib.dir/ib/packet_test.cpp.o"
+  "CMakeFiles/tests_ib.dir/ib/packet_test.cpp.o.d"
+  "tests_ib"
+  "tests_ib.pdb"
+  "tests_ib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_ib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_integration.dir/integration/cc_behaviour_test.cpp.o"
+  "CMakeFiles/tests_integration.dir/integration/cc_behaviour_test.cpp.o.d"
+  "CMakeFiles/tests_integration.dir/integration/congestion_test.cpp.o"
+  "CMakeFiles/tests_integration.dir/integration/congestion_test.cpp.o.d"
+  "CMakeFiles/tests_integration.dir/integration/determinism_test.cpp.o"
+  "CMakeFiles/tests_integration.dir/integration/determinism_test.cpp.o.d"
+  "CMakeFiles/tests_integration.dir/integration/extensions_test.cpp.o"
+  "CMakeFiles/tests_integration.dir/integration/extensions_test.cpp.o.d"
+  "CMakeFiles/tests_integration.dir/integration/fat_tree3_sim_test.cpp.o"
+  "CMakeFiles/tests_integration.dir/integration/fat_tree3_sim_test.cpp.o.d"
+  "tests_integration"
+  "tests_integration.pdb"
+  "tests_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_property.dir/property/frame1_test.cpp.o"
+  "CMakeFiles/tests_property.dir/property/frame1_test.cpp.o.d"
+  "CMakeFiles/tests_property.dir/property/invariants_test.cpp.o"
+  "CMakeFiles/tests_property.dir/property/invariants_test.cpp.o.d"
+  "CMakeFiles/tests_property.dir/property/paper_properties_test.cpp.o"
+  "CMakeFiles/tests_property.dir/property/paper_properties_test.cpp.o.d"
+  "tests_property"
+  "tests_property.pdb"
+  "tests_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/cli_test.cpp" "tests/CMakeFiles/tests_sim.dir/sim/cli_test.cpp.o" "gcc" "tests/CMakeFiles/tests_sim.dir/sim/cli_test.cpp.o.d"
+  "/root/repo/tests/sim/config_file_test.cpp" "tests/CMakeFiles/tests_sim.dir/sim/config_file_test.cpp.o" "gcc" "tests/CMakeFiles/tests_sim.dir/sim/config_file_test.cpp.o.d"
+  "/root/repo/tests/sim/config_test.cpp" "tests/CMakeFiles/tests_sim.dir/sim/config_test.cpp.o" "gcc" "tests/CMakeFiles/tests_sim.dir/sim/config_test.cpp.o.d"
+  "/root/repo/tests/sim/experiment_test.cpp" "tests/CMakeFiles/tests_sim.dir/sim/experiment_test.cpp.o" "gcc" "tests/CMakeFiles/tests_sim.dir/sim/experiment_test.cpp.o.d"
+  "/root/repo/tests/sim/metrics_test.cpp" "tests/CMakeFiles/tests_sim.dir/sim/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/tests_sim.dir/sim/metrics_test.cpp.o.d"
+  "/root/repo/tests/sim/timeline_test.cpp" "tests/CMakeFiles/tests_sim.dir/sim/timeline_test.cpp.o" "gcc" "tests/CMakeFiles/tests_sim.dir/sim/timeline_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ibsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ibsim_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ibsim_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ibsim_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ibsim_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ibsim_ib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ibsim_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ibsim_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_sim.dir/sim/cli_test.cpp.o"
+  "CMakeFiles/tests_sim.dir/sim/cli_test.cpp.o.d"
+  "CMakeFiles/tests_sim.dir/sim/config_file_test.cpp.o"
+  "CMakeFiles/tests_sim.dir/sim/config_file_test.cpp.o.d"
+  "CMakeFiles/tests_sim.dir/sim/config_test.cpp.o"
+  "CMakeFiles/tests_sim.dir/sim/config_test.cpp.o.d"
+  "CMakeFiles/tests_sim.dir/sim/experiment_test.cpp.o"
+  "CMakeFiles/tests_sim.dir/sim/experiment_test.cpp.o.d"
+  "CMakeFiles/tests_sim.dir/sim/metrics_test.cpp.o"
+  "CMakeFiles/tests_sim.dir/sim/metrics_test.cpp.o.d"
+  "CMakeFiles/tests_sim.dir/sim/timeline_test.cpp.o"
+  "CMakeFiles/tests_sim.dir/sim/timeline_test.cpp.o.d"
+  "tests_sim"
+  "tests_sim.pdb"
+  "tests_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_topo.dir/topo/builders_test.cpp.o"
+  "CMakeFiles/tests_topo.dir/topo/builders_test.cpp.o.d"
+  "CMakeFiles/tests_topo.dir/topo/fat_tree3_test.cpp.o"
+  "CMakeFiles/tests_topo.dir/topo/fat_tree3_test.cpp.o.d"
+  "CMakeFiles/tests_topo.dir/topo/mesh_test.cpp.o"
+  "CMakeFiles/tests_topo.dir/topo/mesh_test.cpp.o.d"
+  "CMakeFiles/tests_topo.dir/topo/routing_test.cpp.o"
+  "CMakeFiles/tests_topo.dir/topo/routing_test.cpp.o.d"
+  "CMakeFiles/tests_topo.dir/topo/topology_test.cpp.o"
+  "CMakeFiles/tests_topo.dir/topo/topology_test.cpp.o.d"
+  "tests_topo"
+  "tests_topo.pdb"
+  "tests_topo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

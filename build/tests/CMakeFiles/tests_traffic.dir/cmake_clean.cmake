@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_traffic.dir/traffic/burst_test.cpp.o"
+  "CMakeFiles/tests_traffic.dir/traffic/burst_test.cpp.o.d"
+  "CMakeFiles/tests_traffic.dir/traffic/destination_test.cpp.o"
+  "CMakeFiles/tests_traffic.dir/traffic/destination_test.cpp.o.d"
+  "CMakeFiles/tests_traffic.dir/traffic/generator_test.cpp.o"
+  "CMakeFiles/tests_traffic.dir/traffic/generator_test.cpp.o.d"
+  "CMakeFiles/tests_traffic.dir/traffic/hotspot_schedule_test.cpp.o"
+  "CMakeFiles/tests_traffic.dir/traffic/hotspot_schedule_test.cpp.o.d"
+  "CMakeFiles/tests_traffic.dir/traffic/scenario_test.cpp.o"
+  "CMakeFiles/tests_traffic.dir/traffic/scenario_test.cpp.o.d"
+  "tests_traffic"
+  "tests_traffic.pdb"
+  "tests_traffic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

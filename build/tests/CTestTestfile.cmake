@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tests_core[1]_include.cmake")
+include("/root/repo/build/tests/tests_ib[1]_include.cmake")
+include("/root/repo/build/tests/tests_topo[1]_include.cmake")
+include("/root/repo/build/tests/tests_cc[1]_include.cmake")
+include("/root/repo/build/tests/tests_fabric[1]_include.cmake")
+include("/root/repo/build/tests/tests_traffic[1]_include.cmake")
+include("/root/repo/build/tests/tests_analysis[1]_include.cmake")
+include("/root/repo/build/tests/tests_sim[1]_include.cmake")
+include("/root/repo/build/tests/tests_integration[1]_include.cmake")
+include("/root/repo/build/tests/tests_property[1]_include.cmake")
