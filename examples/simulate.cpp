@@ -16,6 +16,7 @@
 #include "sim/config_file.hpp"
 #include "sim/simulation.hpp"
 #include "sim/timeline.hpp"
+#include "telemetry/summary.hpp"
 
 int main(int argc, char** argv) {
   using namespace ibsim;
@@ -57,6 +58,14 @@ int main(int argc, char** argv) {
   cli.add_string("timeline-csv", "", "write a telemetry time series CSV");
   cli.add_string("config", "", "key=value config file applied before the flags");
   cli.add_flag("verbose", "info-level logging");
+  // Telemetry.
+  cli.add_string("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable)");
+  cli.add_string("trace-categories", "all", "trace categories: cc,credits,queues,arb");
+  cli.add_int("trace-ring", 1 << 20, "trace ring capacity (events)");
+  cli.add_string("counters-csv", "", "write a counter time-series CSV");
+  cli.add_int("telemetry-sample-us", 50, "counter CSV sampling interval");
+  cli.add_flag("telemetry-detailed", "per-port/per-node instruments, not just aggregates");
+  cli.add_flag("counters", "collect and print fabric counters even without a file");
   if (!cli.parse(argc, argv)) return 0;
 
   if (cli.flag("verbose")) core::Log::set_level(core::LogLevel::Info);
@@ -118,6 +127,28 @@ int main(int argc, char** argv) {
   config.warmup = cli.get_int("warmup-us") * core::kMicrosecond;
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
 
+  if (!cli.get_string("trace").empty()) config.telemetry.trace_path = cli.get_string("trace");
+  if (cli.was_set("trace-categories")) {
+    config.telemetry.trace_categories = cli.get_string("trace-categories");
+  }
+  if (cli.was_set("trace-ring")) config.telemetry.trace_ring_capacity = cli.get_int("trace-ring");
+  if (!cli.get_string("counters-csv").empty()) {
+    config.telemetry.counters_csv = cli.get_string("counters-csv");
+  }
+  if (cli.was_set("telemetry-sample-us")) {
+    config.telemetry.sample_interval = cli.get_int("telemetry-sample-us") * core::kMicrosecond;
+  }
+  if (cli.flag("telemetry-detailed")) config.telemetry.detailed = true;
+  if (cli.flag("counters")) config.telemetry.counters = true;
+  {
+    std::uint32_t mask = 0;
+    if (!telemetry::parse_categories(config.telemetry.trace_categories, &mask)) {
+      std::fprintf(stderr, "unknown trace category in '%s'\n",
+                   config.telemetry.trace_categories.c_str());
+      return 2;
+    }
+  }
+
   std::printf("%s\n", config.describe().c_str());
 
   sim::Simulation simulation(config);
@@ -149,6 +180,17 @@ int main(int argc, char** argv) {
   if (timeline != nullptr && !timeline_csv.empty()) {
     timeline->write_csv(timeline_csv);
     std::printf("timeline written to %s\n", timeline_csv.c_str());
+  }
+
+  if (const telemetry::Telemetry* t = simulation.telemetry(); t != nullptr) {
+    std::printf("\n%s", telemetry::counters_table(t->registry(), t->detailed()).render().c_str());
+    if (t->tracer() != nullptr) {
+      std::printf("trace: %s -> %s\n", telemetry::describe_tracer(*t->tracer()).c_str(),
+                  config.telemetry.trace_path.c_str());
+    }
+    if (!config.telemetry.counters_csv.empty()) {
+      std::printf("counters CSV written to %s\n", config.telemetry.counters_csv.c_str());
+    }
   }
   return 0;
 }

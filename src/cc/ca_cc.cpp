@@ -55,12 +55,30 @@ void CaCcAgent::on_becn(ib::NodeId flow_dst, core::Time now) {
   if (!params_.enabled) return;
   ++becn_received_;
   FlowCc& f = flow(flow_dst);
-  if (f.ccti == 0 && f.active_idx < 0) {
+  const bool newly_throttled = f.ccti == 0 && f.active_idx < 0;
+  if (newly_throttled) {
     f.active_idx = static_cast<std::int32_t>(active_flows_.size());
     active_flows_.push_back(params_.sl_level ? 0 : flow_dst);
   }
+  const std::uint16_t before = f.ccti;
   f.ccti = static_cast<std::uint16_t>(
       std::min<std::uint32_t>(f.ccti + params_.ccti_increase, params_.ccti_limit));
+  ccti_total_ += f.ccti - before;
+  if (tel_.registry != nullptr) {
+    tel_.registry->inc(tel_.becn_delivered);
+    if (newly_throttled) tel_.registry->inc(tel_.throttle_events);
+    tel_.registry->set(tel_.ccti_gauge, ccti_total_);
+  }
+  if (tel_.tracer != nullptr && tel_.tracer->enabled(telemetry::Category::kCc)) {
+    tel_.tracer->record(telemetry::Category::kCc, telemetry::EventKind::kBecnDelivered, now,
+                        tel_.trace_dev, -1, -1, flow_dst);
+    if (newly_throttled) {
+      tel_.tracer->record(telemetry::Category::kCc, telemetry::EventKind::kThrottleStart, now,
+                          tel_.trace_dev, -1, -1, 0, flow_dst);
+    }
+    tel_.tracer->record(telemetry::Category::kCc, telemetry::EventKind::kCctiSet, now,
+                        tel_.trace_dev, -1, -1, ccti_total_, flow_dst);
+  }
   arm_timer(now);
 }
 
@@ -83,9 +101,15 @@ void CaCcAgent::on_event(core::Scheduler& sched, const core::Event& ev) {
   // Every expiry of the CCTI_Timer decrements the CCTI of all flows of
   // the port by one, down to CCTI_Min. Only throttled flows are visited;
   // flows reaching zero leave the active list (swap-remove).
+  const bool trace_cc =
+      tel_.tracer != nullptr && tel_.tracer->enabled(telemetry::Category::kCc);
   for (std::size_t i = 0; i < active_flows_.size();) {
-    FlowCc& f = flows_[static_cast<std::size_t>(active_flows_[i])];
-    if (f.ccti > params_.ccti_min) --f.ccti;
+    const std::int32_t dst = active_flows_[i];
+    FlowCc& f = flows_[static_cast<std::size_t>(dst)];
+    if (f.ccti > params_.ccti_min) {
+      --f.ccti;
+      --ccti_total_;
+    }
     if (f.ccti == 0) {
       f.active_idx = -1;
       active_flows_[i] = active_flows_.back();
@@ -94,22 +118,23 @@ void CaCcAgent::on_event(core::Scheduler& sched, const core::Event& ev) {
         flows_[static_cast<std::size_t>(active_flows_[i])].active_idx =
             static_cast<std::int32_t>(i);
       }
+      if (trace_cc) {
+        tel_.tracer->record(telemetry::Category::kCc, telemetry::EventKind::kThrottleEnd,
+                            sched.now(), tel_.trace_dev, -1, -1, 0, dst);
+      }
     } else {
       ++i;
     }
+  }
+  if (tel_.registry != nullptr) tel_.registry->set(tel_.ccti_gauge, ccti_total_);
+  if (trace_cc) {
+    tel_.tracer->record(telemetry::Category::kCc, telemetry::EventKind::kCctiSet, sched.now(),
+                        tel_.trace_dev, -1, -1, ccti_total_, -1);
   }
   // Keep the chain running while any flow is still throttled.
   arm_timer(sched.now());
 }
 
 std::uint16_t CaCcAgent::ccti(ib::NodeId dst) const { return flow(dst).ccti; }
-
-std::int64_t CaCcAgent::ccti_sum() const {
-  std::int64_t sum = 0;
-  for (const std::int32_t dst : active_flows_) {
-    sum += flows_[static_cast<std::size_t>(dst)].ccti;
-  }
-  return sum;
-}
 
 }  // namespace ibsim::cc

@@ -25,6 +25,16 @@ CcManager::CcManager(const ib::CcParams& params, std::size_t cct_entries, double
   }
 }
 
+void CcManager::publish(telemetry::CounterRegistry& registry) const {
+  registry.set(registry.gauge("cc.enabled"), params_.enabled ? 1 : 0);
+  registry.set(registry.gauge("cc.threshold_weight"), params_.threshold_weight);
+  registry.set(registry.gauge("cc.marking_rate"), params_.marking_rate);
+  registry.set(registry.gauge("cc.ccti_increase"), params_.ccti_increase);
+  registry.set(registry.gauge("cc.ccti_limit"), params_.ccti_limit);
+  registry.set(registry.gauge("cc.ccti_timer_ps"), params_.timer_interval());
+  registry.set(registry.gauge("cc.sl_level"), params_.sl_level ? 1 : 0);
+}
+
 std::int64_t CcManager::threshold_bytes(std::int64_t ref_buffer_bytes) const {
   const double fraction = params_.threshold_fraction();
   if (fraction > 1.0) return INT64_MAX;  // weight 0: detection disabled

@@ -4,6 +4,7 @@
 
 #include "ib/cc_params.hpp"
 #include "ib/cct.hpp"
+#include "telemetry/counters.hpp"
 
 namespace ibsim::cc {
 
@@ -29,6 +30,11 @@ class CcManager {
   /// Absolute queue threshold (bytes) for a switch output Port VL, given
   /// the reference input-buffer capacity of one VL.
   [[nodiscard]] std::int64_t threshold_bytes(std::int64_t ref_buffer_bytes) const;
+
+  /// Publish the fabric-wide CC configuration into a counter registry as
+  /// `cc.*` gauges, so exported counter sets are self-describing (a CSV
+  /// or summary read in isolation still shows which CC regime ran).
+  void publish(telemetry::CounterRegistry& registry) const;
 
  private:
   ib::CcParams params_;

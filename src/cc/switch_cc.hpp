@@ -27,9 +27,21 @@ class SwitchPortCc {
   void configure(const ib::CcParams& params, std::int64_t threshold_bytes, bool victim_mask);
 
   /// VoQ bookkeeping, called by the switch on every enqueue/dequeue
-  /// towards this output Port VL.
-  void on_enqueue(std::int32_t bytes) { queued_bytes_ += bytes; }
-  void on_dequeue(std::int32_t bytes) { queued_bytes_ -= bytes; }
+  /// towards this output Port VL. The return value reports a threshold
+  /// crossing (telemetry probe point): on_enqueue returns true when this
+  /// update pushed the queue *into* the threshold-exceeded state,
+  /// on_dequeue when it fell back out of it. Callers without telemetry
+  /// ignore it and the comparison folds away.
+  bool on_enqueue(std::int32_t bytes) {
+    const bool was = threshold_exceeded();
+    queued_bytes_ += bytes;
+    return !was && threshold_exceeded();
+  }
+  bool on_dequeue(std::int32_t bytes) {
+    const bool was = threshold_exceeded();
+    queued_bytes_ -= bytes;
+    return was && !threshold_exceeded();
+  }
 
   [[nodiscard]] std::int64_t queued_bytes() const { return queued_bytes_; }
   /// Strictly greater: a queue of exactly the threshold is not yet

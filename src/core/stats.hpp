@@ -26,8 +26,12 @@ class RateCounter {
   [[nodiscard]] std::int64_t bytes() const { return bytes_; }
   [[nodiscard]] std::int64_t packets() const { return packets_; }
   [[nodiscard]] Time window_start() const { return window_start_; }
-  /// Average rate in Gb/s between window start and `now`.
+  /// Average rate in Gb/s between window start and `now`. A zero-length
+  /// (or inverted) window reports 0.0 rather than dividing by zero —
+  /// callers sample at arbitrary times, including the window-start
+  /// instant itself.
   [[nodiscard]] double gbps(Time now) const {
+    if (now <= window_start_) return 0.0;
     return rate_gbps(bytes_, now - window_start_);
   }
 

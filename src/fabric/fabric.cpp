@@ -103,6 +103,43 @@ void Fabric::start(core::Scheduler& sched) {
   for (auto& h : hcas_) h->start(sched);
 }
 
+void Fabric::attach_telemetry(telemetry::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  FabricCounters counters;  // all handles invalid when detaching
+  if (telemetry_ != nullptr) {
+    telemetry::CounterRegistry& reg = telemetry_->registry();
+    counters.fecn_marked = reg.counter("fabric.fecn_marked");
+    counters.becn_sent = reg.counter("fabric.becn_sent");
+    counters.becn_delivered = reg.counter("fabric.becn_delivered");
+    counters.throttle_events = reg.counter("fabric.throttle_events");
+    counters.credit_stalls = reg.counter("fabric.credit_stalls");
+    counters.credit_stall_ps = reg.counter("fabric.credit_stall_ps");
+    counters.arb_grants = reg.counter("fabric.arb_grants");
+    g_queued_bytes_ = reg.gauge("fabric.queued_bytes");
+    g_active_cc_flows_ = reg.gauge("fabric.active_cc_flows");
+    g_ccti_sum_ = reg.gauge("fabric.ccti_sum");
+    ccm_->publish(reg);
+    for (const auto& sw : switches_) {
+      telemetry_->set_track_name(sw->device_id(), "switch " + std::to_string(sw->device_id()));
+    }
+    for (const auto& h : hcas_) {
+      telemetry_->set_track_name(h->device_id(), "hca " + std::to_string(h->device_id()) +
+                                                     " (node " + std::to_string(h->node()) +
+                                                     ")");
+    }
+  }
+  for (auto& sw : switches_) sw->attach_telemetry(telemetry_, counters);
+  for (auto& h : hcas_) h->attach_telemetry(telemetry_, counters);
+}
+
+void Fabric::refresh_gauges() {
+  if (telemetry_ == nullptr) return;
+  telemetry::CounterRegistry& reg = telemetry_->registry();
+  reg.set(g_queued_bytes_, total_queued_bytes());
+  reg.set(g_active_cc_flows_, total_active_cc_flows());
+  reg.set(g_ccti_sum_, total_ccti_sum());
+}
+
 void Fabric::set_link_rate(topo::DeviceId dev, std::int32_t port, double gbps) {
   IBSIM_ASSERT(gbps > 0.0, "link rate must be positive");
   core::EventHandler* handler = handlers_[static_cast<std::size_t>(dev)];

@@ -9,7 +9,9 @@
 #include "fabric/hca.hpp"
 #include "fabric/params.hpp"
 #include "fabric/switch_device.hpp"
+#include "fabric/telemetry_hooks.hpp"
 #include "ib/packet.hpp"
+#include "telemetry/telemetry.hpp"
 #include "topo/routing.hpp"
 #include "topo/topology.hpp"
 
@@ -59,6 +61,17 @@ class Fabric {
   /// Start all HCA injectors.
   void start(core::Scheduler& sched);
 
+  /// Install observability fabric-wide: register the aggregate counters
+  /// and gauges, name the trace tracks, publish the CC configuration, and
+  /// hand every device its probes. Pass null to detach. Observation-only —
+  /// attaching telemetry never changes simulated behaviour.
+  void attach_telemetry(telemetry::Telemetry* telemetry);
+
+  /// Recompute the fabric-wide gauges (queued bytes, active CC flows,
+  /// CCTI mass) from current device state. Called by the CSV sampler and
+  /// before counter snapshots; a no-op when telemetry is not attached.
+  void refresh_gauges();
+
   /// Override the data rate of one direction of a link (the output port
   /// (dev, port) serializes and paces at `gbps` from now on). Models
   /// link frequency/voltage scaling — one of the congestion causes the
@@ -91,6 +104,12 @@ class Fabric {
   std::vector<std::unique_ptr<SwitchDevice>> switches_;
   std::vector<std::unique_ptr<Hca>> hcas_;
   std::vector<core::EventHandler*> handlers_;
+
+  // Telemetry (null when not attached).
+  telemetry::Telemetry* telemetry_ = nullptr;
+  telemetry::CounterRegistry::Handle g_queued_bytes_;
+  telemetry::CounterRegistry::Handle g_active_cc_flows_;
+  telemetry::CounterRegistry::Handle g_ccti_sum_;
 };
 
 }  // namespace ibsim::fabric

@@ -1,5 +1,7 @@
 #include "fabric/hca.hpp"
 
+#include <string>
+
 #include "fabric/events.hpp"
 #include "fabric/fabric.hpp"
 
@@ -52,7 +54,39 @@ void Hca::send_cnp(ib::NodeId to, ib::NodeId flow_dst) {
   cnp->becn = true;
   cnp->flow_dst = flow_dst;
   cnp_queue_.push_back(cnp);
+  if (registry_ != nullptr) {
+    registry_->inc(counters_.becn_sent);
+    if (tracer_ != nullptr) {
+      tracer_->record(telemetry::Category::kCc, telemetry::EventKind::kBecnSent,
+                      fabric_->sched().now(), dev_, /*port=*/0, cnp->vl,
+                      /*value=*/to, /*aux=*/flow_dst);
+    }
+  }
   try_inject(fabric_->sched());
+}
+
+void Hca::attach_telemetry(telemetry::Telemetry* telemetry, const FabricCounters& counters) {
+  counters_ = counters;
+  if (telemetry == nullptr) {
+    tracer_ = nullptr;
+    registry_ = nullptr;
+    cc_agent_->set_telemetry({});
+    return;
+  }
+  tracer_ = telemetry->tracer();
+  registry_ = &telemetry->registry();
+
+  cc::CaCcTelemetry hooks;
+  hooks.tracer = tracer_;
+  hooks.registry = registry_;
+  hooks.trace_dev = dev_;
+  hooks.throttle_events = counters_.throttle_events;
+  hooks.becn_delivered = counters_.becn_delivered;
+  if (telemetry->detailed()) {
+    hooks.ccti_gauge =
+        registry_->gauge("hca." + std::to_string(node_) + ".cc.ccti");
+  }
+  cc_agent_->set_telemetry(hooks);
 }
 
 void Hca::try_inject(core::Scheduler& sched) {

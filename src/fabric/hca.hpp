@@ -9,7 +9,9 @@
 #include "core/event.hpp"
 #include "fabric/interfaces.hpp"
 #include "fabric/output_port.hpp"
+#include "fabric/telemetry_hooks.hpp"
 #include "ib/packet.hpp"
+#include "telemetry/telemetry.hpp"
 #include "topo/topology.hpp"
 
 namespace ibsim::fabric {
@@ -54,6 +56,11 @@ class Hca final : public core::EventHandler, public cc::CnpSender {
   [[nodiscard]] std::uint64_t delivered_packets() const { return delivered_packets_; }
   [[nodiscard]] std::uint64_t fecn_delivered() const { return fecn_delivered_; }
 
+  /// Install observability (called by Fabric::attach_telemetry): the CNP
+  /// probe on this HCA plus the CC agent's hooks. Detailed mode adds a
+  /// per-node CCTI gauge.
+  void attach_telemetry(telemetry::Telemetry* telemetry, const FabricCounters& counters);
+
  private:
   friend class Fabric;  // wiring
 
@@ -82,6 +89,11 @@ class Hca final : public core::EventHandler, public cc::CnpSender {
   SinkObserver* observer_ = nullptr;
 
   std::unique_ptr<cc::CaCcAgent> cc_agent_;
+
+  // Telemetry (null when not attached).
+  telemetry::Tracer* tracer_ = nullptr;
+  telemetry::CounterRegistry* registry_ = nullptr;
+  FabricCounters counters_;
 
   std::int64_t injected_bytes_ = 0;
   std::uint64_t injected_packets_ = 0;

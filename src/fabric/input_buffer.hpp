@@ -1,11 +1,13 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "core/assert.hpp"
 #include "ib/packet.hpp"
 #include "ib/types.hpp"
+#include "telemetry/counters.hpp"
 
 namespace ibsim::fabric {
 
@@ -36,12 +38,14 @@ class InputBuffer {
   void enqueue(std::int32_t out, ib::Vl vl, ib::Packet* pkt) {
     voq(out, vl).push_back(pkt);
     vl_bytes_[vl] += pkt->bytes;
+    if (probe_registry_ != nullptr) probe_registry_->set(probe_gauges_[vl], vl_bytes_[vl]);
   }
 
   [[nodiscard]] ib::Packet* dequeue(std::int32_t out, ib::Vl vl) {
     ib::Packet* pkt = voq(out, vl).pop_front();
     vl_bytes_[vl] -= pkt->bytes;
     IBSIM_ASSERT(vl_bytes_[vl] >= 0, "input buffer occupancy underflow");
+    if (probe_registry_ != nullptr) probe_registry_->set(probe_gauges_[vl], vl_bytes_[vl]);
     return pkt;
   }
 
@@ -50,6 +54,18 @@ class InputBuffer {
 
   [[nodiscard]] std::int32_t n_outputs() const { return n_outputs_; }
   [[nodiscard]] std::int32_t n_vls() const { return n_vls_; }
+
+  /// Telemetry: mirror each VL's occupancy into the given gauges
+  /// (`handles[vl]`) on every enqueue/dequeue. Null registry disables the
+  /// probe — the only hot-path cost then is one pointer test.
+  void set_probe(telemetry::CounterRegistry* registry,
+                 std::vector<telemetry::CounterRegistry::Handle> handles) {
+    IBSIM_ASSERT(registry == nullptr ||
+                     handles.size() == static_cast<std::size_t>(n_vls_),
+                 "input-buffer probe needs one gauge per VL");
+    probe_registry_ = registry;
+    probe_gauges_ = std::move(handles);
+  }
 
  private:
   [[nodiscard]] std::size_t slot(std::int32_t out, ib::Vl vl) const {
@@ -62,6 +78,8 @@ class InputBuffer {
   std::int32_t n_vls_ = 0;
   std::vector<ib::PacketQueue> voqs_;
   std::vector<std::int64_t> vl_bytes_;
+  telemetry::CounterRegistry* probe_registry_ = nullptr;
+  std::vector<telemetry::CounterRegistry::Handle> probe_gauges_;
 };
 
 }  // namespace ibsim::fabric

@@ -8,6 +8,7 @@
 #include "fabric/credits.hpp"
 #include "fabric/vl_arbiter.hpp"
 #include "ib/types.hpp"
+#include "telemetry/counters.hpp"
 #include "topo/topology.hpp"
 
 namespace ibsim::fabric {
@@ -44,6 +45,12 @@ struct OutputPort {
   // Statistics.
   std::int64_t tx_bytes = 0;
   std::uint64_t tx_packets = 0;
+
+  // Telemetry: when this port last went work-but-no-credits (kTimeNever =
+  // not stalled), and the per-port stall-time counter (valid only in
+  // detailed mode). Only maintained while telemetry is attached.
+  core::Time stall_since = core::kTimeNever;
+  telemetry::CounterRegistry::Handle h_stall_ps;
 
   [[nodiscard]] core::Time ser_time(std::int32_t bytes) const {
     return core::transmit_time(bytes, wire_gbps);

@@ -1,6 +1,7 @@
 #include "fabric/switch_device.hpp"
 
 #include <bit>
+#include <string>
 
 #include "fabric/events.hpp"
 #include "fabric/fabric.hpp"
@@ -42,7 +43,9 @@ void SwitchDevice::receive(core::Scheduler& sched, ib::Packet* pkt, std::int32_t
   InputBuffer& in = inputs_[static_cast<std::size_t>(in_port)];
   busy_mask(out, pkt->vl) |= 1ull << in_port;
   in.enqueue(out, pkt->vl, pkt);
-  outputs_[static_cast<std::size_t>(out)].cc[pkt->vl].on_enqueue(pkt->bytes);
+  const bool entered =
+      outputs_[static_cast<std::size_t>(out)].cc[pkt->vl].on_enqueue(pkt->bytes);
+  if (telemetry_ != nullptr) note_enqueue(out, pkt->vl, entered, sched.now());
   try_send(sched, out);
 }
 
@@ -71,7 +74,10 @@ bool SwitchDevice::grant_one(core::Scheduler& sched, std::int32_t out_port) {
   const std::int32_t vl_pick = op.vlarb.pick([&](ib::Vl vl) {
     return busy_mask(out_port, vl) != 0 && op.credits[vl].available() > 0;
   });
-  if (vl_pick < 0) return false;
+  if (vl_pick < 0) {
+    if (telemetry_ != nullptr) note_blocked(out_port, now);
+    return false;
+  }
   const auto vl = static_cast<ib::Vl>(vl_pick);
 
   // Next busy input at or after the round-robin pointer, wrapping.
@@ -93,7 +99,10 @@ bool SwitchDevice::grant_one(core::Scheduler& sched, std::int32_t out_port) {
         break;
       }
     }
-    if (chosen < 0) return false;  // the next credit update retries
+    if (chosen < 0) {
+      if (telemetry_ != nullptr) note_blocked(out_port, now);
+      return false;  // the next credit update retries
+    }
   }
   op.rr_next[vl] = (chosen + 1) % n_ports_;
 
@@ -101,17 +110,20 @@ bool SwitchDevice::grant_one(core::Scheduler& sched, std::int32_t out_port) {
   ib::Packet* pkt = in_buf.dequeue(out_port, vl);
   if (in_buf.voq(out_port, vl).empty()) busy_mask(out_port, vl) &= ~(1ull << chosen);
   op.vlarb.granted(pkt->bytes);
-  op.cc[vl].on_dequeue(pkt->bytes);
+  const bool exited = op.cc[vl].on_dequeue(pkt->bytes);
   op.credits[vl].consume(pkt->bytes);
 
   // FECN marking: the packet is forwarded through this Port VL; the
   // detector applies the threshold / root-vs-victim / Packet_Size /
   // Marking_Rate rules (paper section II.1).
-  if (op.cc[vl].decide_fecn(op.credits[vl].available(), pkt->bytes)) pkt->fecn = true;
+  const bool fecn_now = op.cc[vl].decide_fecn(op.credits[vl].available(), pkt->bytes);
+  if (fecn_now) pkt->fecn = true;
 
-  op.busy_until = now + op.pace_time(pkt->bytes);
+  const core::Time pace = op.pace_time(pkt->bytes);
+  op.busy_until = now + pace;
   op.tx_bytes += pkt->bytes;
   ++op.tx_packets;
+  if (telemetry_ != nullptr) note_grant(now, out_port, vl, *pkt, exited, fecn_now, pace);
 
   // Head of the packet reaches the peer's input stage after link
   // propagation plus the receiver pipeline (cut-through); add the full
@@ -140,6 +152,103 @@ std::int64_t SwitchDevice::forwarded_bytes() const {
   std::int64_t total = 0;
   for (const auto& op : outputs_) total += op.tx_bytes;
   return total;
+}
+
+void SwitchDevice::attach_telemetry(telemetry::Telemetry* telemetry,
+                                    const FabricCounters& counters) {
+  telemetry_ = telemetry;
+  tracer_ = telemetry != nullptr ? telemetry->tracer() : nullptr;
+  counters_ = counters;
+  out_queue_gauges_.clear();
+  if (telemetry_ == nullptr || !telemetry_->detailed()) {
+    for (auto& in : inputs_) in.set_probe(nullptr, {});
+    for (auto& op : outputs_) op.h_stall_ps = {};
+    return;
+  }
+  // Detailed mode: per-Port-VL instruments, registered in a fixed order so
+  // CSV columns and summary rows are stable across runs.
+  telemetry::CounterRegistry& reg = telemetry_->registry();
+  out_queue_gauges_.reserve(static_cast<std::size_t>(n_ports_) *
+                            static_cast<std::size_t>(fabric_vls_));
+  for (std::int32_t p = 0; p < n_ports_; ++p) {
+    const std::string base = "switch." + std::to_string(dev_) + ".port." + std::to_string(p);
+    for (std::int32_t v = 0; v < fabric_vls_; ++v) {
+      out_queue_gauges_.push_back(
+          reg.gauge(base + ".vl" + std::to_string(v) + ".queue_bytes"));
+    }
+    outputs_[static_cast<std::size_t>(p)].h_stall_ps = reg.counter(base + ".credit_stall_ps");
+    std::vector<telemetry::CounterRegistry::Handle> buf_gauges;
+    buf_gauges.reserve(static_cast<std::size_t>(fabric_vls_));
+    for (std::int32_t v = 0; v < fabric_vls_; ++v) {
+      buf_gauges.push_back(reg.gauge("switch." + std::to_string(dev_) + ".in." +
+                                     std::to_string(p) + ".vl" + std::to_string(v) +
+                                     ".buf_bytes"));
+    }
+    inputs_[static_cast<std::size_t>(p)].set_probe(&reg, std::move(buf_gauges));
+  }
+}
+
+void SwitchDevice::note_enqueue(std::int32_t out, ib::Vl vl, bool entered_congestion,
+                                core::Time now) {
+  const auto& op = outputs_[static_cast<std::size_t>(out)];
+  if (!out_queue_gauges_.empty()) {
+    telemetry_->registry().set(out_queue_gauge(out, vl), op.cc[vl].queued_bytes());
+  }
+  if (entered_congestion && tracer_ != nullptr) {
+    tracer_->record(telemetry::Category::kQueues, telemetry::EventKind::kCongestionEnter, now,
+                    dev_, out, vl, op.cc[vl].queued_bytes());
+  }
+}
+
+void SwitchDevice::note_grant(core::Time now, std::int32_t out, ib::Vl vl,
+                              const ib::Packet& pkt, bool exited_congestion, bool fecn_set,
+                              core::Time pace) {
+  telemetry::CounterRegistry& reg = telemetry_->registry();
+  auto& op = outputs_[static_cast<std::size_t>(out)];
+  reg.inc(counters_.arb_grants);
+  if (fecn_set) reg.inc(counters_.fecn_marked);
+  if (!out_queue_gauges_.empty()) reg.set(out_queue_gauge(out, vl), op.cc[vl].queued_bytes());
+  if (op.stall_since != core::kTimeNever) {
+    const core::Time stalled = now - op.stall_since;
+    op.stall_since = core::kTimeNever;
+    reg.inc(counters_.credit_stalls);
+    reg.add(counters_.credit_stall_ps, stalled);
+    reg.add(op.h_stall_ps, stalled);  // no-op unless detailed mode resolved it
+    if (tracer_ != nullptr) {
+      tracer_->record(telemetry::Category::kCredits, telemetry::EventKind::kCreditStallEnd, now,
+                      dev_, out, /*vl=*/-1, stalled);
+    }
+  }
+  if (tracer_ == nullptr) return;
+  if (fecn_set) {
+    tracer_->record(telemetry::Category::kCc, telemetry::EventKind::kFecnMark, now, dev_, out,
+                    vl, op.cc[vl].queued_bytes());
+  }
+  if (exited_congestion) {
+    tracer_->record(telemetry::Category::kQueues, telemetry::EventKind::kCongestionExit, now,
+                    dev_, out, vl, op.cc[vl].queued_bytes());
+  }
+  tracer_->record(telemetry::Category::kArb, telemetry::EventKind::kArbGrant, now, dev_, out,
+                  vl, pkt.bytes, static_cast<std::int32_t>(pace));
+}
+
+void SwitchDevice::note_blocked(std::int32_t out, core::Time now) {
+  auto& op = outputs_[static_cast<std::size_t>(out)];
+  if (op.stall_since != core::kTimeNever) return;  // stall already open
+  // Blocked-with-no-work is just an idle port, not a credit stall.
+  bool has_work = false;
+  for (std::int32_t v = 0; v < fabric_vls_; ++v) {
+    if (busy_mask(out, static_cast<ib::Vl>(v)) != 0) {
+      has_work = true;
+      break;
+    }
+  }
+  if (!has_work) return;
+  op.stall_since = now;
+  if (tracer_ != nullptr) {
+    tracer_->record(telemetry::Category::kCredits, telemetry::EventKind::kCreditStallStart, now,
+                    dev_, out, /*vl=*/-1, 0);
+  }
 }
 
 }  // namespace ibsim::fabric

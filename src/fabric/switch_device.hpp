@@ -6,7 +6,9 @@
 #include "core/event.hpp"
 #include "fabric/input_buffer.hpp"
 #include "fabric/output_port.hpp"
+#include "fabric/telemetry_hooks.hpp"
 #include "ib/packet.hpp"
+#include "telemetry/telemetry.hpp"
 #include "topo/routing.hpp"
 
 namespace ibsim::fabric {
@@ -39,6 +41,12 @@ class SwitchDevice final : public core::EventHandler {
   /// Bytes forwarded by this switch (all ports).
   [[nodiscard]] std::int64_t forwarded_bytes() const;
 
+  /// Install observability (called by Fabric::attach_telemetry). Shared
+  /// aggregate handles come pre-resolved; in detailed mode the switch
+  /// additionally registers per-Port-VL queue gauges, per-input-VL buffer
+  /// gauges, and per-port stall-time counters.
+  void attach_telemetry(telemetry::Telemetry* telemetry, const FabricCounters& counters);
+
  private:
   friend class Fabric;  // wiring
 
@@ -46,6 +54,18 @@ class SwitchDevice final : public core::EventHandler {
   void try_send(core::Scheduler& sched, std::int32_t out_port);
   [[nodiscard]] bool grant_one(core::Scheduler& sched, std::int32_t out_port);
   [[nodiscard]] bool input_eligible(std::int32_t in, std::int32_t out, ib::Vl vl) const;
+
+  // --- telemetry (cold paths; every caller is behind a null check) ------
+  void note_enqueue(std::int32_t out, ib::Vl vl, bool entered_congestion, core::Time now);
+  void note_grant(core::Time now, std::int32_t out, ib::Vl vl, const ib::Packet& pkt,
+                  bool exited_congestion, bool fecn_set, core::Time pace);
+  void note_blocked(std::int32_t out, core::Time now);
+  [[nodiscard]] telemetry::CounterRegistry::Handle out_queue_gauge(std::int32_t out,
+                                                                   ib::Vl vl) const {
+    return out_queue_gauges_[static_cast<std::size_t>(out) *
+                                 static_cast<std::size_t>(fabric_vls_) +
+                             static_cast<std::size_t>(vl)];
+  }
 
   /// Bitmask of input ports with a nonempty VoQ towards (out, vl): bit i
   /// set means input i has queued work. Lets arbitration find the next
@@ -65,6 +85,12 @@ class SwitchDevice final : public core::EventHandler {
   std::vector<InputBuffer> inputs_;
   std::vector<OutputPort> outputs_;
   std::vector<std::uint64_t> busy_mask_;
+
+  // Telemetry (null / empty when not attached).
+  telemetry::Telemetry* telemetry_ = nullptr;
+  telemetry::Tracer* tracer_ = nullptr;
+  FabricCounters counters_;
+  std::vector<telemetry::CounterRegistry::Handle> out_queue_gauges_;  ///< per (out, vl)
 };
 
 }  // namespace ibsim::fabric

@@ -1,0 +1,20 @@
+#pragma once
+
+#include "telemetry/counters.hpp"
+
+namespace ibsim::fabric {
+
+/// Fabric-wide aggregate counters, registered once by
+/// Fabric::attach_telemetry and shared (by handle) with every device, so
+/// each hot-path update is a single indexed add.
+struct FabricCounters {
+  telemetry::CounterRegistry::Handle fecn_marked;     ///< packets FECN-marked by switches
+  telemetry::CounterRegistry::Handle becn_sent;       ///< CNPs queued by destination HCAs
+  telemetry::CounterRegistry::Handle becn_delivered;  ///< BECNs that reached a source CA
+  telemetry::CounterRegistry::Handle throttle_events; ///< flows entering the throttled set
+  telemetry::CounterRegistry::Handle credit_stalls;   ///< output ports blocked on credits
+  telemetry::CounterRegistry::Handle credit_stall_ps; ///< total blocked time (ps)
+  telemetry::CounterRegistry::Handle arb_grants;      ///< VL-arbitration grants
+};
+
+}  // namespace ibsim::fabric

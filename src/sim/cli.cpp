@@ -60,6 +60,7 @@ bool Cli::parse(int argc, char** argv) {
     auto it = options_.find(arg);
     if (it == options_.end()) fail("unknown option '--" + arg + "'");
     Option& opt = it->second;
+    opt.set_on_command_line = true;
     if (opt.kind == Kind::Flag) {
       if (has_value) fail("flag '--" + arg + "' does not take a value");
       opt.flag_value = true;
@@ -101,6 +102,12 @@ const Cli::Option& Cli::require(const std::string& name, Kind kind) const {
 }
 
 bool Cli::flag(const std::string& name) const { return require(name, Kind::Flag).flag_value; }
+
+bool Cli::was_set(const std::string& name) const {
+  const auto it = options_.find(name);
+  IBSIM_ASSERT(it != options_.end(), "unregistered CLI option queried");
+  return it->second.set_on_command_line;
+}
 
 std::int64_t Cli::get_int(const std::string& name) const {
   return require(name, Kind::Int).int_value;

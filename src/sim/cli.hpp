@@ -25,6 +25,10 @@ class Cli {
   [[nodiscard]] bool parse(int argc, char** argv);
 
   [[nodiscard]] bool flag(const std::string& name) const;
+  /// True when the option appeared on the command line (as opposed to
+  /// holding its registered default). Lets callers layer flags over a
+  /// config file without the defaults clobbering it.
+  [[nodiscard]] bool was_set(const std::string& name) const;
   [[nodiscard]] std::int64_t get_int(const std::string& name) const;
   [[nodiscard]] double get_double(const std::string& name) const;
   [[nodiscard]] const std::string& get_string(const std::string& name) const;
@@ -40,6 +44,7 @@ class Cli {
     std::int64_t int_value = 0;
     double double_value = 0.0;
     std::string string_value;
+    bool set_on_command_line = false;
   };
 
   const Option& require(const std::string& name, Kind kind) const;

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "telemetry/trace.hpp"
+
 namespace ibsim::sim {
 
 namespace {
@@ -132,6 +134,30 @@ std::string apply_key(const std::string& key, const std::string& value, SimConfi
     return want_int([&](auto v) { c->sim_time = v * core::kMicrosecond; });
   if (key == "warmup_us") return want_int([&](auto v) { c->warmup = v * core::kMicrosecond; });
   if (key == "seed") return want_int([&](auto v) { c->seed = static_cast<std::uint64_t>(v); });
+
+  if (key == "trace_file") {
+    c->telemetry.trace_path = value;
+    return {};
+  }
+  if (key == "trace_categories") {
+    std::uint32_t mask = 0;
+    if (!telemetry::parse_categories(value, &mask)) {
+      return "unknown trace category in '" + value + "'";
+    }
+    c->telemetry.trace_categories = value;
+    return {};
+  }
+  if (key == "counters_csv") {
+    c->telemetry.counters_csv = value;
+    return {};
+  }
+  if (key == "telemetry_sample_us")
+    return want_int([&](auto v) { c->telemetry.sample_interval = v * core::kMicrosecond; });
+  if (key == "trace_ring") return want_int([&](auto v) { c->telemetry.trace_ring_capacity = v; });
+  if (key == "telemetry_detailed")
+    return want_int([&](auto v) { c->telemetry.detailed = v != 0; });
+  if (key == "telemetry_counters")
+    return want_int([&](auto v) { c->telemetry.counters = v != 0; });
 
   return "unknown key '" + key + "'";
 }

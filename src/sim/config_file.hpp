@@ -24,6 +24,9 @@ namespace ibsim::sim {
 ///   wire_gbps, hca_inject_gbps, hca_drain_gbps, n_vls, cut_through (0/1)
 ///   switch_ibuf_bytes, hca_ibuf_bytes
 ///   sim_time_us, warmup_us, seed
+///   trace_file, trace_categories (cc,credits,queues,arb | all),
+///   counters_csv, telemetry_sample_us, trace_ring,
+///   telemetry_detailed (0/1), telemetry_counters (0/1)
 ///
 /// Returns an empty string on success, or a "line N: ..." diagnostic.
 [[nodiscard]] std::string apply_config_text(const std::string& text, SimConfig* config);

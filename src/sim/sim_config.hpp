@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <string>
 
+#include "core/time.hpp"
 #include "fabric/params.hpp"
 #include "ib/cc_params.hpp"
 #include "topo/builders.hpp"
@@ -21,6 +22,34 @@ enum class TopologyKind : std::uint8_t {
 };
 
 [[nodiscard]] const char* topology_name(TopologyKind kind);
+
+/// Observability knobs of one run. Everything is off by default — the
+/// simulation then never constructs a Telemetry instance and the fabric
+/// hot paths pay a single null check.
+struct TelemetrySettings {
+  /// Force the counter registry on even without a trace/CSV destination
+  /// (fills SimResult::counters).
+  bool counters = false;
+  /// Chrome trace-event JSON destination ("" = no tracing).
+  std::string trace_path;
+  /// Comma-separated trace categories ("cc,credits,queues,arb"; "all").
+  std::string trace_categories = "all";
+  /// Counter time-series CSV destination ("" = no sampler). NOTE: the
+  /// sampler schedules its own events, so events_executed differs from an
+  /// unsampled run (simulated behaviour still does not).
+  std::string counters_csv;
+  /// Sampling cadence of the CSV time series.
+  core::Time sample_interval = 50 * core::kMicrosecond;
+  /// Trace ring capacity (events); oldest records drop when exceeded.
+  std::int64_t trace_ring_capacity = 1 << 20;
+  /// Register per-port/per-node instruments, not just fabric aggregates.
+  bool detailed = false;
+
+  [[nodiscard]] bool tracing() const { return !trace_path.empty(); }
+  [[nodiscard]] bool active() const {
+    return counters || tracing() || !counters_csv.empty() || detailed;
+  }
+};
 
 /// Complete description of one simulation run: topology, fabric
 /// calibration, CC parameters, traffic scenario, and timing.
@@ -48,6 +77,9 @@ struct SimConfig {
 
   /// Latency histogram range (microseconds).
   double latency_hist_max_us = 20000.0;
+
+  /// Observability (off by default; see TelemetrySettings).
+  TelemetrySettings telemetry;
 
   [[nodiscard]] std::int32_t node_count() const;
   [[nodiscard]] std::string describe() const;

@@ -2,6 +2,8 @@
 
 #include "core/assert.hpp"
 #include "core/log.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/trace.hpp"
 
 namespace ibsim::sim {
 
@@ -52,7 +54,29 @@ Simulation::Simulation(const SimConfig& config)
     fabric_->hca(node).attach_observer(metrics_.get());
   }
   scenario_->install(*fabric_, sched_);
+
+  const TelemetrySettings& ts = config_.telemetry;
+  if (ts.active()) {
+    telemetry::TelemetryOptions options;
+    options.detailed = ts.detailed;
+    options.ring_capacity =
+        ts.trace_ring_capacity > 0 ? static_cast<std::size_t>(ts.trace_ring_capacity) : 1;
+    if (ts.tracing()) {
+      const bool ok = telemetry::parse_categories(ts.trace_categories,
+                                                  &options.trace_categories);
+      IBSIM_ASSERT(ok, "unknown trace category (expected cc, credits, queues, arb)");
+    }
+    telemetry_ = std::make_unique<telemetry::Telemetry>(options);
+    fabric_->attach_telemetry(telemetry_.get());
+    if (!ts.counters_csv.empty()) {
+      sampler_ = std::make_unique<telemetry::CounterSampler>(
+          &telemetry_->registry(), ts.sample_interval, ts.counters_csv,
+          [this](core::Time) { fabric_->refresh_gauges(); });
+    }
+  }
 }
+
+Simulation::~Simulation() = default;
 
 SimResult Simulation::run() {
   IBSIM_ASSERT(!ran_, "Simulation::run may only be called once");
@@ -60,9 +84,21 @@ SimResult Simulation::run() {
   IBSIM_LOG(core::LogLevel::Info, sched_.now(), "starting: %s", config_.describe().c_str());
 
   fabric_->start(sched_);
+  if (sampler_ != nullptr && !sampler_->install(sched_)) {
+    IBSIM_LOG(core::LogLevel::Warn, sched_.now(), "cannot open counters CSV '%s'",
+              config_.telemetry.counters_csv.c_str());
+  }
   sched_.run_until(config_.warmup);
   metrics_->reset_window(sched_.now());
   sched_.run_until(config_.sim_time);
+
+  if (sampler_ != nullptr) sampler_->close();
+  if (telemetry_ != nullptr && config_.telemetry.tracing()) {
+    if (!telemetry::write_chrome_trace(config_.telemetry.trace_path, *telemetry_)) {
+      IBSIM_LOG(core::LogLevel::Warn, sched_.now(), "cannot write trace '%s'",
+                config_.telemetry.trace_path.c_str());
+    }
+  }
 
   const SimResult result = snapshot();
   IBSIM_LOG(core::LogLevel::Info, sched_.now(),
@@ -91,6 +127,12 @@ SimResult Simulation::snapshot() const {
   r.becn_received = fabric_->total_becn_received();
   r.delivered_bytes = metrics_->delivered_bytes();
   r.events_executed = sched_.executed();
+  if (telemetry_ != nullptr) {
+    fabric_->refresh_gauges();  // observability state only, never simulated state
+    for (auto& [name, value] : telemetry_->registry().snapshot()) {
+      r.counters.emplace(std::move(name), value);
+    }
+  }
   return r;
 }
 

@@ -1,13 +1,17 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <string>
 
 #include "cc/cc_manager.hpp"
 #include "core/scheduler.hpp"
 #include "fabric/fabric.hpp"
 #include "sim/metrics.hpp"
 #include "sim/sim_config.hpp"
+#include "telemetry/sampler.hpp"
+#include "telemetry/telemetry.hpp"
 #include "topo/routing.hpp"
 #include "topo/topology.hpp"
 #include "traffic/scenario.hpp"
@@ -31,6 +35,9 @@ struct SimResult {
   std::uint64_t becn_received = 0;
   std::int64_t delivered_bytes = 0;
   std::uint64_t events_executed = 0;
+
+  /// End-of-run counter values (empty unless telemetry was active).
+  std::map<std::string, std::int64_t> counters;
 };
 
 /// One fully assembled simulation: topology, routing, CC, fabric,
@@ -38,6 +45,7 @@ struct SimResult {
 class Simulation {
  public:
   explicit Simulation(const SimConfig& config);
+  ~Simulation();
 
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
@@ -53,6 +61,10 @@ class Simulation {
   [[nodiscard]] const topo::Topology& topology() const { return topo_; }
   [[nodiscard]] const SimConfig& config() const { return config_; }
 
+  /// The run's observability root; null when telemetry is inactive.
+  [[nodiscard]] telemetry::Telemetry* telemetry() { return telemetry_.get(); }
+  [[nodiscard]] const telemetry::Telemetry* telemetry() const { return telemetry_.get(); }
+
   /// Compute the result over the current measurement window without
   /// running further (used by harnesses sampling mid-run).
   [[nodiscard]] SimResult snapshot() const;
@@ -66,6 +78,8 @@ class Simulation {
   std::unique_ptr<fabric::Fabric> fabric_;
   std::unique_ptr<traffic::Scenario> scenario_;
   std::unique_ptr<MetricsCollector> metrics_;
+  std::unique_ptr<telemetry::Telemetry> telemetry_;
+  std::unique_ptr<telemetry::CounterSampler> sampler_;
   bool ran_ = false;
 };
 

@@ -1,0 +1,144 @@
+#include "telemetry/chrome_trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <set>
+#include <utility>
+
+namespace ibsim::telemetry {
+
+namespace {
+
+/// Timestamps: Chrome traces are in microseconds; %.6f keeps the full
+/// picosecond resolution of core::Time.
+void print_ts(std::FILE* f, core::Time at) {
+  std::fprintf(f, "%.6f", static_cast<double>(at) / 1e6);
+}
+
+void print_escaped(std::FILE* f, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') std::fputc('\\', f);
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // never happens for our names
+    std::fputc(c, f);
+  }
+}
+
+/// Unique id for an async span: one concurrent episode per (dev, port, vl).
+std::uint64_t span_id(const TraceEvent& ev) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(ev.dev)) << 24) |
+         (static_cast<std::uint64_t>(static_cast<std::uint16_t>(ev.port + 1)) << 8) |
+         static_cast<std::uint64_t>(static_cast<std::uint8_t>(ev.vl + 1));
+}
+
+struct EventWriter {
+  std::FILE* f;
+  bool first = true;
+
+  void begin(const char* name, const char* cat, const char* ph, core::Time at,
+             std::int32_t pid, std::int32_t tid) {
+    if (!first) std::fputs(",\n", f);
+    first = false;
+    std::fprintf(f, R"({"name":"%s","cat":"%s","ph":"%s","ts":)", name, cat, ph);
+    print_ts(f, at);
+    std::fprintf(f, R"(,"pid":%d,"tid":%d)", pid, tid);
+  }
+  void end() { std::fputs("}", f); }
+};
+
+}  // namespace
+
+bool write_chrome_trace(const std::string& path, const Telemetry& telemetry) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+
+  std::fputs("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n", f);
+  EventWriter w{f};
+
+  // Track metadata: process names for every known device, thread names
+  // for every (device, port) that actually traced something.
+  for (const auto& [dev, name] : telemetry.track_names()) {
+    w.begin("process_name", "__metadata", "M", 0, dev, 0);
+    std::fputs(",\"args\":{\"name\":\"", f);
+    print_escaped(f, name);
+    std::fputs("\"}", f);
+    w.end();
+  }
+  const Tracer* tracer = telemetry.tracer();
+  if (tracer != nullptr) {
+    std::set<std::pair<std::int32_t, std::int32_t>> tracks;
+    for (std::size_t i = 0; i < tracer->size(); ++i) {
+      const TraceEvent& ev = tracer->at(i);
+      if (ev.port >= 0) tracks.emplace(ev.dev, ev.port);
+    }
+    for (const auto& [dev, port] : tracks) {
+      w.begin("thread_name", "__metadata", "M", 0, dev, port);
+      std::fprintf(f, ",\"args\":{\"name\":\"port %d\"}", port);
+      w.end();
+    }
+
+    for (std::size_t i = 0; i < tracer->size(); ++i) {
+      const TraceEvent& ev = tracer->at(i);
+      const std::int32_t tid = ev.port >= 0 ? ev.port : 0;
+      switch (ev.kind) {
+        case EventKind::kFecnMark:
+          w.begin("FECN mark", "cc", "i", ev.at, ev.dev, tid);
+          std::fprintf(f, ",\"s\":\"t\",\"args\":{\"vl\":%d,\"queued_bytes\":%" PRId64 "}",
+                       ev.vl, ev.value);
+          break;
+        case EventKind::kBecnSent:
+          w.begin("CNP sent", "cc", "i", ev.at, ev.dev, tid);
+          std::fprintf(f, ",\"s\":\"t\",\"args\":{\"to_node\":%" PRId64 "}", ev.value);
+          break;
+        case EventKind::kBecnDelivered:
+          w.begin("BECN delivered", "cc", "i", ev.at, ev.dev, tid);
+          std::fprintf(f, ",\"s\":\"t\",\"args\":{\"flow_dst\":%" PRId64 "}", ev.value);
+          break;
+        case EventKind::kCctiSet:
+          w.begin("ccti", "cc", "C", ev.at, ev.dev, 0);
+          std::fprintf(f, ",\"args\":{\"ccti\":%" PRId64 "}", ev.value);
+          break;
+        case EventKind::kThrottleStart:
+          w.begin("throttle start", "cc", "i", ev.at, ev.dev, tid);
+          std::fprintf(f, ",\"s\":\"t\",\"args\":{\"flow_dst\":%d}", ev.aux);
+          break;
+        case EventKind::kThrottleEnd:
+          w.begin("throttle end", "cc", "i", ev.at, ev.dev, tid);
+          std::fprintf(f, ",\"s\":\"t\",\"args\":{\"flow_dst\":%d}", ev.aux);
+          break;
+        case EventKind::kCongestionEnter:
+          w.begin("congested", "queues", "b", ev.at, ev.dev, tid);
+          std::fprintf(f, ",\"id\":\"0x%" PRIx64 "\",\"args\":{\"vl\":%d,\"bytes\":%" PRId64 "}",
+                       span_id(ev), ev.vl, ev.value);
+          break;
+        case EventKind::kCongestionExit:
+          w.begin("congested", "queues", "e", ev.at, ev.dev, tid);
+          std::fprintf(f, ",\"id\":\"0x%" PRIx64 "\"", span_id(ev));
+          break;
+        case EventKind::kCreditStallStart:
+          w.begin("credit stall", "credits", "b", ev.at, ev.dev, tid);
+          std::fprintf(f, ",\"id\":\"0x%" PRIx64 "\",\"args\":{\"vl\":%d}", span_id(ev), ev.vl);
+          break;
+        case EventKind::kCreditStallEnd:
+          w.begin("credit stall", "credits", "e", ev.at, ev.dev, tid);
+          std::fprintf(f, ",\"id\":\"0x%" PRIx64 "\",\"args\":{\"stall_ps\":%" PRId64 "}",
+                       span_id(ev), ev.value);
+          break;
+        case EventKind::kArbGrant:
+          w.begin("pkt", "arb", "X", ev.at, ev.dev, tid);
+          std::fputs(",\"dur\":", f);
+          print_ts(f, ev.aux);
+          std::fprintf(f, ",\"args\":{\"vl\":%d,\"bytes\":%" PRId64 "}", ev.vl, ev.value);
+          break;
+      }
+      w.end();
+    }
+  }
+
+  std::fprintf(f, "\n],\"otherData\":{\"dropped_events\":%" PRIu64 "}}\n",
+               tracer != nullptr ? tracer->dropped() : 0);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace ibsim::telemetry

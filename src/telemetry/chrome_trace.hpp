@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+
+#include "telemetry/telemetry.hpp"
+
+namespace ibsim::telemetry {
+
+/// Write the tracer's retained events as Chrome trace-event JSON,
+/// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+///
+/// Rendering: one "process" per device (named via the telemetry track
+/// names), one "thread" per port. FECN marks and BECN hops are instant
+/// events, VL-arbitration grants are complete slices spanning the pacing
+/// interval, credit stalls and congestion episodes are async spans, and
+/// CCTI changes are counter tracks — the CC feedback loop end to end.
+///
+/// Returns false if the file cannot be written. A telemetry instance
+/// without a tracer produces a valid trace containing only metadata.
+[[nodiscard]] bool write_chrome_trace(const std::string& path, const Telemetry& telemetry);
+
+}  // namespace ibsim::telemetry

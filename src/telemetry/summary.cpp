@@ -1,0 +1,30 @@
+#include "telemetry/summary.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace ibsim::telemetry {
+
+analysis::TextTable counters_table(const CounterRegistry& registry, bool detailed) {
+  analysis::TextTable table({"counter", "kind", "value"});
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    const std::string& name = registry.name(i);
+    // Per-port and per-node instruments live under "switch." / "hca.";
+    // the aggregate namespace is "fabric." / "cc.".
+    const bool per_device =
+        name.compare(0, 7, "switch.") == 0 || name.compare(0, 4, "hca.") == 0;
+    if (per_device && !detailed) continue;
+    table.add_row({name, registry.kind(i) == CounterRegistry::Kind::Counter ? "counter" : "gauge",
+                   std::to_string(registry.value(i))});
+  }
+  return table;
+}
+
+std::string describe_tracer(const Tracer& tracer) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%zu trace events retained (%s), %" PRIu64 " dropped",
+                tracer.size(), format_categories(tracer.mask()).c_str(), tracer.dropped());
+  return buf;
+}
+
+}  // namespace ibsim::telemetry

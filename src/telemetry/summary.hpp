@@ -1,0 +1,19 @@
+#pragma once
+
+#include "analysis/table.hpp"
+#include "telemetry/counters.hpp"
+#include "telemetry/trace.hpp"
+
+namespace ibsim::telemetry {
+
+/// End-of-run counter summary as an aligned text table (the analysis
+/// layer's table renderer, so it prints and CSV-exports like the paper
+/// tables). Only the fabric-wide aggregates by default; `detailed` adds
+/// every per-port / per-node instrument.
+[[nodiscard]] analysis::TextTable counters_table(const CounterRegistry& registry,
+                                                 bool detailed = false);
+
+/// One-line health summary of a tracer ("12345 events, 0 dropped").
+[[nodiscard]] std::string describe_tracer(const Tracer& tracer);
+
+}  // namespace ibsim::telemetry

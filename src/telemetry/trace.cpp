@@ -1,0 +1,57 @@
+#include "telemetry/trace.hpp"
+
+namespace ibsim::telemetry {
+
+namespace {
+
+struct CategoryName {
+  const char* name;
+  Category category;
+};
+
+constexpr CategoryName kCategoryNames[] = {
+    {"cc", Category::kCc},
+    {"credits", Category::kCredits},
+    {"queues", Category::kQueues},
+    {"arb", Category::kArb},
+};
+
+}  // namespace
+
+bool parse_categories(const std::string& spec, std::uint32_t* mask) {
+  if (spec.empty() || spec == "all") {
+    *mask = kAllCategories;
+    return true;
+  }
+  std::uint32_t out = 0;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string token = spec.substr(pos, comma - pos);
+    bool known = false;
+    for (const CategoryName& c : kCategoryNames) {
+      if (token == c.name) {
+        out |= static_cast<std::uint32_t>(c.category);
+        known = true;
+        break;
+      }
+    }
+    if (!known) return false;
+    pos = comma + 1;
+  }
+  *mask = out;
+  return true;
+}
+
+std::string format_categories(std::uint32_t mask) {
+  std::string out;
+  for (const CategoryName& c : kCategoryNames) {
+    if ((mask & static_cast<std::uint32_t>(c.category)) == 0) continue;
+    if (!out.empty()) out += ',';
+    out += c.name;
+  }
+  return out;
+}
+
+}  // namespace ibsim::telemetry

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/assert.hpp"
+#include "core/time.hpp"
+
+namespace ibsim::telemetry {
+
+/// Trace event categories; each is one enable bit, so a probe behind a
+/// disabled category costs exactly one branch.
+enum class Category : std::uint32_t {
+  kCc = 1u << 0,       ///< FECN marks, BECN/CNP traffic, CCTI evolution
+  kCredits = 1u << 1,  ///< credit-exhaustion stalls on output ports
+  kQueues = 1u << 2,   ///< Port-VL queue threshold crossings
+  kArb = 1u << 3,      ///< every VL-arbitration grant (high volume)
+};
+
+inline constexpr std::uint32_t kAllCategories =
+    static_cast<std::uint32_t>(Category::kCc) | static_cast<std::uint32_t>(Category::kCredits) |
+    static_cast<std::uint32_t>(Category::kQueues) | static_cast<std::uint32_t>(Category::kArb);
+
+/// Parse a comma-separated category list ("cc,credits", "all", "" = all).
+/// Returns false on an unknown name; `*mask` is only written on success.
+[[nodiscard]] bool parse_categories(const std::string& spec, std::uint32_t* mask);
+
+/// Render a mask back to the canonical comma-separated spelling.
+[[nodiscard]] std::string format_categories(std::uint32_t mask);
+
+/// What happened. The payload convention per kind is documented next to
+/// the probe that records it; `value`/`aux` are kind-specific.
+enum class EventKind : std::uint16_t {
+  kFecnMark = 1,         ///< switch marked a forwarded packet; value=queued bytes
+  kBecnSent = 2,         ///< HCA queued a CNP; value=destination node
+  kBecnDelivered = 3,    ///< CNP drained at the source HCA; value=flow dst
+  kCctiSet = 4,          ///< a CA's CCTI mass changed; value=sum of its flows'
+                         ///< CCTIs, aux=flow dst that triggered it (-1 = timer)
+  kThrottleStart = 5,    ///< a flow entered the throttled set; aux=flow dst
+  kThrottleEnd = 6,      ///< a flow recovered to CCTI 0; aux=flow dst
+  kCongestionEnter = 7,  ///< Port-VL queue crossed the CC threshold; value=bytes
+  kCongestionExit = 8,   ///< Port-VL queue fell back under it; value=bytes
+  kCreditStallStart = 9, ///< output port had work but no credits
+  kCreditStallEnd = 10,  ///< credits returned; value=stall duration (ps)
+  kArbGrant = 11,        ///< VL arbiter granted a packet; value=bytes, aux=pace ps
+};
+
+/// One record: 32 bytes, fixed layout, no ownership.
+struct TraceEvent {
+  core::Time at = 0;
+  std::int64_t value = 0;
+  std::int32_t dev = -1;   ///< device id (trace track "process")
+  std::int32_t aux = 0;
+  std::int16_t port = -1;  ///< port on `dev` (trace track "thread"), -1 = device-wide
+  EventKind kind = EventKind::kFecnMark;
+  std::int8_t vl = -1;
+};
+
+/// Bounded ring of timestamped fabric events. When full, the oldest
+/// records are overwritten (the tail of a run is usually the interesting
+/// part) and the drop count reported, so a too-small ring is visible
+/// rather than silent.
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity, std::uint32_t category_mask)
+      : mask_(category_mask), capacity_(capacity) {
+    IBSIM_ASSERT(capacity > 0, "tracer ring needs a positive capacity");
+    ring_.reserve(capacity < 4096 ? capacity : 4096);
+  }
+
+  /// The one-branch gate every probe checks first.
+  [[nodiscard]] bool enabled(Category c) const {
+    return (mask_ & static_cast<std::uint32_t>(c)) != 0;
+  }
+  [[nodiscard]] std::uint32_t mask() const { return mask_; }
+
+  void record(Category c, EventKind kind, core::Time at, std::int32_t dev, std::int32_t port,
+              std::int32_t vl, std::int64_t value, std::int32_t aux = 0) {
+    if (!enabled(c)) return;
+    TraceEvent ev;
+    ev.at = at;
+    ev.value = value;
+    ev.dev = dev;
+    ev.aux = aux;
+    ev.port = static_cast<std::int16_t>(port);
+    ev.kind = kind;
+    ev.vl = static_cast<std::int8_t>(vl);
+    push(ev);
+  }
+
+  [[nodiscard]] std::size_t size() const { return ring_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+  /// Event `i` in time order, 0 = oldest retained.
+  [[nodiscard]] const TraceEvent& at(std::size_t i) const {
+    IBSIM_ASSERT(i < ring_.size(), "trace event index out of range");
+    return ring_[(head_ + i) % ring_.size()];
+  }
+
+  void clear() {
+    ring_.clear();
+    head_ = 0;
+    dropped_ = 0;
+  }
+
+ private:
+  void push(const TraceEvent& ev) {
+    if (ring_.size() < capacity_) {
+      ring_.push_back(ev);
+      return;
+    }
+    // Full: overwrite the oldest slot and advance the logical head.
+    ring_[head_] = ev;
+    head_ = (head_ + 1) % ring_.size();
+    ++dropped_;
+  }
+
+  std::uint32_t mask_;
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace ibsim::telemetry

@@ -30,6 +30,17 @@ TEST(RateCounter, ResetStartsNewWindow) {
   EXPECT_EQ(counter.window_start(), 100);
 }
 
+TEST(RateCounter, ZeroLengthWindowReportsZero) {
+  // Sampling at (or before) the window-start instant must not divide by
+  // zero — samplers run at arbitrary times, including reset time itself.
+  RateCounter counter;
+  counter.reset(kMicrosecond);
+  counter.add(12345);
+  EXPECT_EQ(counter.gbps(kMicrosecond), 0.0);
+  EXPECT_EQ(counter.gbps(0), 0.0);  // inverted window, same guarantee
+  EXPECT_TRUE(std::isfinite(counter.gbps(kMicrosecond)));
+}
+
 TEST(Summary, BasicMoments) {
   Summary s;
   for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);

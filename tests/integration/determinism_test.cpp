@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "sim/simulation.hpp"
 
 namespace ibsim::sim {
@@ -50,6 +52,25 @@ TEST(Determinism, SameSeedWithMovingHotspotsBitIdentical) {
   const SimResult a = run_sim(config);
   const SimResult b = run_sim(config);
   expect_identical(a, b);
+}
+
+TEST(Determinism, TelemetryIsObservationOnly) {
+  // Tracing and counters must never change simulated behaviour: a fully
+  // instrumented run (trace + detailed counters; the CSV sampler is the
+  // one exception, since it schedules its own events) produces the same
+  // SimResult as a bare run, event count included.
+  const SimResult off = run_sim(busy_config(42));
+
+  SimConfig config = busy_config(42);
+  config.telemetry.counters = true;
+  config.telemetry.detailed = true;
+  config.telemetry.trace_path = "determinism_telemetry.trace.json";
+  const SimResult on = run_sim(config);
+  std::remove("determinism_telemetry.trace.json");
+
+  expect_identical(off, on);
+  EXPECT_FALSE(on.counters.empty());
+  EXPECT_TRUE(off.counters.empty());
 }
 
 TEST(Determinism, DifferentSeedsDiffer) {

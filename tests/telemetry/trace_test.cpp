@@ -1,0 +1,98 @@
+#include "telemetry/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ibsim::telemetry {
+namespace {
+
+TEST(ParseCategories, KnownNamesAllAndEmpty) {
+  std::uint32_t mask = 0;
+  EXPECT_TRUE(parse_categories("cc", &mask));
+  EXPECT_EQ(mask, static_cast<std::uint32_t>(Category::kCc));
+
+  EXPECT_TRUE(parse_categories("cc,credits", &mask));
+  EXPECT_EQ(mask, static_cast<std::uint32_t>(Category::kCc) |
+                      static_cast<std::uint32_t>(Category::kCredits));
+
+  EXPECT_TRUE(parse_categories("all", &mask));
+  EXPECT_EQ(mask, kAllCategories);
+
+  EXPECT_TRUE(parse_categories("", &mask));
+  EXPECT_EQ(mask, kAllCategories);
+}
+
+TEST(ParseCategories, RejectsUnknownAndLeavesMaskAlone) {
+  std::uint32_t mask = 0xDEAD;
+  EXPECT_FALSE(parse_categories("cc,bogus", &mask));
+  EXPECT_EQ(mask, 0xDEADu);
+}
+
+TEST(ParseCategories, FormatRoundTrips) {
+  std::uint32_t mask = 0;
+  ASSERT_TRUE(parse_categories("credits,arb", &mask));
+  const std::string spelled = format_categories(mask);
+  std::uint32_t again = 0;
+  ASSERT_TRUE(parse_categories(spelled, &again));
+  EXPECT_EQ(mask, again);
+  EXPECT_EQ(format_categories(kAllCategories), "cc,credits,queues,arb");
+}
+
+TEST(Tracer, RecordsInOrder) {
+  Tracer tracer(16, kAllCategories);
+  tracer.record(Category::kCc, EventKind::kFecnMark, 100, /*dev=*/3, /*port=*/1, /*vl=*/0,
+                4096);
+  tracer.record(Category::kCc, EventKind::kBecnSent, 200, /*dev=*/9, /*port=*/0, /*vl=*/1, 5);
+  ASSERT_EQ(tracer.size(), 2u);
+  EXPECT_EQ(tracer.at(0).kind, EventKind::kFecnMark);
+  EXPECT_EQ(tracer.at(0).at, 100);
+  EXPECT_EQ(tracer.at(0).dev, 3);
+  EXPECT_EQ(tracer.at(0).value, 4096);
+  EXPECT_EQ(tracer.at(1).kind, EventKind::kBecnSent);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(Tracer, DisabledCategoryRecordsNothing) {
+  Tracer tracer(16, static_cast<std::uint32_t>(Category::kCc));
+  EXPECT_TRUE(tracer.enabled(Category::kCc));
+  EXPECT_FALSE(tracer.enabled(Category::kArb));
+  tracer.record(Category::kArb, EventKind::kArbGrant, 100, 0, 0, 0, 2048);
+  EXPECT_EQ(tracer.size(), 0u);
+  tracer.record(Category::kCc, EventKind::kFecnMark, 100, 0, 0, 0, 2048);
+  EXPECT_EQ(tracer.size(), 1u);
+}
+
+TEST(Tracer, RingOverwritesOldestAndCountsDrops) {
+  Tracer tracer(4, kAllCategories);
+  for (std::int64_t i = 0; i < 10; ++i) {
+    tracer.record(Category::kCc, EventKind::kFecnMark, i, 0, 0, 0, i);
+  }
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.capacity(), 4u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  // The four newest survive, oldest-first.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(tracer.at(i).at, static_cast<core::Time>(6 + i));
+    EXPECT_EQ(tracer.at(i).value, static_cast<std::int64_t>(6 + i));
+  }
+}
+
+TEST(Tracer, ClearResets) {
+  Tracer tracer(2, kAllCategories);
+  for (int i = 0; i < 5; ++i) {
+    tracer.record(Category::kCc, EventKind::kFecnMark, i, 0, 0, 0, 0);
+  }
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  tracer.record(Category::kCc, EventKind::kFecnMark, 77, 0, 0, 0, 0);
+  ASSERT_EQ(tracer.size(), 1u);
+  EXPECT_EQ(tracer.at(0).at, 77);
+}
+
+TEST(Tracer, EventRecordStaysCompact) {
+  // The ring is sized in events; keep the record cache-friendly.
+  EXPECT_LE(sizeof(TraceEvent), 32u);
+}
+
+}  // namespace
+}  // namespace ibsim::telemetry
