@@ -54,7 +54,7 @@ void BM_SchedulerPushPop(benchmark::State& state) {
 }
 BENCHMARK(BM_SchedulerPushPop)->Arg(1024)->Arg(16384)->Arg(131072);
 
-void BM_SchedulerChurn(benchmark::State& state) {
+void scheduler_churn(benchmark::State& state, core::QueueKind kind) {
   // Steady-state schedule+execute churn at a given queue depth.
   const auto depth = static_cast<std::size_t>(state.range(0));
   class Churn final : public core::EventHandler {
@@ -67,7 +67,7 @@ void BM_SchedulerChurn(benchmark::State& state) {
    private:
     core::Rng rng_;
   };
-  core::Scheduler sched;
+  core::Scheduler sched(kind);
   Churn churn(core::Rng(7));
   for (std::size_t i = 0; i < depth; ++i) sched.schedule_at(static_cast<core::Time>(i), &churn, 0);
   std::uint64_t done = 0;
@@ -76,7 +76,17 @@ void BM_SchedulerChurn(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(done));
 }
+
+void BM_SchedulerChurn(benchmark::State& state) {
+  scheduler_churn(state, core::QueueKind::kTwoTier);
+}
 BENCHMARK(BM_SchedulerChurn)->Arg(1024)->Arg(16384);
+
+// Reference heap, same workload: the A/B pair for the calendar queue.
+void BM_SchedulerChurnHeap(benchmark::State& state) {
+  scheduler_churn(state, core::QueueKind::kHeap);
+}
+BENCHMARK(BM_SchedulerChurnHeap)->Arg(1024)->Arg(16384);
 
 void BM_RngDraw(benchmark::State& state) {
   core::Rng rng(3);
@@ -148,7 +158,7 @@ void BM_RoutingTablesSunDcs648(benchmark::State& state) {
 }
 BENCHMARK(BM_RoutingTablesSunDcs648);
 
-void BM_SimulationEventThroughput(benchmark::State& state) {
+void simulation_event_throughput(benchmark::State& state, core::QueueKind kind) {
   // End-to-end events/second of a congested 72-node fabric — the number
   // the paper-figure wall-clock estimates scale from.
   std::uint64_t events = 0;
@@ -163,13 +173,23 @@ void BM_SimulationEventThroughput(benchmark::State& state) {
     config.scenario.fraction_b = 0.0;
     config.scenario.fraction_c_of_rest = 0.8;
     config.scenario.n_hotspots = 2;
+    config.scheduler_queue = kind;
     const sim::SimResult r = sim::run_sim(config);
     events += r.events_executed;
     benchmark::DoNotOptimize(r.total_throughput_gbps);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(events));
 }
+
+void BM_SimulationEventThroughput(benchmark::State& state) {
+  simulation_event_throughput(state, core::QueueKind::kTwoTier);
+}
 BENCHMARK(BM_SimulationEventThroughput)->Unit(benchmark::kMillisecond);
+
+void BM_SimulationEventThroughputHeap(benchmark::State& state) {
+  simulation_event_throughput(state, core::QueueKind::kHeap);
+}
+BENCHMARK(BM_SimulationEventThroughputHeap)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

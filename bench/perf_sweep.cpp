@@ -1,0 +1,289 @@
+// Perf-regression harness for the event core. Runs busy-fabric
+// scenarios under both pending-event structures (the default two-tier
+// calendar queue and the reference heap), measures events/second, wall
+// time, and peak RSS, and emits the numbers as JSON (BENCH_core.json).
+//
+// Usage:
+//   perf_sweep [--json=PATH] [--baseline=PATH] [--max-regress=0.20]
+//              [--repeat=N] [--quick]
+//
+// --json=PATH       write results as JSON (stdout always gets a table).
+// --baseline=PATH   compare against a previously written JSON file;
+//                   exit 1 if any scenario's two_tier/heap speedup
+//                   ratio dropped by more than --max-regress. The ratio
+//                   (not raw events/sec, which is printed informational
+//                   only) is what gates CI: it cancels out host speed,
+//                   so the committed baseline stays valid on any runner.
+// --max-regress=F   allowed fractional ratio regression (default 0.20).
+// --repeat=N        runs per cell, best-of (default 3; 1 with --quick).
+//
+// The sweep doubles as an A/B determinism guard: for every scenario the
+// two queues must execute the same number of events and deliver the
+// same bytes, or the harness aborts — a perf number from a divergent
+// simulation would be meaningless.
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace ibsim;
+
+struct Scenario {
+  const char* name;
+  sim::SimConfig config;
+};
+
+/// The busy-fabric cases the paper reproductions spend their time in:
+/// silent trees (Table II), windy background (figs 5-8), and moving
+/// hotspots (figs 9-10), all on a 72-node folded Clos.
+std::vector<Scenario> make_scenarios(bool quick) {
+  const core::Time window = (quick ? 200 : 500) * core::kMicrosecond;
+  sim::SimConfig base;
+  base.topology = sim::TopologyKind::FoldedClos;
+  base.clos = topo::FoldedClosParams::scaled(12, 6, 6);
+  base.sim_time = window;
+  base.warmup = 0;
+  base.cc.ccti_increase = 4;
+  base.cc.ccti_timer = 38;
+
+  Scenario silent{"busy_fabric", base};
+  silent.config.scenario.fraction_b = 0.0;
+  silent.config.scenario.fraction_c_of_rest = 0.8;
+  silent.config.scenario.n_hotspots = 2;
+
+  Scenario windy{"windy_p50", base};
+  windy.config.scenario.fraction_b = 1.0;
+  windy.config.scenario.p = 0.5;
+  windy.config.scenario.n_hotspots = 2;
+
+  Scenario moving{"moving_hotspots", base};
+  moving.config.sim_time = 2 * window;
+  moving.config.scenario.fraction_b = 0.5;
+  moving.config.scenario.p = 0.4;
+  moving.config.scenario.n_hotspots = 2;
+  moving.config.scenario.hotspot_lifetime = 200 * core::kMicrosecond;
+
+  return {silent, windy, moving};
+}
+
+struct Cell {
+  std::string scenario;
+  std::string queue;
+  std::uint64_t events = 0;
+  std::uint64_t delivered_bytes = 0;
+  double wall_seconds = 0.0;
+  double events_per_sec = 0.0;
+  long peak_rss_kib = 0;
+};
+
+long peak_rss_kib() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;  // KiB on Linux
+}
+
+/// Best-of-`repeat` timed runs of one (scenario, queue) cell. Fabric
+/// construction is excluded: the number under guard is event-loop
+/// throughput, not topology/routing setup.
+Cell run_cell(const Scenario& scenario, core::QueueKind kind, int repeat) {
+  Cell cell;
+  cell.scenario = scenario.name;
+  cell.queue = kind == core::QueueKind::kTwoTier ? "two_tier" : "heap";
+  for (int i = 0; i < repeat; ++i) {
+    sim::SimConfig config = scenario.config;
+    config.scheduler_queue = kind;
+    sim::Simulation simulation(config);
+    const auto start = std::chrono::steady_clock::now();
+    const sim::SimResult result = simulation.run();
+    const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - start;
+    if (i == 0 || wall.count() < cell.wall_seconds) {
+      cell.wall_seconds = wall.count();
+      cell.events = result.events_executed;
+      cell.delivered_bytes = result.delivered_bytes;
+    }
+  }
+  cell.events_per_sec =
+      cell.wall_seconds > 0.0 ? static_cast<double>(cell.events) / cell.wall_seconds : 0.0;
+  cell.peak_rss_kib = peak_rss_kib();
+  return cell;
+}
+
+std::string json_line(const Cell& cell) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "    {\"scenario\": \"%s\", \"queue\": \"%s\", \"events\": %llu, "
+                "\"delivered_bytes\": %llu, \"wall_seconds\": %.6f, "
+                "\"events_per_sec\": %.1f, \"peak_rss_kib\": %ld}",
+                cell.scenario.c_str(), cell.queue.c_str(),
+                static_cast<unsigned long long>(cell.events),
+                static_cast<unsigned long long>(cell.delivered_bytes), cell.wall_seconds,
+                cell.events_per_sec, cell.peak_rss_kib);
+  return buf;
+}
+
+bool write_json(const std::string& path, const std::vector<Cell>& cells) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n  \"schema\": \"ibsim-bench-core-v1\",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    out << json_line(cells[i]) << (i + 1 < cells.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  return static_cast<bool>(out);
+}
+
+/// Extract `"key": "value"` from a one-result-per-line JSON row.
+bool extract_string(const std::string& line, const char* key, std::string* value) {
+  const std::string needle = std::string("\"") + key + "\": \"";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  const std::size_t begin = at + needle.size();
+  const std::size_t end = line.find('"', begin);
+  if (end == std::string::npos) return false;
+  *value = line.substr(begin, end - begin);
+  return true;
+}
+
+bool extract_double(const std::string& line, const char* key, double* value) {
+  const std::string needle = std::string("\"") + key + "\": ";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  *value = std::atof(line.c_str() + at + needle.size());
+  return true;
+}
+
+/// Read events/sec rows back from a file this harness wrote earlier.
+std::vector<Cell> read_baseline(const std::string& path) {
+  std::vector<Cell> cells;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    Cell cell;
+    if (extract_string(line, "scenario", &cell.scenario) &&
+        extract_string(line, "queue", &cell.queue) &&
+        extract_double(line, "events_per_sec", &cell.events_per_sec)) {
+      cells.push_back(cell);
+    }
+  }
+  return cells;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::string baseline_path;
+  double max_regress = 0.20;
+  int repeat = 3;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(11);
+    } else if (arg.rfind("--max-regress=", 0) == 0) {
+      max_regress = std::atof(arg.c_str() + 14);
+    } else if (arg.rfind("--repeat=", 0) == 0) {
+      repeat = std::atoi(arg.c_str() + 9);
+    } else if (arg == "--quick") {
+      quick = true;
+      repeat = 1;
+    } else {
+      std::fprintf(stderr,
+                   "usage: perf_sweep [--json=PATH] [--baseline=PATH] "
+                   "[--max-regress=F] [--repeat=N] [--quick]\n");
+      return 2;
+    }
+  }
+  if (repeat < 1) repeat = 1;
+
+  std::vector<Cell> cells;
+  std::printf("%-16s %-9s %12s %10s %14s %10s\n", "scenario", "queue", "events", "wall_s",
+              "events/sec", "rss_kib");
+  for (const Scenario& scenario : make_scenarios(quick)) {
+    const Cell two_tier = run_cell(scenario, core::QueueKind::kTwoTier, repeat);
+    const Cell heap = run_cell(scenario, core::QueueKind::kHeap, repeat);
+    // A/B determinism guard: same simulation, different queue.
+    if (two_tier.events != heap.events || two_tier.delivered_bytes != heap.delivered_bytes) {
+      std::fprintf(stderr,
+                   "FATAL: queues diverged on '%s' (events %llu vs %llu, bytes %llu vs %llu)\n",
+                   scenario.name, static_cast<unsigned long long>(two_tier.events),
+                   static_cast<unsigned long long>(heap.events),
+                   static_cast<unsigned long long>(two_tier.delivered_bytes),
+                   static_cast<unsigned long long>(heap.delivered_bytes));
+      return 1;
+    }
+    for (const Cell& cell : {two_tier, heap}) {
+      std::printf("%-16s %-9s %12llu %10.4f %14.0f %10ld\n", cell.scenario.c_str(),
+                  cell.queue.c_str(), static_cast<unsigned long long>(cell.events),
+                  cell.wall_seconds, cell.events_per_sec, cell.peak_rss_kib);
+      cells.push_back(cell);
+    }
+    std::printf("%-16s speedup two_tier/heap: %.2fx\n", scenario.name,
+                heap.wall_seconds > 0.0 ? two_tier.events_per_sec / heap.events_per_sec : 0.0);
+  }
+
+  if (!json_path.empty() && !write_json(json_path, cells)) {
+    std::fprintf(stderr, "cannot write '%s'\n", json_path.c_str());
+    return 1;
+  }
+
+  if (!baseline_path.empty()) {
+    const std::vector<Cell> baseline = read_baseline(baseline_path);
+    if (baseline.empty()) {
+      std::fprintf(stderr, "no baseline rows in '%s'\n", baseline_path.c_str());
+      return 1;
+    }
+    const auto events_per_sec = [](const std::vector<Cell>& rows, const std::string& scenario,
+                                   const char* queue) {
+      for (const Cell& cell : rows) {
+        if (cell.scenario == scenario && cell.queue == queue) return cell.events_per_sec;
+      }
+      return 0.0;
+    };
+    // Raw events/sec rows are informational — they track host speed as
+    // much as code speed.
+    for (const Cell& then : baseline) {
+      const double now = events_per_sec(cells, then.scenario, then.queue.c_str());
+      if (now > 0.0) {
+        std::printf("baseline %-16s %-9s %14.0f -> %14.0f (%+.0f%%, informational)\n",
+                    then.scenario.c_str(), then.queue.c_str(), then.events_per_sec, now,
+                    100.0 * (now / then.events_per_sec - 1.0));
+      }
+    }
+    // The gate: the two_tier/heap speedup ratio, which cancels host
+    // speed out of the comparison.
+    bool failed = false;
+    for (const Cell& then : baseline) {
+      if (then.queue != "two_tier") continue;
+      const double then_heap = events_per_sec(baseline, then.scenario, "heap");
+      const double now_two_tier = events_per_sec(cells, then.scenario, "two_tier");
+      const double now_heap = events_per_sec(cells, then.scenario, "heap");
+      if (then_heap <= 0.0 || now_two_tier <= 0.0 || now_heap <= 0.0) continue;
+      const double then_ratio = then.events_per_sec / then_heap;
+      const double now_ratio = now_two_tier / now_heap;
+      const bool ok = now_ratio >= then_ratio * (1.0 - max_regress);
+      std::printf("speedup  %-16s %.2fx -> %.2fx  %s\n", then.scenario.c_str(), then_ratio,
+                  now_ratio, ok ? "ok" : "REGRESSED");
+      if (!ok) failed = true;
+    }
+    if (failed) {
+      std::fprintf(stderr, "two_tier/heap speedup regressed beyond %.0f%%\n",
+                   max_regress * 100.0);
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -28,21 +28,34 @@ class EventHandler {
 /// A scheduled occurrence. `kind` and the payload words `a`/`b` are
 /// interpreted by the target handler (typically `a` carries a pointer or
 /// an index, `b` a secondary index).
+///
+/// Layout is hot: events are copied during every queue operation, so the
+/// ordering key (at, seq) leads the struct and the whole record must stay
+/// within a single cache line (see the static_assert below).
 struct Event {
   Time at = 0;             ///< absolute firing time
   std::uint64_t seq = 0;   ///< insertion sequence; breaks time ties deterministically
   EventHandler* target = nullptr;
-  std::uint32_t kind = 0;
   std::uint64_t a = 0;
   std::uint64_t b = 0;
+  std::uint32_t kind = 0;
 };
 
-/// Strict weak ordering for the scheduler's min-heap: earlier time first,
+static_assert(sizeof(Event) <= 64,
+              "Event must fit one cache line; queue ops copy events constantly");
+
+/// Strict weak ordering for the scheduler's queues: earlier time first,
 /// then earlier insertion. Guarantees replay determinism independent of
-/// heap internals.
+/// queue internals.
 [[nodiscard]] inline bool event_after(const Event& lhs, const Event& rhs) {
   if (lhs.at != rhs.at) return lhs.at > rhs.at;
   return lhs.seq > rhs.seq;
+}
+
+/// Companion ordering for sorted calendar buckets: (at, seq) ascending.
+[[nodiscard]] inline bool event_before(const Event& lhs, const Event& rhs) {
+  if (lhs.at != rhs.at) return lhs.at < rhs.at;
+  return lhs.seq < rhs.seq;
 }
 
 }  // namespace ibsim::core

@@ -1,62 +1,23 @@
 #include "core/scheduler.hpp"
 
-#include <algorithm>
-
 namespace ibsim::core {
-
-void Scheduler::sift_up(std::size_t i) {
-  Event ev = heap_[i];
-  while (i > 0) {
-    const std::size_t parent = (i - 1) / 4;
-    if (!event_after(heap_[parent], ev)) break;
-    heap_[i] = heap_[parent];
-    i = parent;
-  }
-  heap_[i] = ev;
-}
-
-void Scheduler::sift_down(std::size_t i) {
-  Event ev = heap_[i];
-  const std::size_t n = heap_.size();
-  for (;;) {
-    const std::size_t first = 4 * i + 1;
-    if (first >= n) break;
-    std::size_t best = first;
-    const std::size_t last = std::min(first + 4, n);
-    for (std::size_t child = first + 1; child < last; ++child) {
-      if (event_after(heap_[best], heap_[child])) best = child;
-    }
-    if (!event_after(ev, heap_[best])) break;
-    heap_[i] = heap_[best];
-    i = best;
-  }
-  heap_[i] = ev;
-}
-
-void Scheduler::schedule_at(Time at, EventHandler* target, std::uint32_t kind,
-                            std::uint64_t a, std::uint64_t b) {
-  IBSIM_ASSERT(target != nullptr, "event needs a target handler");
-  IBSIM_ASSERT(at >= now_, "cannot schedule an event in the past");
-  heap_.push_back(Event{at, next_seq_++, target, kind, a, b});
-  sift_up(heap_.size() - 1);
-}
 
 std::uint64_t Scheduler::run_until(Time until) {
   stopped_ = false;
   std::uint64_t count = 0;
-  while (!heap_.empty() && !stopped_) {
-    if (heap_.front().at > until) break;
-    const Event ev = heap_.front();
-    heap_.front() = heap_.back();
-    heap_.pop_back();
-    if (!heap_.empty()) sift_down(0);
+  for (;;) {
+    if (stopped_) break;
+    const Event* front = queue_.peek();
+    if (front == nullptr || front->at > until) break;
+    const Event ev = *front;
+    queue_.pop();
     IBSIM_ASSERT(ev.at >= now_, "scheduler time went backwards");
     now_ = ev.at;
     ev.target->on_event(*this, ev);
     ++count;
     ++executed_;
   }
-  if (heap_.empty() && until != kTimeNever && now_ < until) {
+  if (queue_.empty() && until != kTimeNever && now_ < until) {
     // Queue drained before the horizon: advance the clock so metric
     // windows measured against `until` stay well defined.
     now_ = until;
@@ -65,7 +26,9 @@ std::uint64_t Scheduler::run_until(Time until) {
 }
 
 void Scheduler::clear() {
-  heap_.clear();
+  queue_.clear();
+  now_ = 0;
+  next_seq_ = 0;
   stopped_ = false;
 }
 

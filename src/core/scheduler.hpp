@@ -1,43 +1,52 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
 #include "core/assert.hpp"
 #include "core/event.hpp"
+#include "core/event_queue.hpp"
 #include "core/time.hpp"
 
 namespace ibsim::core {
 
-/// Discrete-event scheduler: a 4-ary min-heap of events ordered by
-/// (time, insertion sequence). The wider fan-out halves the tree depth
-/// of the binary heap and keeps sift paths within fewer cache lines —
-/// heap maintenance is the single hottest operation of a busy fabric.
+/// Discrete-event scheduler over a two-tier event queue: a calendar
+/// wheel for the short-horizon events that dominate a busy fabric,
+/// backed by a 4-ary min-heap for far-future timers (see EventQueue).
+/// The reference heap-only queue remains selectable for A/B testing —
+/// both orderings are bit-for-bit identical by construction.
 ///
 /// This is the replacement for the OMNeT++ kernel the paper's model ran
 /// on. It is deliberately minimal: schedule, run, stop. Determinism is a
 /// hard guarantee — two runs with the same schedule produce identical
 /// event orderings, because ties are broken by insertion sequence rather
-/// than heap layout.
+/// than queue layout.
 class Scheduler {
  public:
-  Scheduler() { heap_.reserve(1 << 16); }
+  explicit Scheduler(QueueKind kind = QueueKind::kTwoTier) : queue_(kind) {}
 
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Which pending-event structure this scheduler runs on.
+  [[nodiscard]] QueueKind queue_kind() const { return queue_.kind(); }
 
   /// Current simulation time. Advances only while events execute.
   [[nodiscard]] Time now() const { return now_; }
 
   /// Number of pending events.
-  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
 
-  /// Total events executed so far.
+  /// Total events executed so far (lifetime of the scheduler; survives
+  /// clear() so sweep harnesses can aggregate across runs).
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
   /// Schedule an event at absolute time `at` (must not be in the past).
   void schedule_at(Time at, EventHandler* target, std::uint32_t kind,
-                   std::uint64_t a = 0, std::uint64_t b = 0);
+                   std::uint64_t a = 0, std::uint64_t b = 0) {
+    IBSIM_ASSERT(target != nullptr, "event needs a target handler");
+    IBSIM_ASSERT(at >= now_, "cannot schedule an event in the past");
+    queue_.push(Event{at, next_seq_++, target, a, b, kind});
+  }
 
   /// Schedule an event `delay` after the current time.
   void schedule_in(Time delay, EventHandler* target, std::uint32_t kind,
@@ -55,15 +64,14 @@ class Scheduler {
   /// Request that the run loop return after the current event.
   void stop() { stopped_ = true; }
 
-  /// Drop all pending events (used between independent experiment runs
-  /// sharing one scheduler).
+  /// Reset to a pristine scheduler: drop all pending events and rewind
+  /// the clock and insertion sequence to zero, so independent experiment
+  /// runs sharing one scheduler can schedule from t=0 again. Only the
+  /// lifetime executed() count survives.
   void clear();
 
  private:
-  void sift_up(std::size_t i);
-  void sift_down(std::size_t i);
-
-  std::vector<Event> heap_;
+  EventQueue queue_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

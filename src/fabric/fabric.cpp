@@ -119,13 +119,18 @@ void Fabric::attach_telemetry(telemetry::Telemetry* telemetry) {
     g_active_cc_flows_ = reg.gauge("fabric.active_cc_flows");
     g_ccti_sum_ = reg.gauge("fabric.ccti_sum");
     ccm_->publish(reg);
-    for (const auto& sw : switches_) {
-      telemetry_->set_track_name(sw->device_id(), "switch " + std::to_string(sw->device_id()));
-    }
-    for (const auto& h : hcas_) {
-      telemetry_->set_track_name(h->device_id(), "hca " + std::to_string(h->device_id()) +
-                                                     " (node " + std::to_string(h->node()) +
-                                                     ")");
+    // Track names exist only for the trace exporter; counter-only runs
+    // skip the O(devices) string construction entirely.
+    if (telemetry_->tracer() != nullptr) {
+      for (const auto& sw : switches_) {
+        telemetry_->set_track_name(sw->device_id(),
+                                   "switch " + std::to_string(sw->device_id()));
+      }
+      for (const auto& h : hcas_) {
+        telemetry_->set_track_name(h->device_id(), "hca " + std::to_string(h->device_id()) +
+                                                       " (node " + std::to_string(h->node()) +
+                                                       ")");
+      }
     }
   }
   for (auto& sw : switches_) sw->attach_telemetry(telemetry_, counters);

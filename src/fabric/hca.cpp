@@ -1,5 +1,6 @@
 #include "fabric/hca.hpp"
 
+#include <bit>
 #include <string>
 
 #include "fabric/events.hpp"
@@ -160,26 +161,22 @@ void Hca::maybe_schedule_retry(core::Scheduler& sched, core::Time at) {
 
 void Hca::receive(core::Scheduler& sched, ib::Packet* pkt) {
   rx_[pkt->vl].push_back(pkt);
+  rx_active_vls_ |= static_cast<std::uint16_t>(1u << pkt->vl);
   try_drain(sched);
 }
 
 void Hca::try_drain(core::Scheduler& sched) {
   if (draining_ != nullptr) return;
-  // CNP VL first so BECNs reach the CC agent with minimum delay.
-  ib::PacketQueue* queue = nullptr;
+  if (rx_active_vls_ == 0) return;
+  // CNP VL first so BECNs reach the CC agent with minimum delay, then
+  // the lowest nonempty VL — one word test instead of scanning queues.
   const ib::Vl cnp_vl = fabric_->params().cnp_vl();
-  if (!rx_[cnp_vl].empty()) {
-    queue = &rx_[cnp_vl];
-  } else {
-    for (auto& q : rx_) {
-      if (!q.empty()) {
-        queue = &q;
-        break;
-      }
-    }
-  }
-  if (queue == nullptr) return;
+  const ib::Vl vl = (rx_active_vls_ & (1u << cnp_vl)) != 0
+                        ? cnp_vl
+                        : static_cast<ib::Vl>(std::countr_zero(rx_active_vls_));
+  ib::PacketQueue* queue = &rx_[vl];
   draining_ = queue->pop_front();
+  if (queue->empty()) rx_active_vls_ &= static_cast<std::uint16_t>(~(1u << vl));
   const core::Time done = sched.now() + core::transmit_time(draining_->bytes, drain_gbps_);
   sched.schedule_at(done, this, kEvSinkFree, 0, 0);
 }

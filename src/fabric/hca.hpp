@@ -84,6 +84,7 @@ class Hca final : public core::EventHandler, public cc::CnpSender {
 
   // Receive side.
   std::vector<ib::PacketQueue> rx_;  ///< per VL
+  std::uint16_t rx_active_vls_ = 0;  ///< bit vl set iff rx_[vl] nonempty
   ib::Packet* draining_ = nullptr;
   double drain_gbps_ = 13.6;
   SinkObserver* observer_ = nullptr;

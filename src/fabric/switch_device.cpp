@@ -16,6 +16,7 @@ SwitchDevice::SwitchDevice(Fabric* fabric, topo::DeviceId dev, std::int32_t n_po
   for (auto& in : inputs_) in.init(n_ports, fabric_vls_);
   busy_mask_.assign(
       static_cast<std::size_t>(n_ports) * static_cast<std::size_t>(fabric_vls_), 0);
+  active_vls_.assign(static_cast<std::size_t>(n_ports), 0);
 }
 
 void SwitchDevice::on_event(core::Scheduler& sched, const core::Event& ev) {
@@ -42,6 +43,7 @@ void SwitchDevice::receive(core::Scheduler& sched, ib::Packet* pkt, std::int32_t
   IBSIM_ASSERT(out >= 0 && out < n_ports_, "LFT has no route to destination");
   InputBuffer& in = inputs_[static_cast<std::size_t>(in_port)];
   busy_mask(out, pkt->vl) |= 1ull << in_port;
+  active_vls(out) |= static_cast<std::uint16_t>(1u << pkt->vl);
   in.enqueue(out, pkt->vl, pkt);
   const bool entered =
       outputs_[static_cast<std::size_t>(out)].cc[pkt->vl].on_enqueue(pkt->bytes);
@@ -69,10 +71,18 @@ bool SwitchDevice::grant_one(core::Scheduler& sched, std::int32_t out_port) {
   if (!op.idle(now)) return false;
 
   // VL arbitration over lanes with queued work and credits (coarse
-  // check via the per-lane busy bitmask), then round-robin over the
-  // inputs of the winning lane.
+  // check via the per-output active-VL word and the per-lane busy
+  // bitmask), then round-robin over the inputs of the winning lane.
+  const std::uint16_t vl_work = active_vls(out_port);
+  if (vl_work == 0) {
+    // No VL queues anything towards this output: skip the table scan,
+    // but apply the exact state change an empty scan would have made so
+    // later arbitration stays bit-identical.
+    op.vlarb.note_failed_pick();
+    return false;
+  }
   const std::int32_t vl_pick = op.vlarb.pick([&](ib::Vl vl) {
-    return busy_mask(out_port, vl) != 0 && op.credits[vl].available() > 0;
+    return (vl_work & (1u << vl)) != 0 && op.credits[vl].available() > 0;
   });
   if (vl_pick < 0) {
     if (telemetry_ != nullptr) note_blocked(out_port, now);
@@ -108,7 +118,12 @@ bool SwitchDevice::grant_one(core::Scheduler& sched, std::int32_t out_port) {
 
   InputBuffer& in_buf = inputs_[static_cast<std::size_t>(chosen)];
   ib::Packet* pkt = in_buf.dequeue(out_port, vl);
-  if (in_buf.voq(out_port, vl).empty()) busy_mask(out_port, vl) &= ~(1ull << chosen);
+  if (in_buf.voq(out_port, vl).empty()) {
+    std::uint64_t& mask_ref = busy_mask(out_port, vl);
+    mask_ref &= ~(1ull << chosen);
+    if (mask_ref == 0)
+      active_vls(out_port) &= static_cast<std::uint16_t>(~(1u << vl));
+  }
   op.vlarb.granted(pkt->bytes);
   const bool exited = op.cc[vl].on_dequeue(pkt->bytes);
   op.credits[vl].consume(pkt->bytes);
@@ -166,12 +181,17 @@ void SwitchDevice::attach_telemetry(telemetry::Telemetry* telemetry,
     return;
   }
   // Detailed mode: per-Port-VL instruments, registered in a fixed order so
-  // CSV columns and summary rows are stable across runs.
+  // CSV columns and summary rows are stable across runs. The instrument
+  // names are built from a per-switch prefix so attaching detailed
+  // telemetry to a 648-node fabric allocates one prefix per switch, not
+  // one temporary chain per instrument.
   telemetry::CounterRegistry& reg = telemetry_->registry();
   out_queue_gauges_.reserve(static_cast<std::size_t>(n_ports_) *
                             static_cast<std::size_t>(fabric_vls_));
+  const std::string sw_prefix = "switch." + std::to_string(dev_);
   for (std::int32_t p = 0; p < n_ports_; ++p) {
-    const std::string base = "switch." + std::to_string(dev_) + ".port." + std::to_string(p);
+    const std::string port_str = std::to_string(p);
+    const std::string base = sw_prefix + ".port." + port_str;
     for (std::int32_t v = 0; v < fabric_vls_; ++v) {
       out_queue_gauges_.push_back(
           reg.gauge(base + ".vl" + std::to_string(v) + ".queue_bytes"));
@@ -179,10 +199,9 @@ void SwitchDevice::attach_telemetry(telemetry::Telemetry* telemetry,
     outputs_[static_cast<std::size_t>(p)].h_stall_ps = reg.counter(base + ".credit_stall_ps");
     std::vector<telemetry::CounterRegistry::Handle> buf_gauges;
     buf_gauges.reserve(static_cast<std::size_t>(fabric_vls_));
+    const std::string in_base = sw_prefix + ".in." + port_str + ".vl";
     for (std::int32_t v = 0; v < fabric_vls_; ++v) {
-      buf_gauges.push_back(reg.gauge("switch." + std::to_string(dev_) + ".in." +
-                                     std::to_string(p) + ".vl" + std::to_string(v) +
-                                     ".buf_bytes"));
+      buf_gauges.push_back(reg.gauge(in_base + std::to_string(v) + ".buf_bytes"));
     }
     inputs_[static_cast<std::size_t>(p)].set_probe(&reg, std::move(buf_gauges));
   }
@@ -235,15 +254,9 @@ void SwitchDevice::note_grant(core::Time now, std::int32_t out, ib::Vl vl,
 void SwitchDevice::note_blocked(std::int32_t out, core::Time now) {
   auto& op = outputs_[static_cast<std::size_t>(out)];
   if (op.stall_since != core::kTimeNever) return;  // stall already open
-  // Blocked-with-no-work is just an idle port, not a credit stall.
-  bool has_work = false;
-  for (std::int32_t v = 0; v < fabric_vls_; ++v) {
-    if (busy_mask(out, static_cast<ib::Vl>(v)) != 0) {
-      has_work = true;
-      break;
-    }
-  }
-  if (!has_work) return;
+  // Blocked-with-no-work is just an idle port, not a credit stall. One
+  // word test instead of scanning every VL's VoQ bitmask.
+  if (active_vls(out) == 0) return;
   op.stall_since = now;
   if (tracer_ != nullptr) {
     tracer_->record(telemetry::Category::kCredits, telemetry::EventKind::kCreditStallStart, now,

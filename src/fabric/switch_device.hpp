@@ -78,6 +78,14 @@ class SwitchDevice final : public core::EventHandler {
                       static_cast<std::size_t>(vl)];
   }
 
+  /// Per-output bitmask of VLs with any queued work: bit vl set iff
+  /// busy_mask(out, vl) != 0. Lets grant_one() and note_blocked() test a
+  /// single word instead of scanning every VL's VoQ bitmask (IBA allows
+  /// at most 15 data VLs, so 16 bits suffice).
+  [[nodiscard]] std::uint16_t& active_vls(std::int32_t out) {
+    return active_vls_[static_cast<std::size_t>(out)];
+  }
+
   Fabric* fabric_;
   topo::DeviceId dev_;
   std::int32_t n_ports_;
@@ -85,6 +93,7 @@ class SwitchDevice final : public core::EventHandler {
   std::vector<InputBuffer> inputs_;
   std::vector<OutputPort> outputs_;
   std::vector<std::uint64_t> busy_mask_;
+  std::vector<std::uint16_t> active_vls_;  ///< per output port
 
   // Telemetry (null / empty when not attached).
   telemetry::Telemetry* telemetry_ = nullptr;

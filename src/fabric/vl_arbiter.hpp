@@ -79,6 +79,19 @@ class VlArbiter {
     if (last_from_high_) hi_bytes_since_yield_ += bytes;
   }
 
+  /// O(1) equivalent of a pick() in which no VL had work: both tables'
+  /// scan would visit every entry twice and come back to where it
+  /// started with the current entry's quantum refilled (and, when the
+  /// high table was exhausted, its budget reset by the low table's empty
+  /// opportunity). Callers that already know no lane has work (via the
+  /// owner's active-VL bitmask) call this instead of scanning, keeping
+  /// subsequent arbitration decisions bit-identical to a full scan.
+  void note_failed_pick() {
+    if (!high_.empty()) hi_left_ = high_[hi_idx_].weight;
+    if (!low_.empty()) lo_left_ = low_[lo_idx_].weight;
+    if (high_exhausted()) hi_bytes_since_yield_ = 0;
+  }
+
   [[nodiscard]] std::uint8_t high_limit() const { return high_limit_; }
 
   [[nodiscard]] const std::vector<VlArbEntry>& high_table() const { return high_; }

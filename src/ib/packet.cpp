@@ -58,8 +58,9 @@ Packet* PacketPool::allocate() {
   if (free_list_ == nullptr) grow();
   Packet* pkt = free_list_;
   free_list_ = pkt->pool_next;
-  *pkt = Packet{};
+  pkt->reset();
   pkt->id = next_id_++;
+  pkt->pool_next = nullptr;
   ++live_;
   return pkt;
 }

@@ -35,6 +35,27 @@ struct Packet {
   core::Time injected_at = 0;   ///< grant time at the source HCA
 
   Packet* pool_next = nullptr;  ///< intrusive freelist link
+
+  /// Reset every live header/bookkeeping field to its freshly-constructed
+  /// value. `id` and `pool_next` are deliberately untouched: the pool
+  /// assigns a fresh id on allocation and owns the freelist link. Keeping
+  /// this an explicit field list (instead of `*this = Packet{}`) avoids
+  /// the double id write on the allocation hot path and makes any future
+  /// field addition a conscious reset decision.
+  void reset() {
+    src = kInvalidNode;
+    dst = kInvalidNode;
+    bytes = 0;
+    vl = kDataVl;
+    sl = 0;
+    fecn = false;
+    becn = false;
+    is_cnp = false;
+    flow_dst = kInvalidNode;
+    hotspot_stream = false;
+    msg_seq = 0;
+    injected_at = 0;
+  }
 };
 
 /// Intrusive FIFO of packets, chained through `Packet::pool_next` (a

@@ -59,14 +59,23 @@ SimConfig ExperimentPreset::base_config() const {
   return config;
 }
 
+std::int32_t resolve_threads(std::int32_t threads) {
+  if (threads > 0) return threads;
+  // CI (and users pinning a sweep to a core budget) override the
+  // hardware default without touching every preset.
+  if (const char* env = std::getenv("IBSIM_THREADS"); env != nullptr) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::int32_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : static_cast<std::int32_t>(hw);
+}
+
 std::vector<SimResult> run_parallel(const std::vector<SimConfig>& configs,
                                     std::int32_t threads) {
   std::vector<SimResult> results(configs.size());
   if (configs.empty()) return results;
-  if (threads <= 0) {
-    const unsigned hw = std::thread::hardware_concurrency();
-    threads = hw == 0 ? 4 : static_cast<std::int32_t>(hw);
-  }
+  threads = resolve_threads(threads);
   const auto n_workers =
       static_cast<std::size_t>(threads) < configs.size() ? static_cast<std::size_t>(threads)
                                                          : configs.size();
@@ -78,7 +87,10 @@ std::vector<SimResult> run_parallel(const std::vector<SimConfig>& configs,
       for (;;) {
         const std::size_t i = next.fetch_add(1);
         if (i >= configs.size()) return;
-        results[i] = run_sim(configs[i]);
+        // Build the result worker-locally, then move it into the shared
+        // vector: counter snapshots and series never get deep-copied.
+        SimResult r = run_sim(configs[i]);
+        results[i] = std::move(r);
       }
     });
   }

@@ -51,9 +51,15 @@ struct ExperimentPreset {
   [[nodiscard]] SimConfig base_config() const;
 };
 
+/// Resolve a sweep's worker count: an explicit positive `threads` wins,
+/// else the IBSIM_THREADS environment variable (CI pins sweeps with it),
+/// else hardware concurrency.
+[[nodiscard]] std::int32_t resolve_threads(std::int32_t threads);
+
 /// Run many independent simulations concurrently (one thread each, the
 /// sweep-level parallelism the harness uses). Results are positionally
-/// matched to `configs`; per-run determinism is unaffected.
+/// matched to `configs` and move-assigned from worker-local storage;
+/// per-run determinism is unaffected.
 [[nodiscard]] std::vector<SimResult> run_parallel(const std::vector<SimConfig>& configs,
                                                   std::int32_t threads = 0);
 

@@ -31,6 +31,7 @@ topo::Topology build_topology(const SimConfig& config) {
 
 Simulation::Simulation(const SimConfig& config)
     : config_(config),
+      sched_(config.scheduler_queue),
       topo_(build_topology(config)),
       // Meshes route dimension-ordered (deadlock freedom); everything
       // else spreads with d-mod-k.

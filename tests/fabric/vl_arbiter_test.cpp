@@ -4,6 +4,8 @@
 
 #include <map>
 
+#include "core/rng.hpp"
+
 namespace ibsim::fabric {
 namespace {
 
@@ -129,6 +131,53 @@ TEST(VlArbiter, LowGrantRefillsHighBudget) {
   EXPECT_EQ(arb.pick([](ib::Vl) { return true; }), 0);  // low opportunity
   arb.granted(2048);
   EXPECT_EQ(arb.pick([](ib::Vl) { return true; }), 1);  // budget refilled
+}
+
+TEST(VlArbiter, NoteFailedPickMatchesFailedScan) {
+  // The active-VL-bitmask fast path skips the full pick() scan when no
+  // lane has work, but a failed scan is NOT a no-op: it refills the
+  // current entries' quantums and may hand the high table a fresh byte
+  // budget. note_failed_pick() must replicate that state change exactly,
+  // or the fast path would diverge from the reference simulation.
+  auto make = [] {
+    VlArbiter arb;
+    arb.configure({{3, 1}}, {{0, 2}, {1, 3}, {2, 1}}, /*high_limit=*/1);
+    return arb;
+  };
+  // Drive both arbiters through the same grant history, with idle gaps
+  // handled by a real failed scan on one and the shortcut on the other.
+  VlArbiter scanned = make();
+  VlArbiter shortcut = make();
+  std::uint64_t state = 7;
+  for (int step = 0; step < 500; ++step) {
+    const std::uint64_t roll = core::splitmix64(state);
+    if (roll % 5 == 0) {
+      EXPECT_EQ(scanned.pick([](ib::Vl) { return false; }), -1);
+      shortcut.note_failed_pick();
+    } else {
+      const std::uint32_t work = 1u + static_cast<std::uint32_t>(roll % 15);
+      const auto has_work = [work](ib::Vl vl) { return (work >> vl & 1u) != 0; };
+      const std::int32_t a = scanned.pick(has_work);
+      const std::int32_t b = shortcut.pick(has_work);
+      ASSERT_EQ(a, b) << "diverged at step " << step;
+      if (a >= 0) {
+        const std::int64_t granted = 2048;
+        scanned.granted(granted);
+        shortcut.granted(granted);
+      }
+    }
+  }
+}
+
+TEST(VlArbiter, NoteFailedPickRefillsHighBudget) {
+  // An idle gap after the high table exhausts its byte budget must
+  // restore high priority, exactly as a failed scan does.
+  VlArbiter arb;
+  arb.configure({{1, 1}}, {{0, 64}}, /*high_limit=*/1);
+  EXPECT_EQ(arb.pick([](ib::Vl) { return true; }), 1);
+  arb.granted(4096);  // budget spent; next contested pick would be low
+  arb.note_failed_pick();
+  EXPECT_EQ(arb.pick([](ib::Vl) { return true; }), 1);  // budget restored
 }
 
 TEST(VlArbiterDeath, ZeroWeightRejected) {

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <deque>
+#include <set>
+#include <vector>
+
+#include "core/rng.hpp"
+
 namespace ibsim::ib {
 namespace {
 
@@ -124,6 +130,102 @@ TEST(PacketQueue, InterleavedOperations) {
   EXPECT_EQ(q.pop_front(), order[3]);
   EXPECT_EQ(q.pop_front(), order[4]);
   EXPECT_EQ(q.pop_front(), extra);
+}
+
+TEST(PacketPool, ReusedSlotsCycleWithoutNewChunks) {
+  // Steady-state churn must be served entirely from the freelist: with a
+  // chunk of 4 and never more than 4 live, the same 4 slots cycle
+  // forever and every reused packet comes back fully reset.
+  PacketPool pool(4);
+  std::vector<Packet*> first;
+  for (int i = 0; i < 4; ++i) first.push_back(pool.allocate());
+  std::set<Packet*> slots(first.begin(), first.end());
+  for (Packet* p : first) {
+    p->bytes = 2048;
+    p->msg_seq = 7;
+    p->becn = true;
+    pool.release(p);
+  }
+  for (int round = 0; round < 100; ++round) {
+    Packet* p = pool.allocate();
+    EXPECT_EQ(slots.count(p), 1u) << "allocation left the original chunk";
+    EXPECT_EQ(p->bytes, 0);
+    EXPECT_EQ(p->msg_seq, 0u);
+    EXPECT_FALSE(p->becn);
+    EXPECT_EQ(p->pool_next, nullptr);
+    pool.release(p);
+  }
+  EXPECT_EQ(pool.live(), 0);
+}
+
+TEST(PacketQueue, ReleasedPacketNeverStaysLinked) {
+  // pop_front must sever pool_next before handing the packet out;
+  // otherwise a release-then-reallocate could double-link the freelist
+  // with a packet still referenced by a queue.
+  PacketPool pool(8);
+  PacketQueue q;
+  Packet* a = pool.allocate();
+  Packet* b = pool.allocate();
+  q.push_back(a);
+  q.push_back(b);  // a->pool_next == b inside the queue
+  Packet* popped = q.pop_front();
+  ASSERT_EQ(popped, a);
+  EXPECT_EQ(popped->pool_next, nullptr);
+  pool.release(popped);
+  Packet* c = pool.allocate();
+  EXPECT_EQ(c, a);  // LIFO reuse
+  EXPECT_EQ(c->pool_next, nullptr);
+  // b is still queued and untouched by the recycling of a.
+  EXPECT_EQ(q.front(), b);
+  EXPECT_EQ(q.count(), 1);
+}
+
+TEST(PacketQueue, InterleavedFrontBackAccounting) {
+  // The byte/count totals and FIFO-with-requeue order under the exact
+  // pattern the fabric produces: push_back on arrival, push_front when a
+  // drained packet is requeued after a blocked grant.
+  PacketPool pool(32);
+  PacketQueue q;
+  std::deque<Packet*> model;
+  std::int64_t bytes = 0;
+  std::uint64_t state = 123;
+  for (int step = 0; step < 2000; ++step) {
+    const std::uint64_t roll = core::splitmix64(state) % 4;
+    if (roll == 0 && !model.empty()) {
+      Packet* p = q.pop_front();
+      ASSERT_EQ(p, model.front());
+      model.pop_front();
+      bytes -= p->bytes;
+      pool.release(p);
+    } else if (roll == 1 && !model.empty()) {
+      // Requeue the head (blocked grant path).
+      Packet* p = q.pop_front();
+      q.push_front(p);
+    } else {
+      Packet* p = pool.allocate();
+      p->bytes = static_cast<std::int32_t>(core::splitmix64(state) % 2048) + 1;
+      if (roll == 2) {
+        q.push_front(p);
+        model.push_front(p);
+      } else {
+        q.push_back(p);
+        model.push_back(p);
+      }
+      bytes += p->bytes;
+    }
+    ASSERT_EQ(q.count(), static_cast<std::int32_t>(model.size()));
+    ASSERT_EQ(q.bytes(), bytes);
+    ASSERT_EQ(q.empty(), model.empty());
+  }
+  while (!model.empty()) {
+    Packet* p = q.pop_front();
+    ASSERT_EQ(p, model.front());
+    model.pop_front();
+    pool.release(p);
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.bytes(), 0);
+  EXPECT_EQ(pool.live(), 0);
 }
 
 TEST(PacketQueueDeath, PopEmptyAborts) {

@@ -1,0 +1,85 @@
+// A/B equivalence of the two pending-event structures: the two-tier
+// calendar queue (default) and the reference 4-ary heap must produce
+// bit-identical simulations — same metrics, same event count — on every
+// scenario class the paper exercises. This is the determinism contract
+// the calendar queue's design argument (DESIGN.md) is checked against.
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+
+namespace ibsim::sim {
+namespace {
+
+SimConfig base_config(std::uint64_t seed) {
+  SimConfig config;
+  config.topology = TopologyKind::FoldedClos;
+  config.clos = topo::FoldedClosParams::scaled(4, 2, 3);  // 12 nodes
+  config.sim_time = core::kMillisecond;
+  config.warmup = 200 * core::kMicrosecond;
+  config.seed = seed;
+  return config;
+}
+
+/// Run `config` under both queue kinds and require bit-identical results,
+/// down to latency quantiles and the executed-event count.
+void expect_queue_equivalent(SimConfig config) {
+  config.scheduler_queue = core::QueueKind::kTwoTier;
+  const SimResult two_tier = run_sim(config);
+  config.scheduler_queue = core::QueueKind::kHeap;
+  const SimResult heap = run_sim(config);
+
+  EXPECT_EQ(two_tier.total_throughput_gbps, heap.total_throughput_gbps);
+  EXPECT_EQ(two_tier.hotspot_rcv_gbps, heap.hotspot_rcv_gbps);
+  EXPECT_EQ(two_tier.non_hotspot_rcv_gbps, heap.non_hotspot_rcv_gbps);
+  EXPECT_EQ(two_tier.all_rcv_gbps, heap.all_rcv_gbps);
+  EXPECT_EQ(two_tier.jain_non_hotspot, heap.jain_non_hotspot);
+  EXPECT_EQ(two_tier.median_latency_us, heap.median_latency_us);
+  EXPECT_EQ(two_tier.p99_latency_us, heap.p99_latency_us);
+  EXPECT_EQ(two_tier.fecn_marked, heap.fecn_marked);
+  EXPECT_EQ(two_tier.cnps_sent, heap.cnps_sent);
+  EXPECT_EQ(two_tier.becn_received, heap.becn_received);
+  EXPECT_EQ(two_tier.delivered_bytes, heap.delivered_bytes);
+  EXPECT_EQ(two_tier.events_executed, heap.events_executed);
+  EXPECT_GT(two_tier.delivered_bytes, 0u);  // scenario actually ran
+}
+
+TEST(QueueEquivalence, Table2SilentForest) {
+  // Table II: silent congestion trees (no background traffic), CC on.
+  SimConfig config = base_config(42);
+  config.scenario.fraction_b = 0.0;
+  config.scenario.n_hotspots = 2;
+  expect_queue_equivalent(config);
+}
+
+TEST(QueueEquivalence, Table2SilentForestCcOff) {
+  SimConfig config = base_config(42);
+  config.scenario.fraction_b = 0.0;
+  config.scenario.n_hotspots = 2;
+  config.cc.enabled = false;
+  expect_queue_equivalent(config);
+}
+
+TEST(QueueEquivalence, WindyForestHalfP) {
+  // Figures 5-8 regime: all background nodes windy with p = 0.5.
+  SimConfig config = base_config(7);
+  config.scenario.fraction_b = 1.0;
+  config.scenario.p = 0.5;
+  config.scenario.n_hotspots = 2;
+  expect_queue_equivalent(config);
+}
+
+TEST(QueueEquivalence, MovingHotspots) {
+  // Figures 9-10 regime: congestion trees relocate every 200 µs, which
+  // exercises the far-future tier (hotspot moves and CCTI timers live
+  // beyond the calendar horizon) and its migration into the wheel.
+  SimConfig config = base_config(11);
+  config.scenario.fraction_b = 0.5;
+  config.scenario.p = 0.4;
+  config.scenario.n_hotspots = 2;
+  config.scenario.hotspot_lifetime = 200 * core::kMicrosecond;
+  expect_queue_equivalent(config);
+}
+
+}  // namespace
+}  // namespace ibsim::sim

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 
 namespace ibsim::sim {
@@ -41,6 +42,38 @@ TEST(RunParallel, MatchesSerialExecution) {
 
 TEST(RunParallel, EmptyInputIsEmptyOutput) {
   EXPECT_TRUE(run_parallel({}, 4).empty());
+}
+
+TEST(ResolveThreads, ExplicitCountWinsOverEnv) {
+  ::setenv("IBSIM_THREADS", "7", 1);
+  EXPECT_EQ(resolve_threads(3), 3);
+  ::unsetenv("IBSIM_THREADS");
+}
+
+TEST(ResolveThreads, EnvOverridesHardwareDefault) {
+  ::setenv("IBSIM_THREADS", "7", 1);
+  EXPECT_EQ(resolve_threads(0), 7);
+  // Garbage and non-positive values fall through to the hardware default.
+  ::setenv("IBSIM_THREADS", "0", 1);
+  EXPECT_GT(resolve_threads(0), 0);
+  ::setenv("IBSIM_THREADS", "banana", 1);
+  EXPECT_GT(resolve_threads(0), 0);
+  ::unsetenv("IBSIM_THREADS");
+}
+
+TEST(RunParallel, HonoursThreadsEnv) {
+  // A sweep pinned to one worker must still fill every slot correctly.
+  ::setenv("IBSIM_THREADS", "1", 1);
+  SimConfig config = tiny_preset().base_config();
+  config.scenario.n_hotspots = 1;
+  std::vector<SimConfig> configs(2, config);
+  configs[1].seed = 2;
+  const std::vector<SimResult> results = run_parallel(configs);
+  ::unsetenv("IBSIM_THREADS");
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_GT(results[0].delivered_bytes, 0u);
+  EXPECT_GT(results[1].delivered_bytes, 0u);
+  EXPECT_NE(results[0].delivered_bytes, results[1].delivered_bytes);
 }
 
 TEST(WindyFigureHarness, SeriesShapesAndGrids) {
