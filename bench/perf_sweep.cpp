@@ -74,7 +74,17 @@ std::vector<Scenario> make_scenarios(bool quick) {
   moving.config.scenario.n_hotspots = 2;
   moving.config.scenario.hotspot_lifetime = 200 * core::kMicrosecond;
 
-  return {silent, windy, moving};
+  // CC-heavy stress: every node aims at hotspots, aggressive marking and
+  // a fast timer keep the whole BECN -> throttle -> recover loop hot, so
+  // regressions in the reaction-point path (ccalg) show up here first.
+  Scenario cc_storm{"cc_storm", base};
+  cc_storm.config.scenario.fraction_b = 1.0;
+  cc_storm.config.scenario.p = 0.9;
+  cc_storm.config.scenario.n_hotspots = 4;
+  cc_storm.config.cc.threshold_weight = 15;
+  cc_storm.config.cc.ccti_timer = 10;
+
+  return {silent, windy, moving, cc_storm};
 }
 
 struct Cell {

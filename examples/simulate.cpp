@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <string>
 
+#include "ccalg/registry.hpp"
 #include "core/log.hpp"
 #include "sim/cli.hpp"
 #include "sim/config_file.hpp"
@@ -43,6 +44,9 @@ int main(int argc, char** argv) {
   cli.add_double("inject-gbps", 13.5, "per-node injection capacity");
   // Congestion control.
   cli.add_flag("no-cc", "disable congestion control");
+  cli.add_string("cc-algo", "iba_a10",
+                 "reaction-point algorithm (iba_a10 | dcqcn | aimd | none; 'help' lists)");
+  cli.add_flag("list-cc-algos", "print the registered CC algorithms and exit");
   cli.add_int("threshold", 15, "threshold weight 0..15");
   cli.add_int("marking-rate", 0, "Marking_Rate");
   cli.add_int("ccti-increase", 1, "CCTI_Increase");
@@ -69,6 +73,15 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) return 0;
 
   if (cli.flag("verbose")) core::Log::set_level(core::LogLevel::Info);
+
+  const auto& algo_registry = ccalg::CcAlgorithmRegistry::instance();
+  if (cli.flag("list-cc-algos") || cli.get_string("cc-algo") == "help") {
+    std::printf("registered congestion-control algorithms:\n");
+    for (const std::string& name : algo_registry.names()) {
+      std::printf("  %s\n", name.c_str());
+    }
+    return 0;
+  }
 
   sim::SimConfig config;
   if (!cli.get_string("config").empty()) {
@@ -115,6 +128,14 @@ int main(int argc, char** argv) {
   }
 
   config.cc.enabled = !cli.flag("no-cc");
+  if (cli.was_set("cc-algo") || config.cc_algo.empty()) {
+    config.cc_algo = cli.get_string("cc-algo");
+  }
+  if (!algo_registry.contains(config.cc_algo)) {
+    std::fprintf(stderr, "unknown cc algorithm '%s' (valid: %s)\n", config.cc_algo.c_str(),
+                 algo_registry.names_joined().c_str());
+    return 2;
+  }
   config.cc.threshold_weight = static_cast<std::uint8_t>(cli.get_int("threshold"));
   config.cc.marking_rate = static_cast<std::uint16_t>(cli.get_int("marking-rate"));
   config.cc.ccti_increase = static_cast<std::uint16_t>(cli.get_int("ccti-increase"));

@@ -1,7 +1,6 @@
 #include "cc/ca_cc.hpp"
 
-#include <algorithm>
-
+#include "ccalg/registry.hpp"
 #include "core/assert.hpp"
 
 namespace ibsim::cc {
@@ -12,129 +11,98 @@ constexpr std::uint32_t kTimerEvent = 0xCC01;
 
 CaCcAgent::CaCcAgent(ib::NodeId self, std::int32_t n_nodes, const ib::CcParams& params,
                      const ib::CongestionControlTable* cct, core::Scheduler* sched,
-                     CnpSender* cnp_sender)
-    : self_(self),
-      params_(params),
-      cct_(cct),
-      sched_(sched),
-      cnp_sender_(cnp_sender),
-      // SL-level CC shares one state across all destinations of the port.
-      flows_(params.sl_level ? 1 : static_cast<std::size_t>(n_nodes)) {
-  IBSIM_ASSERT(!params_.enabled || cct_ != nullptr, "enabled CC agent needs a CCT");
+                     CnpSender* cnp_sender, const std::string& algo)
+    : self_(self), params_(params), sched_(sched), cnp_sender_(cnp_sender) {
+  IBSIM_ASSERT(!params_.enabled || cct != nullptr, "enabled CC agent needs a CCT");
   IBSIM_ASSERT(n_nodes > 0, "agent needs a node count");
+  ccalg::CcAlgoContext ctx;
+  // SL-level CC shares one state across all destinations of the port.
+  ctx.n_flows = params_.sl_level ? 1 : n_nodes;
+  ctx.params = params_;
+  ctx.cct = cct;
+  algo_ = ccalg::CcAlgorithmRegistry::instance().create(
+      params_.enabled ? algo : "none", ctx);
 }
 
-CaCcAgent::FlowCc& CaCcAgent::flow(ib::NodeId dst) {
-  const std::size_t idx = params_.sl_level ? 0 : static_cast<std::size_t>(dst);
-  IBSIM_ASSERT(idx < flows_.size(), "flow destination out of range");
-  return flows_[idx];
-}
-
-const CaCcAgent::FlowCc& CaCcAgent::flow(ib::NodeId dst) const {
-  const std::size_t idx = params_.sl_level ? 0 : static_cast<std::size_t>(dst);
-  IBSIM_ASSERT(idx < flows_.size(), "flow destination out of range");
-  return flows_[idx];
+std::int32_t CaCcAgent::flow_index(ib::NodeId dst) const {
+  const std::int32_t idx = params_.sl_level ? 0 : dst;
+  IBSIM_ASSERT(idx >= 0, "flow destination out of range");
+  return idx;
 }
 
 core::Time CaCcAgent::flow_ready_at(ib::NodeId dst) const {
   if (!params_.enabled) return 0;
-  return flow(dst).ready_at;
+  return algo_->ready_at(flow_index(dst));
 }
 
 void CaCcAgent::on_data_granted(ib::NodeId dst, std::int32_t bytes, core::Time end) {
   if (!params_.enabled) return;
-  FlowCc& f = flow(dst);
-  if (f.ccti == 0) {
-    f.ready_at = end;
-    return;
-  }
-  f.ready_at = end + cct_->ird_delay(f.ccti, bytes);
+  algo_->on_send(flow_index(dst), bytes, end);
 }
 
 void CaCcAgent::on_becn(ib::NodeId flow_dst, core::Time now) {
   if (!params_.enabled) return;
   ++becn_received_;
-  FlowCc& f = flow(flow_dst);
-  const bool newly_throttled = f.ccti == 0 && f.active_idx < 0;
-  if (newly_throttled) {
-    f.active_idx = static_cast<std::int32_t>(active_flows_.size());
-    active_flows_.push_back(params_.sl_level ? 0 : flow_dst);
-  }
-  const std::uint16_t before = f.ccti;
-  f.ccti = static_cast<std::uint16_t>(
-      std::min<std::uint32_t>(f.ccti + params_.ccti_increase, params_.ccti_limit));
-  ccti_total_ += f.ccti - before;
+  const ccalg::BecnOutcome out = algo_->on_becn(flow_index(flow_dst), now);
   if (tel_.registry != nullptr) {
     tel_.registry->inc(tel_.becn_delivered);
-    if (newly_throttled) tel_.registry->inc(tel_.throttle_events);
-    tel_.registry->set(tel_.ccti_gauge, ccti_total_);
+    if (out.newly_throttled) tel_.registry->inc(tel_.throttle_events);
+    tel_.registry->set(tel_.ccti_gauge, out.severity);
   }
   if (tel_.tracer != nullptr && tel_.tracer->enabled(telemetry::Category::kCc)) {
     tel_.tracer->record(telemetry::Category::kCc, telemetry::EventKind::kBecnDelivered, now,
                         tel_.trace_dev, -1, -1, flow_dst);
-    if (newly_throttled) {
+    if (out.newly_throttled) {
       tel_.tracer->record(telemetry::Category::kCc, telemetry::EventKind::kThrottleStart, now,
                           tel_.trace_dev, -1, -1, 0, flow_dst);
     }
     tel_.tracer->record(telemetry::Category::kCc, telemetry::EventKind::kCctiSet, now,
-                        tel_.trace_dev, -1, -1, ccti_total_, flow_dst);
+                        tel_.trace_dev, -1, -1, out.severity, flow_dst);
   }
   arm_timer(now);
 }
 
 void CaCcAgent::on_fecn(ib::NodeId src) {
   if (!params_.enabled) return;
+  if (!algo_->cnp_on_fecn()) return;
   ++cnps_sent_;
   cnp_sender_->send_cnp(src, self_);
 }
 
 void CaCcAgent::arm_timer(core::Time now) {
-  if (timer_armed_ || active_flows_.empty()) return;
+  if (timer_armed_) return;
+  const core::Time delay = algo_->timer_delay();
+  if (delay == 0) return;
   timer_armed_ = true;
-  sched_->schedule_at(now + params_.timer_interval(), this, kTimerEvent);
+  sched_->schedule_at(now + delay, this, kTimerEvent);
 }
 
 void CaCcAgent::on_event(core::Scheduler& sched, const core::Event& ev) {
   IBSIM_ASSERT(ev.kind == kTimerEvent, "CA CC agent received an unknown event");
   ++timer_expirations_;
   timer_armed_ = false;
-  // Every expiry of the CCTI_Timer decrements the CCTI of all flows of
-  // the port by one, down to CCTI_Min. Only throttled flows are visited;
-  // flows reaching zero leave the active list (swap-remove).
   const bool trace_cc =
       tel_.tracer != nullptr && tel_.tracer->enabled(telemetry::Category::kCc);
-  for (std::size_t i = 0; i < active_flows_.size();) {
-    const std::int32_t dst = active_flows_[i];
-    FlowCc& f = flows_[static_cast<std::size_t>(dst)];
-    if (f.ccti > params_.ccti_min) {
-      --f.ccti;
-      --ccti_total_;
-    }
-    if (f.ccti == 0) {
-      f.active_idx = -1;
-      active_flows_[i] = active_flows_.back();
-      active_flows_.pop_back();
-      if (i < active_flows_.size()) {
-        flows_[static_cast<std::size_t>(active_flows_[i])].active_idx =
-            static_cast<std::int32_t>(i);
-      }
-      if (trace_cc) {
-        tel_.tracer->record(telemetry::Category::kCc, telemetry::EventKind::kThrottleEnd,
-                            sched.now(), tel_.trace_dev, -1, -1, 0, dst);
-      }
-    } else {
-      ++i;
+  ended_scratch_.clear();
+  const std::int64_t severity =
+      algo_->on_timer(sched.now(), trace_cc ? &ended_scratch_ : nullptr);
+  if (trace_cc) {
+    for (const std::int32_t dst : ended_scratch_) {
+      tel_.tracer->record(telemetry::Category::kCc, telemetry::EventKind::kThrottleEnd,
+                          sched.now(), tel_.trace_dev, -1, -1, 0, dst);
     }
   }
-  if (tel_.registry != nullptr) tel_.registry->set(tel_.ccti_gauge, ccti_total_);
+  if (tel_.registry != nullptr) tel_.registry->set(tel_.ccti_gauge, severity);
   if (trace_cc) {
     tel_.tracer->record(telemetry::Category::kCc, telemetry::EventKind::kCctiSet, sched.now(),
-                        tel_.trace_dev, -1, -1, ccti_total_, -1);
+                        tel_.trace_dev, -1, -1, severity, -1);
   }
   // Keep the chain running while any flow is still throttled.
   arm_timer(sched.now());
 }
 
-std::uint16_t CaCcAgent::ccti(ib::NodeId dst) const { return flow(dst).ccti; }
+std::uint16_t CaCcAgent::ccti(ib::NodeId dst) const {
+  return algo_->ccti(flow_index(dst));
+}
 
 }  // namespace ibsim::cc

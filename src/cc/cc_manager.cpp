@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "ccalg/registry.hpp"
 #include "core/assert.hpp"
 
 namespace ibsim::cc {
@@ -33,6 +34,10 @@ void CcManager::publish(telemetry::CounterRegistry& registry) const {
   registry.set(registry.gauge("cc.ccti_limit"), params_.ccti_limit);
   registry.set(registry.gauge("cc.ccti_timer_ps"), params_.timer_interval());
   registry.set(registry.gauge("cc.sl_level"), params_.sl_level ? 1 : 0);
+  // Gauges only carry integers: publish the registry rank of the
+  // effective algorithm ("none" when CC is disabled).
+  registry.set(registry.gauge("cc.algo"),
+               ccalg::CcAlgorithmRegistry::instance().id_of(effective_algo()));
 }
 
 std::int64_t CcManager::threshold_bytes(std::int64_t ref_buffer_bytes) const {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "ib/cc_params.hpp"
 #include "ib/cct.hpp"
@@ -27,6 +28,15 @@ class CcManager {
   [[nodiscard]] ib::CongestionControlTable& mutable_cct() { return *cct_; }
   [[nodiscard]] bool enabled() const { return params_.enabled; }
 
+  /// Reaction-point algorithm every channel adapter is configured with
+  /// (a ccalg::CcAlgorithmRegistry name; default "iba_a10"). The
+  /// *effective* algorithm is "none" whenever CC is disabled.
+  void set_algo(const std::string& algo) { algo_ = algo; }
+  [[nodiscard]] const std::string& algo() const { return algo_; }
+  [[nodiscard]] std::string effective_algo() const {
+    return params_.enabled ? algo_ : "none";
+  }
+
   /// Absolute queue threshold (bytes) for a switch output Port VL, given
   /// the reference input-buffer capacity of one VL.
   [[nodiscard]] std::int64_t threshold_bytes(std::int64_t ref_buffer_bytes) const;
@@ -38,6 +48,7 @@ class CcManager {
 
  private:
   ib::CcParams params_;
+  std::string algo_ = "iba_a10";
   std::unique_ptr<ib::CongestionControlTable> cct_;
 };
 

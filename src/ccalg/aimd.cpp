@@ -1,0 +1,18 @@
+#include "ccalg/aimd.hpp"
+
+namespace ibsim::ccalg {
+
+Aimd::Aimd(const CcAlgoContext& ctx) : RateBasedAlgorithm(ctx, kMinRate) {}
+
+std::unique_ptr<CcAlgorithm> Aimd::make(const CcAlgoContext& ctx) {
+  return std::make_unique<Aimd>(ctx);
+}
+
+void Aimd::react(RateFlow& f) { f.rate *= kDecrease; }
+
+bool Aimd::recover(RateFlow& f) {
+  f.rate += kIncrease;
+  return f.rate >= 1.0;
+}
+
+}  // namespace ibsim::ccalg

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <memory>
+
+#include "ccalg/rate_based.hpp"
+
+namespace ibsim::ccalg {
+
+/// Textbook AIMD reaction point: every BECN halves the flow's rate
+/// fraction (multiplicative decrease), every recovery-timer expiry adds
+/// a fixed increment back (additive increase). The simplest possible
+/// fair-share policy — the useful contrast to `iba_a10`'s table-driven
+/// throttle and `dcqcn`'s estimator in the comparison experiments.
+class Aimd final : public RateBasedAlgorithm {
+ public:
+  explicit Aimd(const CcAlgoContext& ctx);
+
+  [[nodiscard]] static std::unique_ptr<CcAlgorithm> make(const CcAlgoContext& ctx);
+
+  [[nodiscard]] const char* name() const override { return "aimd"; }
+
+ protected:
+  void react(RateFlow& f) override;
+  bool recover(RateFlow& f) override;
+
+ private:
+  static constexpr double kDecrease = 0.5;     ///< rate *= this per BECN
+  static constexpr double kIncrease = 1.0 / 32.0;  ///< rate += this per tick
+  static constexpr double kMinRate = 1.0 / 1024.0;
+};
+
+}  // namespace ibsim::ccalg

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <memory>
+
+#include "ccalg/rate_based.hpp"
+
+namespace ibsim::ccalg {
+
+/// DCQCN-style reaction point (Zhu et al., SIGCOMM 2015), adapted to the
+/// simulator's BECN/timer cadence: each CNP-equivalent BECN updates the
+/// congestion estimate alpha and cuts the rate multiplicatively
+/// (rate *= 1 - alpha/2); every recovery-timer expiry first runs fast
+/// recovery (rate moves halfway to the pre-cut target) and, once the
+/// fast-recovery stages are spent, raises the target additively — then
+/// hyper-additively — before averaging again. Alpha decays every timer
+/// tick, so a quiet flow both forgets congestion and regains rate.
+class Dcqcn final : public RateBasedAlgorithm {
+ public:
+  explicit Dcqcn(const CcAlgoContext& ctx);
+
+  [[nodiscard]] static std::unique_ptr<CcAlgorithm> make(const CcAlgoContext& ctx);
+
+  [[nodiscard]] const char* name() const override { return "dcqcn"; }
+
+ protected:
+  void react(RateFlow& f) override;
+  bool recover(RateFlow& f) override;
+
+ private:
+  // DCQCN constants, expressed as rate fractions per timer tick. The
+  // canonical parameters (g = 1/256, 55 us alpha timer, 40 Mb/s AI on a
+  // 40 Gb/s line) assume a much faster feedback loop than the CCTI_Timer
+  // cadence the simulator runs recovery at, so g and the increase steps
+  // are scaled up to converge in a comparable number of ticks.
+  static constexpr double kG = 1.0 / 16.0;         ///< alpha EWMA gain per BECN
+  static constexpr double kAlphaDecay = 1.0 / 8.0; ///< alpha *= 1-this per tick
+  static constexpr std::uint32_t kFastStages = 5;  ///< averaging-only stages
+  static constexpr double kAi = 1.0 / 64.0;        ///< additive target step
+  static constexpr double kHai = 1.0 / 16.0;       ///< hyper step after kHyperAfter
+  static constexpr std::uint32_t kHyperAfter = 5;  ///< additive stages before hyper
+  static constexpr double kMinRate = 1.0 / 1024.0;
+  static constexpr double kDoneThreshold = 1.0 - 1.0 / 1024.0;
+};
+
+}  // namespace ibsim::ccalg

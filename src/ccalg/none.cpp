@@ -1,0 +1,10 @@
+#include "ccalg/none.hpp"
+
+namespace ibsim::ccalg {
+
+std::unique_ptr<CcAlgorithm> NoneAlgorithm::make(const CcAlgoContext& ctx) {
+  (void)ctx;
+  return std::make_unique<NoneAlgorithm>();
+}
+
+}  // namespace ibsim::ccalg

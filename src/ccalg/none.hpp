@@ -1,0 +1,58 @@
+#pragma once
+
+#include <memory>
+
+#include "ccalg/cc_algorithm.hpp"
+
+namespace ibsim::ccalg {
+
+/// Explicit no-op reaction point: never throttles, never answers FECN
+/// with a CNP, never needs a timer. This is what a disabled congestion
+/// manager resolves to, replacing the old scattered `if (!enabled)`
+/// early-outs with a real (trivially inspectable) algorithm.
+class NoneAlgorithm final : public CcAlgorithm {
+ public:
+  [[nodiscard]] static std::unique_ptr<CcAlgorithm> make(const CcAlgoContext& ctx);
+
+  [[nodiscard]] const char* name() const override { return "none"; }
+
+  core::Time on_send(std::int32_t flow, std::int32_t bytes, core::Time end) override {
+    (void)flow;
+    (void)bytes;
+    return end;
+  }
+  [[nodiscard]] core::Time ready_at(std::int32_t flow) const override {
+    (void)flow;
+    return 0;
+  }
+  [[nodiscard]] core::Time injection_delay(std::int32_t flow,
+                                           std::int32_t bytes) const override {
+    (void)flow;
+    (void)bytes;
+    return 0;
+  }
+
+  BecnOutcome on_becn(std::int32_t flow, core::Time now) override {
+    (void)flow;
+    (void)now;
+    return {};
+  }
+
+  [[nodiscard]] core::Time timer_delay() const override { return 0; }
+  std::int64_t on_timer(core::Time now, std::vector<std::int32_t>* ended) override {
+    (void)now;
+    (void)ended;
+    return 0;
+  }
+
+  [[nodiscard]] bool cnp_on_fecn() const override { return false; }
+
+  [[nodiscard]] std::int32_t active_flow_count() const override { return 0; }
+  [[nodiscard]] std::int64_t severity_sum() const override { return 0; }
+  [[nodiscard]] double rate_fraction(std::int32_t flow) const override {
+    (void)flow;
+    return 1.0;
+  }
+};
+
+}  // namespace ibsim::ccalg

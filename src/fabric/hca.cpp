@@ -16,7 +16,7 @@ Hca::Hca(Fabric* fabric, topo::DeviceId dev, ib::NodeId node, std::int32_t n_nod
   rx_.resize(static_cast<std::size_t>(p.n_vls));
   cc_agent_ = std::make_unique<cc::CaCcAgent>(node, n_nodes, ccm.params(),
                                               ccm.enabled() ? &ccm.cct() : nullptr,
-                                              &fabric_->sched(), this);
+                                              &fabric_->sched(), this, ccm.algo());
 }
 
 void Hca::start(core::Scheduler& sched) { try_inject(sched); }

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "ccalg/registry.hpp"
 #include "telemetry/trace.hpp"
 
 namespace ibsim::sim {
@@ -99,6 +100,14 @@ std::string apply_key(const std::string& key, const std::string& value, SimConfi
   if (key == "inject_gbps") return want_double([&](auto v) { c->scenario.capacity_gbps = v; });
 
   if (key == "cc_enabled") return want_int([&](auto v) { c->cc.enabled = v != 0; });
+  if (key == "cc_algo") {
+    const auto& registry = ccalg::CcAlgorithmRegistry::instance();
+    if (!registry.contains(value)) {
+      return "unknown cc_algo '" + value + "' (valid: " + registry.names_joined() + ")";
+    }
+    c->cc_algo = value;
+    return {};
+  }
   if (key == "threshold_weight")
     return want_int([&](auto v) { c->cc.threshold_weight = static_cast<std::uint8_t>(v); });
   if (key == "marking_rate")

@@ -18,7 +18,8 @@ namespace ibsim::sim {
 ///   single_nodes, chain_switches, chain_nodes
 ///   dumbbell_nodes, mesh_rows, mesh_cols, mesh_nodes
 ///   fraction_b, p_percent, fraction_c, hotspots, lifetime_us, inject_gbps
-///   cc_enabled (0/1), threshold_weight, marking_rate, packet_size,
+///   cc_enabled (0/1), cc_algo (iba_a10 | dcqcn | aimd | none),
+///   threshold_weight, marking_rate, packet_size,
 ///   victim_mask (0/1), ccti_increase, ccti_limit, ccti_min, ccti_timer,
 ///   sl_level (0/1), cct_fill (geometric | linear), cct_base
 ///   wire_gbps, hca_inject_gbps, hca_drain_gbps, n_vls, cut_through (0/1)

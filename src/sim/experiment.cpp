@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "analysis/tmax.hpp"
+#include "ccalg/registry.hpp"
 #include "core/assert.hpp"
 
 namespace ibsim::sim {
@@ -226,6 +227,96 @@ void write_windy_csv(const WindyFigure& fig, const std::string& prefix) {
   analysis::write_csv(prefix + "_b_hotspot.csv", "p_pct",
                       {&fig.hotspot_off, &fig.hotspot_on});
   analysis::write_csv(prefix + "_c_improvement.csv", "p_pct", {&fig.improvement});
+}
+
+// ---------------------------------------------------------------------------
+// CC-algorithm comparison
+// ---------------------------------------------------------------------------
+
+CcCompareResult run_cc_compare(const ExperimentPreset& preset,
+                               const std::vector<std::string>& algos) {
+  CcCompareResult out;
+  out.algos = algos.empty() ? ccalg::CcAlgorithmRegistry::instance().names() : algos;
+  for (const std::string& algo : out.algos) {
+    IBSIM_ASSERT(ccalg::CcAlgorithmRegistry::instance().contains(algo),
+                 "run_cc_compare: unknown algorithm name");
+  }
+
+  // The three congestion-tree kinds of the paper's taxonomy, at the
+  // preset's scale. Traffic, seeds and topology are identical across
+  // algorithms — only the reaction point differs.
+  struct Spec {
+    const char* label;
+    traffic::ScenarioSpec scenario;
+    bool moving;
+  };
+  std::vector<Spec> specs;
+  {
+    Spec silent{"silent forest (B=0%, 8 hotspots)", {}, false};
+    silent.scenario.fraction_b = 0.0;
+    silent.scenario.fraction_c_of_rest = 0.8;
+    silent.scenario.n_hotspots = 8;
+    specs.push_back(silent);
+
+    Spec windy{"windy forest (B=100%, p=50%)", {}, false};
+    windy.scenario.fraction_b = 1.0;
+    windy.scenario.p = 0.5;
+    windy.scenario.n_hotspots = 8;
+    specs.push_back(windy);
+
+    Spec moving{"moving silent forest (B=0%)", {}, true};
+    moving.scenario.fraction_b = 0.0;
+    moving.scenario.fraction_c_of_rest = 0.8;
+    moving.scenario.n_hotspots = 8;
+    specs.push_back(moving);
+  }
+
+  std::vector<SimConfig> configs;
+  for (const Spec& spec : specs) {
+    for (const std::string& algo : out.algos) {
+      SimConfig config = preset.base_config();
+      config.scenario = spec.scenario;
+      config.cc.enabled = true;
+      config.cc_algo = algo;
+      if (spec.moving) {
+        IBSIM_ASSERT(!preset.lifetimes.empty(), "preset needs moving lifetimes");
+        const core::Time lifetime = preset.lifetimes[preset.lifetimes.size() / 2];
+        config.scenario.hotspot_lifetime = lifetime;
+        core::Time sim = lifetime * preset.moving_lifetimes_per_run;
+        if (sim < preset.moving_min_sim_time) sim = preset.moving_min_sim_time;
+        config.sim_time = sim;
+        config.warmup = lifetime < preset.static_warmup ? lifetime : preset.static_warmup;
+      }
+      configs.push_back(config);
+    }
+  }
+  std::vector<SimResult> results = run_parallel(configs, preset.threads);
+
+  std::size_t next = 0;
+  for (const Spec& spec : specs) {
+    CcCompareScenario scenario;
+    scenario.label = spec.label;
+    for (std::size_t a = 0; a < out.algos.size(); ++a) {
+      scenario.results.push_back(std::move(results[next++]));
+    }
+    out.scenarios.push_back(std::move(scenario));
+  }
+  return out;
+}
+
+analysis::TextTable format_cc_compare(const CcCompareResult& result) {
+  analysis::TextTable table(
+      {"Algorithm", "Hotspot rcv", "Victim rcv", "All rcv", "Total Gb/s"});
+  for (const CcCompareScenario& scenario : result.scenarios) {
+    table.add_section(scenario.label);
+    for (std::size_t a = 0; a < result.algos.size(); ++a) {
+      const SimResult& r = scenario.results[a];
+      table.add_row({result.algos[a], analysis::fmt(r.hotspot_rcv_gbps),
+                     analysis::fmt(r.non_hotspot_rcv_gbps), analysis::fmt(r.all_rcv_gbps),
+                     analysis::fmt(r.total_throughput_gbps, 1)});
+    }
+  }
+  return table;
 }
 
 // ---------------------------------------------------------------------------

@@ -99,6 +99,30 @@ void print_windy_figure(const WindyFigure& figure);
 void write_windy_csv(const WindyFigure& figure, const std::string& prefix);
 
 // ---------------------------------------------------------------------------
+// CC-algorithm comparison: the paper's congestion-tree taxonomy (silent /
+// windy / moving forests) rerun once per reaction-point algorithm.
+// ---------------------------------------------------------------------------
+struct CcCompareScenario {
+  std::string label;               ///< "silent forest", "windy forest p=50%", ...
+  std::vector<SimResult> results;  ///< positionally matched to CcCompareResult::algos
+};
+
+struct CcCompareResult {
+  std::vector<std::string> algos;  ///< registry names, in run order
+  std::vector<CcCompareScenario> scenarios;
+};
+
+/// Run the three taxonomy scenarios once per algorithm (identical seeds
+/// and traffic across algorithms — only the reaction point differs).
+/// Empty `algos` means every registered algorithm.
+[[nodiscard]] CcCompareResult run_cc_compare(const ExperimentPreset& preset,
+                                             const std::vector<std::string>& algos = {});
+
+/// One section per scenario; rows are algorithms, columns the hotspot /
+/// victim receive rates and the total network throughput.
+[[nodiscard]] analysis::TextTable format_cc_compare(const CcCompareResult& result);
+
+// ---------------------------------------------------------------------------
 // Figures 9-10: moving congestion trees over decreasing hotspot lifetime.
 // ---------------------------------------------------------------------------
 struct MovingCurve {

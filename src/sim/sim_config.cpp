@@ -29,9 +29,10 @@ std::int32_t SimConfig::node_count() const {
 }
 
 std::string SimConfig::describe() const {
+  const std::string cc_desc = cc.enabled ? "on (" + cc_algo + ")" : "off";
   char buf[256];
   std::snprintf(buf, sizeof(buf), "%s (%d nodes), CC %s, %s, sim %s (warmup %s), seed %llu",
-                topology_name(topology), node_count(), cc.enabled ? "on" : "off",
+                topology_name(topology), node_count(), cc_desc.c_str(),
                 scenario.describe().c_str(), core::format_time(sim_time).c_str(),
                 core::format_time(warmup).c_str(),
                 static_cast<unsigned long long>(seed));

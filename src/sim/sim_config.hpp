@@ -68,6 +68,10 @@ struct SimConfig {
 
   fabric::FabricParams fabric;
   ib::CcParams cc = ib::CcParams::paper_table1();
+  /// Reaction-point algorithm name (a ccalg::CcAlgorithmRegistry key:
+  /// "iba_a10", "dcqcn", "aimd", "none"). Ignored when cc.enabled is
+  /// false — the effective algorithm is "none" then.
+  std::string cc_algo = "iba_a10";
   traffic::ScenarioSpec scenario;
 
   /// Total simulated time and the warm-up prefix excluded from metrics.

@@ -1,5 +1,6 @@
 #include "sim/simulation.hpp"
 
+#include "ccalg/registry.hpp"
 #include "core/assert.hpp"
 #include "core/log.hpp"
 #include "telemetry/chrome_trace.hpp"
@@ -44,6 +45,9 @@ Simulation::Simulation(const SimConfig& config)
   const std::size_t cct_entries = static_cast<std::size_t>(config.cc.ccti_limit) + 1;
   ccm_ = std::make_unique<cc::CcManager>(config.cc, cct_entries < 128 ? 128 : cct_entries,
                                          config.fabric.hca_inject_gbps);
+  IBSIM_ASSERT(ccalg::CcAlgorithmRegistry::instance().contains(config.cc_algo),
+               "unknown cc_algo (see CcAlgorithmRegistry::names)");
+  ccm_->set_algo(config.cc_algo);
   fabric_ = std::make_unique<fabric::Fabric>(topo_, routing_, config.fabric, *ccm_, sched_);
 
   core::Rng rng(config.seed);

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "ccalg/registry.hpp"
+#include "ib/types.hpp"
+
 namespace ibsim::cc {
 namespace {
 
@@ -45,6 +48,45 @@ TEST(CcManager, ThresholdNeverBelowOneByte) {
 TEST(CcManager, DisabledStillConstructs) {
   CcManager mgr(ib::CcParams::disabled());
   EXPECT_FALSE(mgr.enabled());
+}
+
+TEST(CcManager, CctEntriesExactlyLimitPlusOneIsValid) {
+  // The tight boundary: a table of ccti_limit+1 entries covers every
+  // reachable CCTI (0..limit inclusive) with no clamping headroom.
+  ib::CcParams p = ib::CcParams::paper_table1();
+  p.ccti_limit = 127;
+  CcManager mgr(p, 128, 13.5);
+  EXPECT_EQ(mgr.cct().size(), 128u);
+  EXPECT_GT(mgr.cct().ird_delay(127, ib::kMtuBytes), 0);
+  // One past the limit clamps to the last entry instead of reading OOB.
+  EXPECT_EQ(mgr.cct().ird_delay(128, ib::kMtuBytes),
+            mgr.cct().ird_delay(127, ib::kMtuBytes));
+}
+
+TEST(CcManager, DefaultAlgoAndOverride) {
+  CcManager mgr(ib::CcParams::paper_table1());
+  EXPECT_EQ(mgr.algo(), "iba_a10");
+  EXPECT_EQ(mgr.effective_algo(), "iba_a10");
+  mgr.set_algo("dcqcn");
+  EXPECT_EQ(mgr.algo(), "dcqcn");
+  EXPECT_EQ(mgr.effective_algo(), "dcqcn");
+}
+
+TEST(CcManager, DisabledManagerIsEffectivelyNone) {
+  CcManager mgr(ib::CcParams::disabled());
+  mgr.set_algo("dcqcn");
+  EXPECT_EQ(mgr.algo(), "dcqcn");
+  EXPECT_EQ(mgr.effective_algo(), "none");
+}
+
+TEST(CcManager, PublishesAlgoGauge) {
+  telemetry::CounterRegistry registry;
+  CcManager mgr(ib::CcParams::paper_table1());
+  mgr.set_algo("dcqcn");
+  mgr.publish(registry);
+  const auto handle = registry.gauge("cc.algo");
+  EXPECT_EQ(registry.value(handle),
+            ccalg::CcAlgorithmRegistry::instance().id_of("dcqcn"));
 }
 
 TEST(CcManagerDeath, CctMustCoverLimit) {

@@ -1,0 +1,183 @@
+// Full-simulation guards for the pluggable CC subsystem.
+//
+// The golden tests pin `--cc-algo=iba_a10` to SimResults captured from
+// the tree as it was BEFORE the CcAlgorithm extraction (same seeds, same
+// scenarios, exact hexfloat values). The simulator is deterministic down
+// to the bit: integer-picosecond time, IEEE-754 double arithmetic with
+// no FMA contraction in generic builds, and no std::random. If one of
+// these fails, the refactor changed simulated behaviour — which the
+// whole PR promises not to.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace ibsim::sim {
+namespace {
+
+SimConfig base_config(std::uint64_t seed) {
+  SimConfig config;
+  config.topology = TopologyKind::FoldedClos;
+  config.clos = topo::FoldedClosParams::scaled(4, 2, 3);  // 12 nodes
+  config.sim_time = core::kMillisecond;
+  config.warmup = 200 * core::kMicrosecond;
+  config.seed = seed;
+  return config;
+}
+
+SimConfig silent_config() {
+  SimConfig c = base_config(42);
+  c.scenario.fraction_b = 0.0;
+  c.scenario.n_hotspots = 2;
+  return c;
+}
+
+SimConfig windy_config() {
+  SimConfig c = base_config(7);
+  c.scenario.fraction_b = 1.0;
+  c.scenario.p = 0.5;
+  c.scenario.n_hotspots = 2;
+  return c;
+}
+
+SimConfig moving_config() {
+  SimConfig c = base_config(11);
+  c.scenario.fraction_b = 0.5;
+  c.scenario.p = 0.4;
+  c.scenario.n_hotspots = 2;
+  c.scenario.hotspot_lifetime = 200 * core::kMicrosecond;
+  return c;
+}
+
+struct Golden {
+  double hotspot_rcv_gbps;
+  double non_hotspot_rcv_gbps;
+  double all_rcv_gbps;
+  double total_throughput_gbps;
+  double jain_non_hotspot;
+  double median_latency_us;
+  double p99_latency_us;
+  std::uint64_t fecn_marked;
+  std::uint64_t cnps_sent;
+  std::uint64_t becn_received;
+  std::int64_t delivered_bytes;
+  std::uint64_t events_executed;
+};
+
+void expect_matches(const SimResult& r, const Golden& g) {
+  // Bitwise comparisons on purpose: EXPECT_DOUBLE_EQ's 4-ULP slack would
+  // hide a real behaviour change.
+  EXPECT_EQ(r.hotspot_rcv_gbps, g.hotspot_rcv_gbps);
+  EXPECT_EQ(r.non_hotspot_rcv_gbps, g.non_hotspot_rcv_gbps);
+  EXPECT_EQ(r.all_rcv_gbps, g.all_rcv_gbps);
+  EXPECT_EQ(r.total_throughput_gbps, g.total_throughput_gbps);
+  EXPECT_EQ(r.jain_non_hotspot, g.jain_non_hotspot);
+  EXPECT_EQ(r.median_latency_us, g.median_latency_us);
+  EXPECT_EQ(r.p99_latency_us, g.p99_latency_us);
+  EXPECT_EQ(r.fecn_marked, g.fecn_marked);
+  EXPECT_EQ(r.cnps_sent, g.cnps_sent);
+  EXPECT_EQ(r.becn_received, g.becn_received);
+  EXPECT_EQ(r.delivered_bytes, g.delivered_bytes);
+  EXPECT_EQ(r.events_executed, g.events_executed);
+}
+
+// Captured 2026-08-06 at commit 9ba5484 (pre-ccalg tree), g++ -O2.
+TEST(IbaA10Golden, SilentForestMatchesPreRefactorTree) {
+  SimConfig c = silent_config();
+  c.cc_algo = "iba_a10";
+  expect_matches(run_sim(c),
+                 {0x1.db21ecb0f8c78p+2, 0x1.b43454d0845a3p+0, 0x1.54211ce734bd5p+1,
+                  0x1.fe31ab5acf1cp+4, 0x1.d1aa986978627p-1, 0x1.d7a125fd84587p+5,
+                  0x1.cf01696969696p+7, 1268, 999, 999, 3188736, 38301});
+}
+
+TEST(IbaA10Golden, WindyForestMatchesPreRefactorTree) {
+  SimConfig c = windy_config();
+  c.cc_algo = "iba_a10";
+  expect_matches(run_sim(c),
+                 {0x1.23a480137c037p+3, 0x1.86ddd91913f83p+1, 0x1.0413452646fdfp+2,
+                  0x1.861ce7b96a7cfp+5, 0x1.f4592e45b6e73p-1, 0x1.b16bb60131877p+5,
+                  0x1.c61ap+7, 1439, 1083, 1083, 4876288, 51796});
+}
+
+TEST(IbaA10Golden, MovingHotspotsMatchesPreRefactorTree) {
+  SimConfig c = moving_config();
+  c.cc_algo = "iba_a10";
+  expect_matches(run_sim(c),
+                 {0x1.cf56eac860568p+2, 0x1.63baba7b9170ep+2, 0x1.75aa17ddb3ec8p+2,
+                  0x1.183f91e646f16p+6, 0x1.a4ca7589f1261p-1, 0x1.faff457703668p+5,
+                  0x1.f1d1dc47711dcp+7, 3593, 2764, 2760, 7006208, 86433});
+}
+
+// --- cross-algorithm properties --------------------------------------------
+
+TEST(CcAlgoSim, EveryAlgorithmIsDeterministic) {
+  for (const char* algo : {"iba_a10", "dcqcn", "aimd", "none"}) {
+    SimConfig c = silent_config();
+    c.cc_algo = algo;
+    const SimResult a = run_sim(c);
+    const SimResult b = run_sim(c);
+    EXPECT_EQ(a.events_executed, b.events_executed) << algo;
+    EXPECT_EQ(a.delivered_bytes, b.delivered_bytes) << algo;
+    EXPECT_EQ(a.all_rcv_gbps, b.all_rcv_gbps) << algo;
+    EXPECT_EQ(a.becn_received, b.becn_received) << algo;
+  }
+}
+
+TEST(CcAlgoSim, NoneMatchesDisabledCc) {
+  // The explicit passthrough must reproduce cc.enabled=false exactly:
+  // same events, same bytes, zero notifications.
+  SimConfig with_none = silent_config();
+  with_none.cc_algo = "none";
+  SimConfig disabled = silent_config();
+  disabled.cc.enabled = false;
+  const SimResult a = run_sim(with_none);
+  const SimResult b = run_sim(disabled);
+  EXPECT_EQ(a.cnps_sent, 0u);
+  EXPECT_EQ(a.becn_received, 0u);
+  EXPECT_EQ(a.delivered_bytes, b.delivered_bytes);
+  EXPECT_EQ(a.all_rcv_gbps, b.all_rcv_gbps);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+}
+
+TEST(CcAlgoSim, ReactiveAlgorithmsThrottleTheSilentForest) {
+  // Behaviour sanity, not equivalence: every reactive algorithm must
+  // receive BECNs and lift victim throughput above the none baseline.
+  SimConfig base = silent_config();
+  base.cc_algo = "none";
+  const SimResult none = run_sim(base);
+  for (const char* algo : {"iba_a10", "dcqcn", "aimd"}) {
+    SimConfig c = silent_config();
+    c.cc_algo = algo;
+    const SimResult r = run_sim(c);
+    EXPECT_GT(r.becn_received, 0u) << algo;
+    EXPECT_GT(r.non_hotspot_rcv_gbps, none.non_hotspot_rcv_gbps) << algo;
+  }
+}
+
+TEST(CcAlgoSim, AlgorithmsActuallyDiffer) {
+  // If dcqcn or aimd ever collapse into iba_a10 (e.g. a registry wiring
+  // bug returning the default), their trajectories would be identical.
+  SimConfig c = windy_config();
+  c.cc_algo = "iba_a10";
+  const SimResult a10 = run_sim(c);
+  c.cc_algo = "dcqcn";
+  const SimResult dc = run_sim(c);
+  c.cc_algo = "aimd";
+  const SimResult am = run_sim(c);
+  EXPECT_NE(a10.delivered_bytes, dc.delivered_bytes);
+  EXPECT_NE(a10.delivered_bytes, am.delivered_bytes);
+  EXPECT_NE(dc.delivered_bytes, am.delivered_bytes);
+}
+
+TEST(CcAlgoSimDeath, UnknownAlgorithmAborts) {
+  SimConfig c = silent_config();
+  c.cc_algo = "bogus";
+  EXPECT_DEATH((void)run_sim(c), "cc_algo");
+}
+
+}  // namespace
+}  // namespace ibsim::sim

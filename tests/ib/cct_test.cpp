@@ -57,6 +57,30 @@ TEST(Cct, CctiClampedToTableEnd) {
   EXPECT_DOUBLE_EQ(cct.rate_fraction(999), cct.rate_fraction(15));
 }
 
+TEST(Cct, ClampBoundaryIsExactlyTheTableSize) {
+  // The interesting off-by-one band around the clamp: size-1 is the last
+  // real entry, size is the first clamped index, and both lookups must
+  // agree for every packet length.
+  CongestionControlTable cct(16, 13.5);
+  cct.populate_linear();
+  EXPECT_EQ(cct.ird_delay(15, kMtuBytes), 15 * core::transmit_time(kMtuBytes, 13.5));
+  for (const std::int32_t bytes : {64, 1024, kMtuBytes}) {
+    EXPECT_EQ(cct.ird_delay(16, bytes), cct.ird_delay(15, bytes)) << bytes;
+    EXPECT_EQ(cct.ird_delay(17, bytes), cct.ird_delay(15, bytes)) << bytes;
+  }
+  EXPECT_DOUBLE_EQ(cct.rate_fraction(16), cct.rate_fraction(15));
+  EXPECT_DOUBLE_EQ(cct.rate_fraction(17), cct.rate_fraction(15));
+}
+
+TEST(Cct, SingleEntryTableNeverDelays) {
+  // Degenerate one-entry table: index 0 is spec-pinned to "no delay" and
+  // every CCTI clamps onto it.
+  CongestionControlTable cct(1, 13.5);
+  EXPECT_EQ(cct.ird_delay(0, kMtuBytes), 0);
+  EXPECT_EQ(cct.ird_delay(7, kMtuBytes), 0);
+  EXPECT_DOUBLE_EQ(cct.rate_fraction(7), 1.0);
+}
+
 TEST(Cct, LinearPopulationMonotone) {
   CongestionControlTable cct(128, 13.5);
   cct.populate_linear();

@@ -106,6 +106,29 @@ TEST(ConfigFile, ReportsMalformedLine) {
             std::string::npos);
 }
 
+TEST(ConfigFile, CcAlgoKeyApplies) {
+  SimConfig config;
+  EXPECT_TRUE(apply_config_text("cc_algo = dcqcn\n", &config).empty());
+  EXPECT_EQ(config.cc_algo, "dcqcn");
+  EXPECT_TRUE(apply_config_text("cc_algo = none\n", &config).empty());
+  EXPECT_EQ(config.cc_algo, "none");
+}
+
+TEST(ConfigFile, UnknownCcAlgoListsValidNames) {
+  SimConfig config;
+  const std::string err = apply_config_text("seed = 1\ncc_algo = tcp_reno\n", &config);
+  EXPECT_NE(err.find("line 2"), std::string::npos);
+  EXPECT_NE(err.find("tcp_reno"), std::string::npos);
+  EXPECT_NE(err.find("valid:"), std::string::npos);
+  // The valid set enumerates every registered algorithm.
+  EXPECT_NE(err.find("iba_a10"), std::string::npos);
+  EXPECT_NE(err.find("dcqcn"), std::string::npos);
+  EXPECT_NE(err.find("aimd"), std::string::npos);
+  EXPECT_NE(err.find("none"), std::string::npos);
+  // And the config keeps its default.
+  EXPECT_EQ(config.cc_algo, "iba_a10");
+}
+
 TEST(ConfigFile, CommentsAndWhitespaceTolerated) {
   SimConfig config;
   EXPECT_TRUE(

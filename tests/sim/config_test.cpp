@@ -29,6 +29,16 @@ TEST(SimConfig, DescribeMentionsKeyFacts) {
   EXPECT_NE(desc.find("folded-clos"), std::string::npos);
   EXPECT_NE(desc.find("648"), std::string::npos);
   EXPECT_NE(desc.find("CC on"), std::string::npos);
+  EXPECT_NE(desc.find("iba_a10"), std::string::npos);
+}
+
+TEST(SimConfig, DescribeNamesTheSelectedAlgorithm) {
+  SimConfig config;
+  config.cc_algo = "dcqcn";
+  EXPECT_NE(config.describe().find("CC on (dcqcn)"), std::string::npos);
+  config.cc.enabled = false;
+  EXPECT_NE(config.describe().find("CC off"), std::string::npos);
+  EXPECT_EQ(config.describe().find("dcqcn"), std::string::npos);
 }
 
 TEST(SimConfig, TopologyNames) {
