@@ -2,25 +2,33 @@
 // scenarios under both pending-event structures (the default two-tier
 // calendar queue and the reference heap), measures events/second, wall
 // time, and peak RSS, and emits the numbers as JSON (BENCH_core.json).
+// A second sweep-engine cell (sweep_cold_vs_warm) runs a Table II-shaped
+// batch on the full 648-node fabric with the topology/routing snapshot
+// cache off ("cold": every run rebuilds) and on ("warm": one build,
+// shared), reporting runs/second for each.
 //
 // Usage:
 //   perf_sweep [--json=PATH] [--baseline=PATH] [--max-regress=0.20]
-//              [--repeat=N] [--quick]
+//              [--repeat=N] [--quick] [--threads-csv=PATH]
 //
 // --json=PATH       write results as JSON (stdout always gets a table).
 // --baseline=PATH   compare against a previously written JSON file;
-//                   exit 1 if any scenario's two_tier/heap speedup
-//                   ratio dropped by more than --max-regress. The ratio
-//                   (not raw events/sec, which is printed informational
-//                   only) is what gates CI: it cancels out host speed,
-//                   so the committed baseline stays valid on any runner.
+//                   exit 1 if any scenario's speedup ratio — two_tier
+//                   over heap, or warm over cold — dropped by more than
+//                   --max-regress. The ratios (not raw events/sec, which
+//                   is printed informational only) are what gate CI:
+//                   they cancel out host speed, so the committed
+//                   baseline stays valid on any runner.
 // --max-regress=F   allowed fractional ratio regression (default 0.20).
 // --repeat=N        runs per cell, best-of (default 3; 1 with --quick).
+// --threads-csv=PATH  write a warm-sweep thread-scaling curve
+//                   (threads, runs/sec, utilization) as CSV.
 //
 // The sweep doubles as an A/B determinism guard: for every scenario the
 // two queues must execute the same number of events and deliver the
-// same bytes, or the harness aborts — a perf number from a divergent
-// simulation would be meaningless.
+// same bytes (and the cold and warm sweeps must agree likewise), or the
+// harness aborts — a perf number from a divergent simulation would be
+// meaningless.
 
 #include <sys/resource.h>
 
@@ -33,7 +41,9 @@
 #include <string>
 #include <vector>
 
+#include "sim/experiment.hpp"
 #include "sim/simulation.hpp"
+#include "sim/snapshot.hpp"
 
 namespace {
 
@@ -129,6 +139,103 @@ Cell run_cell(const Scenario& scenario, core::QueueKind kind, int repeat) {
   return cell;
 }
 
+/// The Table II batch on the full sun_dcs_648 fabric, with the window
+/// shortened so per-run setup (topology + routing + fabric build) is a
+/// realistic share of the cost — the regime the snapshot cache targets.
+/// Three seeds by four {C active} x {CC} variants = 12 runs per sweep,
+/// all sharing one topology/routing pair.
+std::vector<sim::SimConfig> make_sweep_configs(bool quick) {
+  sim::ExperimentPreset preset = sim::ExperimentPreset::quick();
+  preset.static_sim_time = (quick ? 10 : 15) * core::kMicrosecond;
+  preset.static_warmup = 0;
+  sim::SimConfig base = preset.base_config();
+  base.scenario.fraction_b = 0.0;
+  base.scenario.fraction_c_of_rest = 0.8;
+  base.scenario.n_hotspots = 8;
+  std::vector<sim::SimConfig> configs;
+  for (const std::uint64_t seed : {1, 2, 3}) {
+    for (const bool c_active : {false, true}) {
+      for (const bool cc_on : {false, true}) {
+        sim::SimConfig config = base;
+        config.seed = seed;
+        config.scenario.c_nodes_active = c_active;
+        config.cc.enabled = cc_on;
+        configs.push_back(config);
+      }
+    }
+  }
+  return configs;
+}
+
+/// Best-of-`repeat` timed sweeps of the Table II batch, with the
+/// snapshot cache either bypassed (cold) or enabled (warm). The cache is
+/// cleared before every repeat, so a warm sweep pays for exactly one
+/// snapshot build amortised across the batch — never a free ride from a
+/// previous repeat. events_per_sec carries *runs* per second: the sweep
+/// cell benchmarks batch turnaround, not the event loop.
+Cell run_sweep_cell(bool warm, bool quick, int repeat, std::int32_t threads) {
+  std::vector<sim::SimConfig> configs = make_sweep_configs(quick);
+  for (sim::SimConfig& config : configs) config.snapshot_cache = warm;
+  Cell cell;
+  cell.scenario = "sweep_cold_vs_warm";
+  cell.queue = warm ? "warm" : "cold";
+  for (int i = 0; i < repeat; ++i) {
+    sim::SnapshotCache::instance().clear();
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<sim::SimResult> results = sim::run_parallel(configs, threads);
+    const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - start;
+    std::uint64_t events = 0;
+    std::uint64_t bytes = 0;
+    for (const sim::SimResult& r : results) {
+      events += r.events_executed;
+      bytes += r.delivered_bytes;
+    }
+    if (i == 0 || wall.count() < cell.wall_seconds) {
+      cell.wall_seconds = wall.count();
+      cell.events = events;
+      cell.delivered_bytes = bytes;
+    }
+  }
+  cell.events_per_sec = cell.wall_seconds > 0.0
+                            ? static_cast<double>(configs.size()) / cell.wall_seconds
+                            : 0.0;
+  cell.peak_rss_kib = peak_rss_kib();
+  return cell;
+}
+
+/// Warm-sweep thread-scaling curve: runs/sec and worker utilization per
+/// thread count, written as CSV for the CI artifact.
+bool write_threads_csv(const std::string& path, bool quick, int repeat) {
+  std::vector<sim::SimConfig> configs = make_sweep_configs(quick);
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "threads,runs_per_sec,utilization_pct\n";
+  for (const std::int32_t threads : {1, 2, 4, 8}) {
+    double best_wall = 0.0;
+    double utilization = 0.0;
+    for (int i = 0; i < repeat; ++i) {
+      sim::SnapshotCache::instance().clear();
+      sim::SweepReport report;
+      const auto start = std::chrono::steady_clock::now();
+      (void)sim::run_parallel(configs, threads, &report);
+      const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - start;
+      if (i == 0 || wall.count() < best_wall) {
+        best_wall = wall.count();
+        utilization = report.utilization();
+      }
+    }
+    const double runs_per_sec =
+        best_wall > 0.0 ? static_cast<double>(configs.size()) / best_wall : 0.0;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%d,%.2f,%.1f\n", threads, runs_per_sec,
+                  utilization * 100.0);
+    out << buf;
+    std::printf("threads=%d %10.2f runs/sec  utilization %.0f%%\n", threads, runs_per_sec,
+                utilization * 100.0);
+  }
+  return static_cast<bool>(out);
+}
+
 std::string json_line(const Cell& cell) {
   char buf[512];
   std::snprintf(buf, sizeof(buf),
@@ -194,6 +301,7 @@ std::vector<Cell> read_baseline(const std::string& path) {
 int main(int argc, char** argv) {
   std::string json_path;
   std::string baseline_path;
+  std::string threads_csv_path;
   double max_regress = 0.20;
   int repeat = 3;
   bool quick = false;
@@ -203,6 +311,8 @@ int main(int argc, char** argv) {
       json_path = arg.substr(7);
     } else if (arg.rfind("--baseline=", 0) == 0) {
       baseline_path = arg.substr(11);
+    } else if (arg.rfind("--threads-csv=", 0) == 0) {
+      threads_csv_path = arg.substr(14);
     } else if (arg.rfind("--max-regress=", 0) == 0) {
       max_regress = std::atof(arg.c_str() + 14);
     } else if (arg.rfind("--repeat=", 0) == 0) {
@@ -213,7 +323,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: perf_sweep [--json=PATH] [--baseline=PATH] "
-                   "[--max-regress=F] [--repeat=N] [--quick]\n");
+                   "[--max-regress=F] [--repeat=N] [--quick] [--threads-csv=PATH]\n");
       return 2;
     }
   }
@@ -245,6 +355,36 @@ int main(int argc, char** argv) {
                 heap.wall_seconds > 0.0 ? two_tier.events_per_sec / heap.events_per_sec : 0.0);
   }
 
+  // Sweep-engine cell: the same Table II batch with per-run snapshot
+  // rebuilds (cold) versus one cached build shared by the batch (warm).
+  // Single worker, so the cell isolates the cache benefit from
+  // parallelism (the thread-scaling CSV covers the latter).
+  const Cell cold = run_sweep_cell(/*warm=*/false, quick, repeat, /*threads=*/1);
+  const Cell warm = run_sweep_cell(/*warm=*/true, quick, repeat, /*threads=*/1);
+  if (cold.events != warm.events || cold.delivered_bytes != warm.delivered_bytes) {
+    std::fprintf(stderr,
+                 "FATAL: snapshot cache changed results (events %llu vs %llu, "
+                 "bytes %llu vs %llu)\n",
+                 static_cast<unsigned long long>(cold.events),
+                 static_cast<unsigned long long>(warm.events),
+                 static_cast<unsigned long long>(cold.delivered_bytes),
+                 static_cast<unsigned long long>(warm.delivered_bytes));
+    return 1;
+  }
+  for (const Cell& cell : {cold, warm}) {
+    std::printf("%-18s %-7s %12llu %10.4f %10.2f runs/sec %10ld\n", cell.scenario.c_str(),
+                cell.queue.c_str(), static_cast<unsigned long long>(cell.events),
+                cell.wall_seconds, cell.events_per_sec, cell.peak_rss_kib);
+    cells.push_back(cell);
+  }
+  std::printf("%-18s speedup warm/cold: %.2fx\n", "sweep_cold_vs_warm",
+              cold.events_per_sec > 0.0 ? warm.events_per_sec / cold.events_per_sec : 0.0);
+
+  if (!threads_csv_path.empty() && !write_threads_csv(threads_csv_path, quick, repeat)) {
+    std::fprintf(stderr, "cannot write '%s'\n", threads_csv_path.c_str());
+    return 1;
+  }
+
   if (!json_path.empty() && !write_json(json_path, cells)) {
     std::fprintf(stderr, "cannot write '%s'\n", json_path.c_str());
     return 1;
@@ -273,25 +413,28 @@ int main(int argc, char** argv) {
                     100.0 * (now / then.events_per_sec - 1.0));
       }
     }
-    // The gate: the two_tier/heap speedup ratio, which cancels host
-    // speed out of the comparison.
+    // The gate: within-host speedup ratios — two_tier over heap for the
+    // event-core cells, warm over cold for the sweep-engine cell — which
+    // cancel host speed out of the comparison.
     bool failed = false;
     for (const Cell& then : baseline) {
-      if (then.queue != "two_tier") continue;
-      const double then_heap = events_per_sec(baseline, then.scenario, "heap");
-      const double now_two_tier = events_per_sec(cells, then.scenario, "two_tier");
-      const double now_heap = events_per_sec(cells, then.scenario, "heap");
-      if (then_heap <= 0.0 || now_two_tier <= 0.0 || now_heap <= 0.0) continue;
-      const double then_ratio = then.events_per_sec / then_heap;
-      const double now_ratio = now_two_tier / now_heap;
+      const char* denom = nullptr;
+      if (then.queue == "two_tier") denom = "heap";
+      if (then.queue == "warm") denom = "cold";
+      if (denom == nullptr) continue;
+      const double then_denom = events_per_sec(baseline, then.scenario, denom);
+      const double now_numer = events_per_sec(cells, then.scenario, then.queue.c_str());
+      const double now_denom = events_per_sec(cells, then.scenario, denom);
+      if (then_denom <= 0.0 || now_numer <= 0.0 || now_denom <= 0.0) continue;
+      const double then_ratio = then.events_per_sec / then_denom;
+      const double now_ratio = now_numer / now_denom;
       const bool ok = now_ratio >= then_ratio * (1.0 - max_regress);
-      std::printf("speedup  %-16s %.2fx -> %.2fx  %s\n", then.scenario.c_str(), then_ratio,
-                  now_ratio, ok ? "ok" : "REGRESSED");
+      std::printf("speedup  %-18s %s/%s %.2fx -> %.2fx  %s\n", then.scenario.c_str(),
+                  then.queue.c_str(), denom, then_ratio, now_ratio, ok ? "ok" : "REGRESSED");
       if (!ok) failed = true;
     }
     if (failed) {
-      std::fprintf(stderr, "two_tier/heap speedup regressed beyond %.0f%%\n",
-                   max_regress * 100.0);
+      std::fprintf(stderr, "speedup ratio regressed beyond %.0f%%\n", max_regress * 100.0);
       return 1;
     }
   }

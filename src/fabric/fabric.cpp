@@ -26,6 +26,8 @@ Fabric::Fabric(const topo::Topology& topo, const topo::RoutingTables& routing,
   IBSIM_ASSERT(topo_err.empty(), topo_err.c_str());
 
   handlers_.resize(static_cast<std::size_t>(topo.device_count()), nullptr);
+  switches_.reserve(topo.switches().size());
+  hcas_.reserve(static_cast<std::size_t>(topo.node_count()));
   for (topo::DeviceId dev = 0; dev < topo.device_count(); ++dev) {
     if (topo.kind(dev) == topo::DeviceKind::Switch) {
       switches_.push_back(std::make_unique<SwitchDevice>(this, dev, topo.port_count(dev)));

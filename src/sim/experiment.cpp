@@ -1,6 +1,8 @@
 #include "sim/experiment.hpp"
 
 #include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -61,41 +63,103 @@ SimConfig ExperimentPreset::base_config() const {
 }
 
 std::int32_t resolve_threads(std::int32_t threads) {
+  const unsigned hw_raw = std::thread::hardware_concurrency();
+  const std::int32_t hw = hw_raw == 0 ? 4 : static_cast<std::int32_t>(hw_raw);
   if (threads > 0) return threads;
   // CI (and users pinning a sweep to a core budget) override the
-  // hardware default without touching every preset.
+  // hardware default without touching every preset. A malformed value
+  // would silently serialize or oversubscribe a many-hour sweep, so it
+  // is a hard error, not a fallthrough.
   if (const char* env = std::getenv("IBSIM_THREADS"); env != nullptr) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v > 0) return static_cast<std::int32_t>(v);
+    char* end = nullptr;
+    errno = 0;
+    const long v = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || errno == ERANGE) {
+      std::fprintf(stderr, "error: IBSIM_THREADS='%s' is not an integer\n", env);
+      std::exit(2);
+    }
+    if (v <= 0) {
+      std::fprintf(stderr,
+                   "error: IBSIM_THREADS=%ld must be a positive thread count "
+                   "(unset it to use hardware concurrency)\n",
+                   v);
+      std::exit(2);
+    }
+    // Oversubscribing cores only adds scheduler noise to a CPU-bound
+    // sweep; clamp to what the machine can actually run.
+    return v > hw ? hw : static_cast<std::int32_t>(v);
   }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 4 : static_cast<std::int32_t>(hw);
+  return hw;
+}
+
+double SweepReport::utilization() const {
+  if (workers.empty() || wall_seconds <= 0.0) return 0.0;
+  double busy = 0.0;
+  for (const SweepWorkerStats& w : workers) busy += w.busy_seconds;
+  return busy / (wall_seconds * static_cast<double>(workers.size()));
+}
+
+void SweepReport::publish(telemetry::CounterRegistry& registry) const {
+  registry.set(registry.gauge("sweep.wall_us"),
+               static_cast<std::int64_t>(wall_seconds * 1e6));
+  registry.set(registry.gauge("sweep.workers"),
+               static_cast<std::int64_t>(workers.size()));
+  registry.set(registry.gauge("sweep.utilization_permille"),
+               static_cast<std::int64_t>(utilization() * 1000.0));
+  for (std::size_t w = 0; w < workers.size(); ++w) {
+    const std::string prefix = "sweep.worker." + std::to_string(w);
+    registry.set(registry.gauge(prefix + ".busy_us"),
+                 static_cast<std::int64_t>(workers[w].busy_seconds * 1e6));
+    registry.set(registry.gauge(prefix + ".runs"),
+                 static_cast<std::int64_t>(workers[w].runs));
+  }
 }
 
 std::vector<SimResult> run_parallel(const std::vector<SimConfig>& configs,
-                                    std::int32_t threads) {
+                                    std::int32_t threads, SweepReport* report) {
   std::vector<SimResult> results(configs.size());
+  if (report != nullptr) *report = SweepReport{};
   if (configs.empty()) return results;
   threads = resolve_threads(threads);
   const auto n_workers =
       static_cast<std::size_t>(threads) < configs.size() ? static_cast<std::size_t>(threads)
                                                          : configs.size();
+  // Work-stealing via a shared cursor: each worker claims the next
+  // unstarted run the moment it goes idle, so one long moving-hotspot
+  // run cannot strand a statically assigned tail behind it. Result
+  // ordering and per-run seeding are untouched — slot i always holds
+  // configs[i] run with configs[i].seed, whoever executes it.
   std::atomic<std::size_t> next{0};
+  std::vector<SweepWorkerStats> worker_stats(n_workers);
   std::vector<std::thread> pool;
   pool.reserve(n_workers);
+  const auto sweep_start = std::chrono::steady_clock::now();
   for (std::size_t w = 0; w < n_workers; ++w) {
-    pool.emplace_back([&] {
+    pool.emplace_back([&, w] {
+      SweepWorkerStats& stats = worker_stats[w];
       for (;;) {
         const std::size_t i = next.fetch_add(1);
         if (i >= configs.size()) return;
-        // Build the result worker-locally, then move it into the shared
-        // vector: counter snapshots and series never get deep-copied.
+        const auto run_start = std::chrono::steady_clock::now();
+        // Build the result worker-locally, then move it into the
+        // pre-sized slot: counter snapshots and series never get
+        // deep-copied, and peak memory stays one in-flight result per
+        // worker above the output vector.
         SimResult r = run_sim(configs[i]);
         results[i] = std::move(r);
+        stats.busy_seconds +=
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - run_start)
+                .count();
+        ++stats.runs;
       }
     });
   }
   for (auto& t : pool) t.join();
+  if (report != nullptr) {
+    report->wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - sweep_start).count();
+    report->workers = std::move(worker_stats);
+  }
   return results;
 }
 

@@ -7,6 +7,7 @@
 #include "analysis/series.hpp"
 #include "analysis/table.hpp"
 #include "sim/simulation.hpp"
+#include "telemetry/counters.hpp"
 
 namespace ibsim::sim {
 
@@ -53,15 +54,48 @@ struct ExperimentPreset {
 
 /// Resolve a sweep's worker count: an explicit positive `threads` wins,
 /// else the IBSIM_THREADS environment variable (CI pins sweeps with it),
-/// else hardware concurrency.
+/// else hardware concurrency. IBSIM_THREADS must be a plain positive
+/// integer — garbage, negative or zero values abort with a clear error
+/// instead of silently falling back — and is clamped to the machine's
+/// hardware concurrency.
 [[nodiscard]] std::int32_t resolve_threads(std::int32_t threads);
 
-/// Run many independent simulations concurrently (one thread each, the
-/// sweep-level parallelism the harness uses). Results are positionally
-/// matched to `configs` and move-assigned from worker-local storage;
-/// per-run determinism is unaffected.
+/// What one run_parallel worker did: how long it spent inside
+/// Simulation runs versus the pool's wall clock, and how many runs it
+/// claimed. With work-stealing the busy times should be near-equal even
+/// when run lengths are wildly skewed (moving/windy scenarios).
+struct SweepWorkerStats {
+  double busy_seconds = 0.0;
+  std::uint64_t runs = 0;
+};
+
+/// Per-sweep execution report filled by run_parallel.
+struct SweepReport {
+  double wall_seconds = 0.0;
+  std::vector<SweepWorkerStats> workers;
+
+  /// Mean fraction of the pool's wall time the workers spent running
+  /// simulations (1.0 = perfectly balanced, no idle tails).
+  [[nodiscard]] double utilization() const;
+
+  /// Publish the report as sweep.* instruments (sweep.wall_us,
+  /// sweep.utilization_permille, sweep.worker.N.busy_us / .runs).
+  void publish(telemetry::CounterRegistry& registry) const;
+};
+
+/// Run many independent simulations concurrently — the sweep-level
+/// parallelism the harness uses. Workers self-schedule runs off a shared
+/// atomic cursor (work-stealing with chunk size 1), so skewed run times
+/// cannot strand long tails on one thread the way a static partition
+/// does. Determinism is preserved exactly: seeding is per-config, every
+/// run executes on its own scheduler, and results stream into pre-sized
+/// slots positionally matched to `configs` (move-assigned from
+/// worker-local storage, bounding peak memory to one in-flight result
+/// per worker). Topology/routing snapshots are shared through the
+/// SnapshotCache for every config that enables it.
 [[nodiscard]] std::vector<SimResult> run_parallel(const std::vector<SimConfig>& configs,
-                                                  std::int32_t threads = 0);
+                                                  std::int32_t threads = 0,
+                                                  SweepReport* report = nullptr);
 
 // ---------------------------------------------------------------------------
 // Table II: the silent forest of congestion trees.

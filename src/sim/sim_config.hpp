@@ -80,6 +80,13 @@ struct SimConfig {
 
   std::uint64_t seed = 1;
 
+  /// Share topology/routing snapshots across runs through the process-wide
+  /// content-keyed SnapshotCache (sim/snapshot.hpp). Snapshots are
+  /// immutable either way — disabling only forces every Simulation to
+  /// rebuild its own copy, which the cache-equivalence tests use to prove
+  /// results are bit-identical with sharing on and off.
+  bool snapshot_cache = true;
+
   /// Pending-event structure of the run's scheduler. The default
   /// two-tier calendar queue and the reference heap produce bit-identical
   /// simulations (guarded by the A/B determinism tests); the heap exists

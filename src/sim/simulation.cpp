@@ -9,37 +9,24 @@
 namespace ibsim::sim {
 
 namespace {
-topo::Topology build_topology(const SimConfig& config) {
-  switch (config.topology) {
-    case TopologyKind::SingleSwitch:
-      return topo::single_switch(config.single_switch_nodes);
-    case TopologyKind::FoldedClos:
-      return topo::folded_clos(config.clos);
-    case TopologyKind::FatTree3:
-      return topo::fat_tree3(config.fat_tree3);
-    case TopologyKind::LinearChain:
-      return topo::linear_chain(config.chain_switches, config.chain_nodes_per_switch);
-    case TopologyKind::Dumbbell:
-      return topo::dumbbell(config.dumbbell_nodes_per_side);
-    case TopologyKind::Mesh2D:
-      return topo::mesh2d(config.mesh_rows, config.mesh_cols,
-                          config.mesh_nodes_per_switch);
-  }
-  IBSIM_ASSERT(false, "unknown topology kind");
-  return topo::single_switch(2);
+std::shared_ptr<const RoutingSnapshot> resolve_snapshot(const SimConfig& config) {
+  if (config.snapshot_cache) return SnapshotCache::instance().routing(config);
+  return build_routing_snapshot(build_topology_snapshot(config),
+                                tie_break_for(config.topology));
 }
 }  // namespace
 
 Simulation::Simulation(const SimConfig& config)
-    : config_(config),
-      sched_(config.scheduler_queue),
-      topo_(build_topology(config)),
-      // Meshes route dimension-ordered (deadlock freedom); everything
-      // else spreads with d-mod-k.
-      routing_(topo::RoutingTables::compute(
-          topo_, config.topology == TopologyKind::Mesh2D
-                     ? topo::RoutingTables::TieBreak::FirstPort
-                     : topo::RoutingTables::TieBreak::DModK)) {
+    : Simulation(config, resolve_snapshot(config)) {}
+
+Simulation::Simulation(const SimConfig& config,
+                       std::shared_ptr<const RoutingSnapshot> snapshot)
+    : config_(config), sched_(config.scheduler_queue), snapshot_(std::move(snapshot)) {
+  IBSIM_ASSERT(snapshot_ != nullptr && snapshot_->topology != nullptr,
+               "Simulation needs a complete snapshot");
+  IBSIM_ASSERT(snapshot_->topology->topo.node_count() == config_.node_count(),
+               "snapshot does not match the config's topology");
+  const topo::Topology& topo = snapshot_->topology->topo;
   // CCT entries must cover the CCTI limit; IRD delays reference the
   // injection capacity so the linear table yields rate = cap / (1+i).
   const std::size_t cct_entries = static_cast<std::size_t>(config.cc.ccti_limit) + 1;
@@ -48,14 +35,14 @@ Simulation::Simulation(const SimConfig& config)
   IBSIM_ASSERT(ccalg::CcAlgorithmRegistry::instance().contains(config.cc_algo),
                "unknown cc_algo (see CcAlgorithmRegistry::names)");
   ccm_->set_algo(config.cc_algo);
-  fabric_ = std::make_unique<fabric::Fabric>(topo_, routing_, config.fabric, *ccm_, sched_);
+  fabric_ = std::make_unique<fabric::Fabric>(topo, snapshot_->tables, config.fabric, *ccm_, sched_);
 
   core::Rng rng(config.seed);
-  scenario_ = std::make_unique<traffic::Scenario>(topo_.node_count(), config.scenario, rng);
+  scenario_ = std::make_unique<traffic::Scenario>(topo.node_count(), config.scenario, rng);
   metrics_ =
-      std::make_unique<MetricsCollector>(topo_.node_count(), config.latency_hist_max_us);
+      std::make_unique<MetricsCollector>(topo.node_count(), config.latency_hist_max_us);
   metrics_->set_hotspots(scenario_->schedule().hotspots());
-  for (ib::NodeId node = 0; node < topo_.node_count(); ++node) {
+  for (ib::NodeId node = 0; node < topo.node_count(); ++node) {
     fabric_->hca(node).attach_observer(metrics_.get());
   }
   scenario_->install(*fabric_, sched_);

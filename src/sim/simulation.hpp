@@ -10,6 +10,7 @@
 #include "fabric/fabric.hpp"
 #include "sim/metrics.hpp"
 #include "sim/sim_config.hpp"
+#include "sim/snapshot.hpp"
 #include "telemetry/sampler.hpp"
 #include "telemetry/telemetry.hpp"
 #include "topo/routing.hpp"
@@ -44,7 +45,16 @@ struct SimResult {
 /// scenario, metrics — built from a SimConfig, run once.
 class Simulation {
  public:
+  /// Build from `config`, drawing the topology/routing pair from the
+  /// process-wide SnapshotCache (or building a private copy when
+  /// `config.snapshot_cache` is false).
   explicit Simulation(const SimConfig& config);
+
+  /// Build onto an explicit pre-computed snapshot (sweep harnesses that
+  /// manage sharing themselves). The snapshot must match the config's
+  /// topology description.
+  Simulation(const SimConfig& config, std::shared_ptr<const RoutingSnapshot> snapshot);
+
   ~Simulation();
 
   Simulation(const Simulation&) = delete;
@@ -58,7 +68,12 @@ class Simulation {
   [[nodiscard]] fabric::Fabric& fabric() { return *fabric_; }
   [[nodiscard]] traffic::Scenario& scenario() { return *scenario_; }
   [[nodiscard]] MetricsCollector& metrics() { return *metrics_; }
-  [[nodiscard]] const topo::Topology& topology() const { return topo_; }
+  [[nodiscard]] const topo::Topology& topology() const { return snapshot_->topology->topo; }
+  [[nodiscard]] const topo::RoutingTables& routing() const { return snapshot_->tables; }
+  /// The immutable topology/routing pair this run shares with its sweep.
+  [[nodiscard]] const std::shared_ptr<const RoutingSnapshot>& snapshot_ref() const {
+    return snapshot_;
+  }
   [[nodiscard]] const SimConfig& config() const { return config_; }
 
   /// The run's observability root; null when telemetry is inactive.
@@ -72,8 +87,7 @@ class Simulation {
  private:
   SimConfig config_;
   core::Scheduler sched_;
-  topo::Topology topo_;
-  topo::RoutingTables routing_;
+  std::shared_ptr<const RoutingSnapshot> snapshot_;  // owns topology + routing
   std::unique_ptr<cc::CcManager> ccm_;
   std::unique_ptr<fabric::Fabric> fabric_;
   std::unique_ptr<traffic::Scenario> scenario_;

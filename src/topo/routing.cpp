@@ -7,24 +7,58 @@
 
 namespace ibsim::topo {
 
+namespace {
+
+/// Flat adjacency of the cabled ports: for device `dev`, the entries
+/// [first[dev], first[dev+1]) list its connected ports in port order.
+/// Built once per compute() so neither the per-destination BFS nor the
+/// candidate scan re-walks the port space through Topology::peer — the
+/// duplicate work that used to dominate the all-pairs computation.
+struct Adjacency {
+  struct Edge {
+    std::int32_t port;
+    DeviceId peer;
+  };
+  std::vector<std::int32_t> first;  // device -> index into edges (n_dev + 1 entries)
+  std::vector<Edge> edges;
+
+  explicit Adjacency(const Topology& topo) {
+    const std::int32_t n_dev = topo.device_count();
+    first.reserve(static_cast<std::size_t>(n_dev) + 1);
+    for (DeviceId dev = 0; dev < n_dev; ++dev) {
+      first.push_back(static_cast<std::int32_t>(edges.size()));
+      for (std::int32_t p = 0; p < topo.port_count(dev); ++p) {
+        const PortRef peer = topo.peer(PortRef{dev, p});
+        if (peer.valid()) edges.push_back({p, peer.device});
+      }
+    }
+    first.push_back(static_cast<std::int32_t>(edges.size()));
+  }
+};
+
+}  // namespace
+
 RoutingTables RoutingTables::compute(const Topology& topo, TieBreak tie_break) {
   RoutingTables rt;
   const std::int32_t n_dev = topo.device_count();
   const std::int32_t n_nodes = topo.node_count();
+  const std::size_t n_switches = topo.switches().size();
 
   rt.switch_slot_.assign(static_cast<std::size_t>(n_dev), -1);
-  for (std::size_t i = 0; i < topo.switches().size(); ++i) {
+  for (std::size_t i = 0; i < n_switches; ++i) {
     rt.switch_slot_[static_cast<std::size_t>(topo.switches()[i])] = static_cast<std::int32_t>(i);
   }
-  rt.lfts_.assign(topo.switches().size(),
-                  std::vector<std::int32_t>(static_cast<std::size_t>(n_nodes), -1));
+  rt.stride_ = static_cast<std::size_t>(n_nodes);
+  rt.lft_.assign(n_switches * rt.stride_, -1);
 
+  const Adjacency adj(topo);
   constexpr std::int32_t kUnreached = std::numeric_limits<std::int32_t>::max();
   std::vector<std::int32_t> dist(static_cast<std::size_t>(n_dev));
+  std::deque<DeviceId> queue;
+  std::vector<std::int32_t> candidates;  // reused across (dst, switch) pairs
 
   for (ib::NodeId dst = 0; dst < n_nodes; ++dst) {
     std::fill(dist.begin(), dist.end(), kUnreached);
-    std::deque<DeviceId> queue;
     const DeviceId dst_dev = topo.hca_device(dst);
     dist[static_cast<std::size_t>(dst_dev)] = 0;
     queue.push_back(dst_dev);
@@ -32,34 +66,33 @@ RoutingTables RoutingTables::compute(const Topology& topo, TieBreak tie_break) {
       const DeviceId dev = queue.front();
       queue.pop_front();
       const std::int32_t d = dist[static_cast<std::size_t>(dev)];
-      for (std::int32_t p = 0; p < topo.port_count(dev); ++p) {
-        const PortRef peer = topo.peer(PortRef{dev, p});
-        if (!peer.valid()) continue;
-        auto& pd = dist[static_cast<std::size_t>(peer.device)];
+      for (std::int32_t e = adj.first[static_cast<std::size_t>(dev)];
+           e < adj.first[static_cast<std::size_t>(dev) + 1]; ++e) {
+        auto& pd = dist[static_cast<std::size_t>(adj.edges[static_cast<std::size_t>(e)].peer)];
         if (pd == kUnreached) {
           pd = d + 1;
-          queue.push_back(peer.device);
+          queue.push_back(adj.edges[static_cast<std::size_t>(e)].peer);
         }
       }
     }
 
-    for (std::size_t slot = 0; slot < topo.switches().size(); ++slot) {
+    for (std::size_t slot = 0; slot < n_switches; ++slot) {
       const DeviceId sw = topo.switches()[slot];
       const std::int32_t d = dist[static_cast<std::size_t>(sw)];
       if (d == kUnreached) continue;  // disconnected: leave -1
       // Candidate ports, in port order, whose peer is one hop closer.
-      std::vector<std::int32_t> candidates;
-      for (std::int32_t p = 0; p < topo.port_count(sw); ++p) {
-        const PortRef peer = topo.peer(PortRef{sw, p});
-        if (!peer.valid()) continue;
-        if (dist[static_cast<std::size_t>(peer.device)] == d - 1) candidates.push_back(p);
+      candidates.clear();
+      for (std::int32_t e = adj.first[static_cast<std::size_t>(sw)];
+           e < adj.first[static_cast<std::size_t>(sw) + 1]; ++e) {
+        const Adjacency::Edge& edge = adj.edges[static_cast<std::size_t>(e)];
+        if (dist[static_cast<std::size_t>(edge.peer)] == d - 1) candidates.push_back(edge.port);
       }
       IBSIM_ASSERT(!candidates.empty(), "BFS-reachable switch must have a next hop");
       const std::size_t pick =
           tie_break == TieBreak::DModK
               ? static_cast<std::size_t>(dst) % candidates.size()  // d-mod-k spreading
               : 0;                                                 // lowest port (DOR)
-      rt.lfts_[slot][static_cast<std::size_t>(dst)] = candidates[pick];
+      rt.lft_[slot * rt.stride_ + static_cast<std::size_t>(dst)] = candidates[pick];
     }
   }
   return rt;

@@ -15,6 +15,12 @@ namespace ibsim::topo {
 /// Tables are computed with per-destination BFS; among equal-length
 /// next hops a switch picks candidate[dst % candidates], the d-mod-k rule
 /// that yields the standard non-blocking spreading on fat-trees.
+///
+/// Storage is one contiguous array, stride-indexed by dense switch slot:
+/// entry (slot, dst) lives at slot * stride + dst. Sweeps share one
+/// RoutingTables across many concurrent runs (see sim::RoutingSnapshot),
+/// so lookups walking a destination range stay within one cache-friendly
+/// row instead of chasing a per-switch heap allocation.
 class RoutingTables {
  public:
   /// How a switch chooses among equal-length next hops.
@@ -34,8 +40,22 @@ class RoutingTables {
 
   /// Output port switch `dev` uses towards end node `dst`.
   [[nodiscard]] std::int32_t out_port(DeviceId dev, ib::NodeId dst) const {
-    return lfts_[static_cast<std::size_t>(switch_slot_[static_cast<std::size_t>(dev)])]
-                [static_cast<std::size_t>(dst)];
+    return lft_[static_cast<std::size_t>(switch_slot_[static_cast<std::size_t>(dev)]) *
+                    stride_ +
+                static_cast<std::size_t>(dst)];
+  }
+
+  /// The flattened LFT storage: switch_count() rows of stride() entries,
+  /// row order matching Topology::switches(). Exposed for the golden
+  /// determinism tests that pin table contents across storage rewrites.
+  [[nodiscard]] const std::vector<std::int32_t>& flat() const { return lft_; }
+
+  /// Entries per switch row in flat() (the topology's node count).
+  [[nodiscard]] std::size_t stride() const { return stride_; }
+
+  /// Number of switch rows in flat().
+  [[nodiscard]] std::size_t switch_count() const {
+    return stride_ == 0 ? 0 : lft_.size() / stride_;
   }
 
   /// Follow the tables from `src` to `dst`; returns the sequence of
@@ -50,8 +70,9 @@ class RoutingTables {
   }
 
  private:
-  std::vector<std::int32_t> switch_slot_;          // DeviceId -> dense switch index
-  std::vector<std::vector<std::int32_t>> lfts_;    // [switch slot][dst] -> port
+  std::vector<std::int32_t> switch_slot_;  // DeviceId -> dense switch index
+  std::size_t stride_ = 0;                 // entries per switch row (node count)
+  std::vector<std::int32_t> lft_;          // [slot * stride_ + dst] -> port
 };
 
 }  // namespace ibsim::topo

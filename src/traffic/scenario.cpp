@@ -59,6 +59,7 @@ Scenario::Scenario(std::int32_t n_nodes, const ScenarioSpec& spec, core::Rng rng
 
   schedule_ = std::make_unique<HotspotSchedule>(n_nodes, spec.n_hotspots,
                                                 spec.hotspot_lifetime, rng_.fork("hotspots", 0));
+  providers_.reserve(static_cast<std::size_t>(spec.n_hotspots));
   for (std::int32_t s = 0; s < spec.n_hotspots; ++s) {
     providers_.push_back(std::make_unique<ScheduleHotspot>(schedule_.get(), s));
   }
@@ -85,6 +86,8 @@ void Scenario::install(fabric::Fabric& fabric, core::Scheduler& sched) {
   IBSIM_ASSERT(fabric.node_count() == n_nodes_, "fabric size does not match scenario");
   installed_ = true;
 
+  generators_.reserve(static_cast<std::size_t>(n_nodes_));
+  gen_ptrs_.reserve(static_cast<std::size_t>(n_nodes_));
   for (ib::NodeId node = 0; node < n_nodes_; ++node) {
     const NodeRole r = roles_[static_cast<std::size_t>(node)];
     if (r == NodeRole::C && !spec_.c_nodes_active) continue;  // silent C node

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <thread>
 
 namespace ibsim::sim {
 namespace {
@@ -50,14 +51,29 @@ TEST(ResolveThreads, ExplicitCountWinsOverEnv) {
   ::unsetenv("IBSIM_THREADS");
 }
 
-TEST(ResolveThreads, EnvOverridesHardwareDefault) {
-  ::setenv("IBSIM_THREADS", "7", 1);
-  EXPECT_EQ(resolve_threads(0), 7);
-  // Garbage and non-positive values fall through to the hardware default.
-  ::setenv("IBSIM_THREADS", "0", 1);
-  EXPECT_GT(resolve_threads(0), 0);
-  ::setenv("IBSIM_THREADS", "banana", 1);
-  EXPECT_GT(resolve_threads(0), 0);
+std::int32_t hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : static_cast<std::int32_t>(hw);
+}
+
+TEST(ResolveThreads, EnvOverridesHardwareDefaultClampedToHardware) {
+  const std::int32_t hw = hardware_threads();
+  ::setenv("IBSIM_THREADS", "2", 1);
+  EXPECT_EQ(resolve_threads(0), 2 < hw ? 2 : hw);
+  // A request beyond the core count is clamped, never oversubscribed.
+  ::setenv("IBSIM_THREADS", "100000", 1);
+  EXPECT_EQ(resolve_threads(0), hw);
+  ::unsetenv("IBSIM_THREADS");
+  EXPECT_EQ(resolve_threads(0), hw);
+}
+
+TEST(ResolveThreadsDeathTest, RejectsGarbageAndNonPositiveValues) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  for (const char* bad : {"banana", "", "3x", "-2", "0", "99999999999999999999"}) {
+    ::setenv("IBSIM_THREADS", bad, 1);
+    EXPECT_EXIT((void)resolve_threads(0), ::testing::ExitedWithCode(2), "IBSIM_THREADS")
+        << "value '" << bad << "'";
+  }
   ::unsetenv("IBSIM_THREADS");
 }
 
