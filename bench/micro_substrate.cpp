@@ -158,9 +158,13 @@ void BM_RoutingTablesSunDcs648(benchmark::State& state) {
 }
 BENCHMARK(BM_RoutingTablesSunDcs648);
 
-void simulation_event_throughput(benchmark::State& state, core::QueueKind kind) {
+void simulation_event_throughput(benchmark::State& state, core::QueueKind kind,
+                                 bool fast_path = true) {
   // End-to-end events/second of a congested 72-node fabric — the number
-  // the paper-figure wall-clock estimates scale from.
+  // the paper-figure wall-clock estimates scale from. Items processed
+  // counts *executed* events, so the fast-path variant reports fewer
+  // items per iteration but less wall per iteration; compare the
+  // per-iteration times, not items/sec, across the fast/slow pair.
   std::uint64_t events = 0;
   for (auto _ : state) {
     sim::SimConfig config;
@@ -174,6 +178,7 @@ void simulation_event_throughput(benchmark::State& state, core::QueueKind kind) 
     config.scenario.fraction_c_of_rest = 0.8;
     config.scenario.n_hotspots = 2;
     config.scheduler_queue = kind;
+    config.fabric_fast_path = fast_path;
     const sim::SimResult r = sim::run_sim(config);
     events += r.events_executed;
     benchmark::DoNotOptimize(r.total_throughput_gbps);
@@ -190,6 +195,14 @@ void BM_SimulationEventThroughputHeap(benchmark::State& state) {
   simulation_event_throughput(state, core::QueueKind::kHeap);
 }
 BENCHMARK(BM_SimulationEventThroughputHeap)->Unit(benchmark::kMillisecond);
+
+void BM_SimulationEventThroughputSlowPath(benchmark::State& state) {
+  // Reference one-event-per-action fabric chain (fabric_fast_path off):
+  // the per-iteration wall gap against BM_SimulationEventThroughput is
+  // the lazy-wakeup/coalescing win on this host.
+  simulation_event_throughput(state, core::QueueKind::kTwoTier, /*fast_path=*/false);
+}
+BENCHMARK(BM_SimulationEventThroughputSlowPath)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

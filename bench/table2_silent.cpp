@@ -4,7 +4,11 @@
 // (hotspots inactive/active x CC off/on) plus the total-throughput rows
 // are printed in the paper's layout, alongside the paper's values.
 //
-//   ./table2_silent [--full] [--seed=S] [--csv=path]
+//   ./table2_silent [--full] [--seed=S] [--csv=path] [--no-fast-path]
+//
+// --no-fast-path runs the reference one-event-per-action fabric chain;
+// the printed table must be byte-identical to the default run, and the
+// wall-clock delta is the lazy-wakeup/coalescing win on this machine.
 
 #include <cstdio>
 
@@ -19,10 +23,12 @@ int main(int argc, char** argv) {
   cli.add_flag("full", "paper-scale simulated time (also IBSIM_FULL=1)");
   cli.add_int("seed", 1, "random seed");
   cli.add_string("csv", "", "also write results as CSV to this path");
+  cli.add_flag("no-fast-path", "reference event chain (A/B timing; same output)");
   if (!cli.parse(argc, argv)) return 0;
 
   sim::ExperimentPreset preset = sim::ExperimentPreset::from_env(cli.flag("full"));
   preset.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  preset.fabric_fast_path = !cli.flag("no-fast-path");
 
   std::printf("Table II — performance numbers (Gbps), silent congestion trees\n");
   std::printf("topology: %d-node folded Clos (%d leaves x %d spines)\n\n",

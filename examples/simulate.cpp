@@ -55,6 +55,9 @@ int main(int argc, char** argv) {
   cli.add_flag("sl-level", "operate CC per SL instead of per QP");
   cli.add_flag("linear-cct", "linear CCT fill instead of geometric");
   // Run control.
+  cli.add_flag("no-fast-path",
+               "run the reference one-event-per-action fabric path (A/B baseline; "
+               "results are bit-identical either way)");
   cli.add_int("sim-time-us", 5000, "simulated microseconds");
   cli.add_int("warmup-us", 1000, "warmup microseconds excluded from metrics");
   cli.add_int("seed", 1, "random seed");
@@ -147,6 +150,7 @@ int main(int argc, char** argv) {
   config.sim_time = cli.get_int("sim-time-us") * core::kMicrosecond;
   config.warmup = cli.get_int("warmup-us") * core::kMicrosecond;
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  if (cli.flag("no-fast-path")) config.fabric_fast_path = false;
 
   if (!cli.get_string("trace").empty()) config.telemetry.trace_path = cli.get_string("trace");
   if (cli.was_set("trace-categories")) {

@@ -13,9 +13,11 @@ std::uint64_t Scheduler::run_until(Time until) {
     queue_.pop();
     IBSIM_ASSERT(ev.at >= now_, "scheduler time went backwards");
     now_ = ev.at;
+    cur_seq_ = ev.seq;
     ev.target->on_event(*this, ev);
     ++count;
     ++executed_;
+    ++executed_by_kind_[ev.kind < kKindSlots - 1 ? ev.kind : kKindSlots - 1];
   }
   if (queue_.empty() && until != kTimeNever && now_ < until) {
     // Queue drained before the horizon: advance the clock so metric
@@ -29,6 +31,9 @@ void Scheduler::clear() {
   queue_.clear();
   now_ = 0;
   next_seq_ = 0;
+  cur_seq_ = 0;
+  watch_at_ = kTimeNever;
+  watch_hit_ = false;
   stopped_ = false;
 }
 

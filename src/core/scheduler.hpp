@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "core/assert.hpp"
@@ -22,6 +23,13 @@ namespace ibsim::core {
 /// than queue layout.
 class Scheduler {
  public:
+  /// Per-kind executed() breakdown: slots 1..5 hold the fabric event
+  /// kinds (PacketArrive..RetryInject), slot 0 holds kind-0 events
+  /// (bench/test drivers), slot 6 aggregates everything else (timers,
+  /// telemetry samples, hotspot moves). Fixed-size array so the hot
+  /// path is one indexed increment — no strings, no hashing.
+  static constexpr std::size_t kKindSlots = 7;
+
   explicit Scheduler(QueueKind kind = QueueKind::kTwoTier) : queue_(kind) {}
 
   Scheduler(const Scheduler&) = delete;
@@ -40,19 +48,66 @@ class Scheduler {
   /// clear() so sweep harnesses can aggregate across runs).
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
+  /// Lifetime executed() broken down by event kind (see kKindSlots for
+  /// the slot mapping). Survives clear() like executed().
+  [[nodiscard]] const std::array<std::uint64_t, kKindSlots>& executed_by_kind() const {
+    return executed_by_kind_;
+  }
+
+  /// Sequence number of the event currently being dispatched. Valid only
+  /// inside on_event; lets handlers compare their own position in a
+  /// same-timestamp tie against a reserved (elided) event's slot.
+  [[nodiscard]] std::uint64_t current_seq() const { return cur_seq_; }
+
   /// Schedule an event at absolute time `at` (must not be in the past).
-  void schedule_at(Time at, EventHandler* target, std::uint32_t kind,
-                   std::uint64_t a = 0, std::uint64_t b = 0) {
+  /// Returns the insertion sequence assigned to the event, which fixes
+  /// its position among same-timestamp peers.
+  std::uint64_t schedule_at(Time at, EventHandler* target, std::uint32_t kind,
+                            std::uint64_t a = 0, std::uint64_t b = 0) {
     IBSIM_ASSERT(target != nullptr, "event needs a target handler");
     IBSIM_ASSERT(at >= now_, "cannot schedule an event in the past");
-    queue_.push(Event{at, next_seq_++, target, a, b, kind});
+    const std::uint64_t seq = next_seq_++;
+    watch_hit_ |= (at == watch_at_);
+    queue_.push(Event{at, seq, target, a, b, kind});
+    return seq;
   }
 
   /// Schedule an event `delay` after the current time.
-  void schedule_in(Time delay, EventHandler* target, std::uint32_t kind,
-                   std::uint64_t a = 0, std::uint64_t b = 0) {
-    schedule_at(now_ + delay, target, kind, a, b);
+  std::uint64_t schedule_in(Time delay, EventHandler* target, std::uint32_t kind,
+                            std::uint64_t a = 0, std::uint64_t b = 0) {
+    return schedule_at(now_ + delay, target, kind, a, b);
   }
+
+  /// Burn one insertion sequence number without scheduling anything.
+  /// The fabric fast path reserves the slot an elided event would have
+  /// occupied so every event that *does* execute keeps the exact
+  /// (at, seq) it would have had on the slow path — the foundation of
+  /// the fast-on/fast-off bit-identity guarantee (DESIGN.md §11).
+  [[nodiscard]] std::uint64_t reserve_seq() { return next_seq_++; }
+
+  /// Schedule an event into a sequence slot previously obtained from
+  /// reserve_seq(). The queue orders by (at, seq), so a deferred wakeup
+  /// scheduled late still lands exactly where its eager twin would have.
+  void schedule_at_reserved(Time at, std::uint64_t seq, EventHandler* target,
+                            std::uint32_t kind, std::uint64_t a = 0, std::uint64_t b = 0) {
+    IBSIM_ASSERT(target != nullptr, "event needs a target handler");
+    IBSIM_ASSERT(at >= now_, "cannot schedule an event in the past");
+    IBSIM_ASSERT(seq < next_seq_, "reserved seq must come from reserve_seq()");
+    watch_hit_ |= (at == watch_at_);
+    queue_.push(Event{at, seq, target, a, b, kind});
+  }
+
+  /// Arm a single-slot collision watch: watch_hit() reports whether any
+  /// event has been scheduled at exactly time `at` since this call.
+  /// Used by credit-return coalescing to prove no observer can run
+  /// between a pending event's slot and a merge into it.
+  void arm_watch(Time at) {
+    watch_at_ = at;
+    watch_hit_ = false;
+  }
+
+  /// True iff an event landed on the watched timestamp since arm_watch().
+  [[nodiscard]] bool watch_hit() const { return watch_hit_; }
 
   /// Run until the queue drains or `until` is reached (events at exactly
   /// `until` still execute). Returns the number of events executed.
@@ -75,7 +130,11 @@ class Scheduler {
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t cur_seq_ = 0;
+  Time watch_at_ = kTimeNever;
+  bool watch_hit_ = false;
   bool stopped_ = false;
+  std::array<std::uint64_t, kKindSlots> executed_by_kind_{};
 };
 
 }  // namespace ibsim::core

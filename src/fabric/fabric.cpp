@@ -70,6 +70,7 @@ void Fabric::wire_output(OutputPort& op, topo::PortRef self, topo::PortRef peer,
   op.rx_pipeline_delay = op.peer_is_hca ? params_.hca_rx_delay : params_.switch_delay;
 
   op.credits.resize(static_cast<std::size_t>(n_vls));
+  op.pending_credit.assign(static_cast<std::size_t>(n_vls), 0);
   op.rr_next.assign(static_cast<std::size_t>(n_vls), 0);
   op.cc.resize(static_cast<std::size_t>(n_vls));
   op.vlarb = VlArbiter::make_default(n_vls, params_.cnp_vl());
@@ -96,9 +97,54 @@ void Fabric::schedule_credit_return(topo::DeviceId dev, std::int32_t in_port, ib
   const topo::PortRef upstream = topo_->peer(topo::PortRef{dev, in_port});
   IBSIM_ASSERT(upstream.valid(), "credit return towards an uncabled port");
   const core::Time at = tail_time + params_.link_delay + params_.credit_delay;
-  sched_->schedule_at(at, handlers_[static_cast<std::size_t>(upstream.device)],
-                      kEvCreditUpdate, pack_credit(vl, bytes),
+  core::EventHandler* target = handlers_[static_cast<std::size_t>(upstream.device)];
+  if (params_.fast_path) {
+    OutputPort& op = output_port_at(upstream.device, upstream.port);
+    std::int32_t& pending = op.pending_credit[vl];
+    if (coal_.dev == upstream.device && coal_.port == upstream.port && coal_.vl == vl &&
+        coal_.at == at && pending > 0 && !sched_->watch_hit() && !op.idle(at)) {
+      // Same destination, same refund instant, deferred event still in
+      // flight, and nothing else scheduled at `at` since it was created:
+      // ride the existing event. Burn the slot this event would have
+      // taken so downstream sequence numbers are unchanged.
+      //
+      // The `!op.idle(at)` leg makes the merge invisible: the reference
+      // path refunds in two steps and arbitrates after each, so a grant
+      // (or FECN-threshold read) at `at` between the halves would see
+      // only the first refund. A port busy strictly past `at` cannot
+      // grant there in either mode (busy_until never moves backwards),
+      // so folding the second refund into the first changes nothing any
+      // event at `at` can observe.
+      pending += bytes;
+      (void)sched_->reserve_seq();
+      return;
+    }
+    if (pending == 0) {
+      // Open a fresh deferred return and make it the merge candidate.
+      pending = bytes;
+      (void)sched_->schedule_at(at, target, kEvCreditUpdate, pack_credit_deferred(vl),
+                                static_cast<std::uint64_t>(upstream.port));
+      coal_ = {upstream.device, upstream.port, vl, at};
+      sched_->arm_watch(at);
+      return;
+    }
+    // A deferred event for this (port, vl) is outstanding at another
+    // timestamp: fall through to a plain self-contained event rather
+    // than risk double-draining the accumulator. Costs one event — the
+    // fast path's failure mode is always less coalescing, never a
+    // behavioural difference.
+  }
+  sched_->schedule_at(at, target, kEvCreditUpdate, pack_credit(vl, bytes),
                       static_cast<std::uint64_t>(upstream.port));
+}
+
+OutputPort& Fabric::output_port_at(topo::DeviceId dev, std::int32_t port) {
+  core::EventHandler* handler = handlers_[static_cast<std::size_t>(dev)];
+  if (topo_->kind(dev) == topo::DeviceKind::Switch) {
+    return static_cast<SwitchDevice*>(handler)->output(port);
+  }
+  IBSIM_ASSERT(port == 0, "HCAs have a single port");
+  return static_cast<Hca*>(handler)->out();
 }
 
 void Fabric::start(core::Scheduler& sched) {
@@ -215,6 +261,12 @@ std::int64_t Fabric::total_injected_bytes() const {
 std::int64_t Fabric::total_delivered_bytes() const {
   std::int64_t total = 0;
   for (const auto& h : hcas_) total += h->delivered_bytes();
+  return total;
+}
+
+std::uint64_t Fabric::total_delivered_packets() const {
+  std::uint64_t total = 0;
+  for (const auto& h : hcas_) total += h->delivered_packets();
   return total;
 }
 

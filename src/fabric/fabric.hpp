@@ -90,9 +90,28 @@ class Fabric {
   [[nodiscard]] std::uint64_t total_cnps_sent() const;
   [[nodiscard]] std::int64_t total_injected_bytes() const;
   [[nodiscard]] std::int64_t total_delivered_bytes() const;
+  /// Packets handed to sinks across every HCA (lifetime of the run).
+  [[nodiscard]] std::uint64_t total_delivered_packets() const;
 
  private:
   void wire_output(OutputPort& op, topo::PortRef self, topo::PortRef peer, bool from_hca);
+
+  /// The OutputPort object behind (dev, port), switch or HCA.
+  [[nodiscard]] OutputPort& output_port_at(topo::DeviceId dev, std::int32_t port);
+
+  /// Credit-coalescing candidate (fast path): the most recently scheduled
+  /// deferred credit event. A later return for the same (dev, port, vl)
+  /// at the same timestamp merges into it — adding to the port's
+  /// pending_credit accumulator and burning the event's sequence slot —
+  /// provided no other event was scheduled at that timestamp in between
+  /// (Scheduler::watch_hit proves the merge window is unobservable).
+  struct CoalesceCandidate {
+    topo::DeviceId dev = topo::kInvalidDevice;
+    std::int32_t port = -1;
+    ib::Vl vl = 0;
+    core::Time at = core::kTimeNever;
+  };
+  CoalesceCandidate coal_;
 
   const topo::Topology* topo_;
   const topo::RoutingTables* routing_;

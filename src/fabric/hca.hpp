@@ -74,6 +74,7 @@ class Hca final : public core::EventHandler, public cc::CnpSender {
   Fabric* fabric_;
   topo::DeviceId dev_;
   ib::NodeId node_;
+  bool fast_path_;  ///< FabricParams::fast_path, cached off the hot path
 
   // Injection side.
   OutputPort out_;

@@ -13,6 +13,18 @@
 
 namespace ibsim::fabric {
 
+/// Fast-path link-wakeup state (FabricParams::fast_path). The slow path
+/// schedules kEvLinkFree unconditionally after every grant; the fast
+/// path elides it when the output drained, remembering the (at, seq)
+/// slot the event would have occupied so a later materialization — or
+/// the lazy no-op application at the next arbitration attempt — is
+/// indistinguishable from the eager schedule (DESIGN.md §11).
+enum class WakeState : std::uint8_t {
+  kNone = 0,       ///< no wakeup outstanding (slow path always here)
+  kScheduled = 1,  ///< a kEvLinkFree with seq == wake_seq is in the queue
+  kElided = 2,     ///< slot reserved at (busy_until, wake_seq), no event queued
+};
+
 /// Per-output-port state shared by switches and HCAs: the downstream
 /// link, credit balances per VL, the VL arbiter, round-robin input
 /// pointers, and (on switches) the congestion-detection state.
@@ -37,7 +49,14 @@ struct OutputPort {
 
   core::Time busy_until = 0;
 
+  // Fast-path wakeup bookkeeping (see WakeState). wake_seq identifies the
+  // live wakeup: an in-queue kEvLinkFree whose seq differs is stale and
+  // must be dropped without acting.
+  WakeState wake = WakeState::kNone;
+  std::uint64_t wake_seq = 0;
+
   std::vector<CreditTracker> credits;       ///< per VL, against the peer's ibuf
+  std::vector<std::int32_t> pending_credit; ///< per VL: bytes riding a deferred credit event
   std::vector<std::int32_t> rr_next;        ///< per VL: next input port to consider
   VlArbiter vlarb;
   std::vector<cc::SwitchPortCc> cc;         ///< per VL congestion detector (switches)

@@ -9,7 +9,12 @@
 namespace ibsim::fabric {
 
 SwitchDevice::SwitchDevice(Fabric* fabric, topo::DeviceId dev, std::int32_t n_ports)
-    : fabric_(fabric), dev_(dev), n_ports_(n_ports), fabric_vls_(fabric->params().n_vls) {
+    : fabric_(fabric),
+      dev_(dev),
+      n_ports_(n_ports),
+      fabric_vls_(fabric->params().n_vls),
+      fast_path_(fabric->params().fast_path),
+      lft_row_(fabric->routing().lft_row(dev)) {
   IBSIM_ASSERT(n_ports <= 64, "switch radix limited to 64 by the arbitration bitmask");
   inputs_.resize(static_cast<std::size_t>(n_ports));
   outputs_.resize(static_cast<std::size_t>(n_ports));
@@ -24,12 +29,35 @@ void SwitchDevice::on_event(core::Scheduler& sched, const core::Event& ev) {
     case kEvPacketArrive:
       receive(sched, reinterpret_cast<ib::Packet*>(ev.a), static_cast<std::int32_t>(ev.b));
       break;
-    case kEvLinkFree:
+    case kEvLinkFree: {
+      if (fast_path_) {
+        // Only the live wakeup acts; a superseded one (the port granted
+        // again at the same timestamp before this fired) is dropped. On
+        // the slow path the same event runs try_send against a busy port
+        // — a pure no-op — so dropping it is behaviour-identical.
+        auto& op = outputs_[static_cast<std::size_t>(ev.b)];
+        if (op.wake != WakeState::kScheduled || ev.seq != op.wake_seq) break;
+        op.wake = WakeState::kNone;
+      }
       try_send(sched, static_cast<std::int32_t>(ev.b));
       break;
+    }
     case kEvCreditUpdate: {
       auto& op = outputs_[static_cast<std::size_t>(ev.b)];
-      op.credits[credit_vl(ev.a)].refund(credit_bytes(ev.a));
+      if (credit_is_deferred(ev.a)) {
+        // Coalesced return: the byte total rode the port-side
+        // accumulator instead of the event payload.
+        const ib::Vl vl = credit_vl(ev.a);
+        op.credits[vl].refund(op.pending_credit[vl]);
+        op.pending_credit[vl] = 0;
+      } else {
+        op.credits[credit_vl(ev.a)].refund(credit_bytes(ev.a));
+      }
+      // Busy-aware fast path: while the port is serializing, try_send
+      // could not grant anyway (and a deferred wakeup can only be
+      // outstanding for a workless port — see DESIGN.md §11), so skip
+      // the arbitration attempt entirely.
+      if (fast_path_ && !op.idle(sched.now())) break;
       try_send(sched, static_cast<std::int32_t>(ev.b));
       break;
     }
@@ -39,7 +67,7 @@ void SwitchDevice::on_event(core::Scheduler& sched, const core::Event& ev) {
 }
 
 void SwitchDevice::receive(core::Scheduler& sched, ib::Packet* pkt, std::int32_t in_port) {
-  const std::int32_t out = fabric_->routing().out_port(dev_, pkt->dst);
+  const std::int32_t out = lft_row_[pkt->dst];
   IBSIM_ASSERT(out >= 0 && out < n_ports_, "LFT has no route to destination");
   InputBuffer& in = inputs_[static_cast<std::size_t>(in_port)];
   busy_mask(out, pkt->vl) |= 1ull << in_port;
@@ -58,10 +86,45 @@ bool SwitchDevice::input_eligible(std::int32_t in, std::int32_t out, ib::Vl vl) 
 }
 
 void SwitchDevice::try_send(core::Scheduler& sched, std::int32_t out_port) {
+  auto& op = outputs_[static_cast<std::size_t>(out_port)];
+  if (fast_path_ && op.wake == WakeState::kElided) {
+    const core::Time now = sched.now();
+    if (now < op.busy_until ||
+        (now == op.busy_until && op.wake_seq > sched.current_seq())) {
+      // The elided wakeup's (at, seq) slot is still ahead of the event
+      // being dispatched: materialize it into its reserved slot so the
+      // arbitration it would have run happens exactly where the slow
+      // path's eager kEvLinkFree would have run it.
+      sched.schedule_at_reserved(op.busy_until, op.wake_seq, this, kEvLinkFree, 0,
+                                 static_cast<std::uint64_t>(out_port));
+      op.wake = WakeState::kScheduled;
+      if (now < op.busy_until) return;  // still serializing; nothing can grant yet
+    } else {
+      // The slot has passed. While elided the port had no queued work
+      // (work arrival materializes above), so the skipped event's
+      // try_send could only have made one state change: the failed-pick
+      // quantum refill. Apply it now — note_failed_pick is idempotent
+      // and time-independent, so late application is exact.
+      op.vlarb.note_failed_pick();
+      op.wake = WakeState::kNone;
+    }
+  }
   if (grant_one(sched, out_port)) {
-    auto& op = outputs_[static_cast<std::size_t>(out_port)];
-    sched.schedule_at(op.busy_until, this, kEvLinkFree, 0,
-                      static_cast<std::uint64_t>(out_port));
+    if (!fast_path_) {
+      sched.schedule_at(op.busy_until, this, kEvLinkFree, 0,
+                        static_cast<std::uint64_t>(out_port));
+    } else if (active_vls(out_port) != 0) {
+      // Work still queued behind this grant: the wakeup will do real
+      // arbitration, so schedule it eagerly (slow-path behaviour).
+      op.wake = WakeState::kScheduled;
+      op.wake_seq = sched.schedule_at(op.busy_until, this, kEvLinkFree, 0,
+                                      static_cast<std::uint64_t>(out_port));
+    } else {
+      // Output drained: elide the wakeup but burn its sequence slot so
+      // every later event keeps its slow-path (at, seq) position.
+      op.wake = WakeState::kElided;
+      op.wake_seq = sched.reserve_seq();
+    }
   }
 }
 
@@ -114,7 +177,9 @@ bool SwitchDevice::grant_one(core::Scheduler& sched, std::int32_t out_port) {
       return false;  // the next credit update retries
     }
   }
-  op.rr_next[vl] = (chosen + 1) % n_ports_;
+  // Branch instead of %: n_ports is not a power of two, so the modulo
+  // compiles to an integer division on this per-grant path.
+  op.rr_next[vl] = chosen + 1 == n_ports_ ? 0 : chosen + 1;
 
   InputBuffer& in_buf = inputs_[static_cast<std::size_t>(chosen)];
   ib::Packet* pkt = in_buf.dequeue(out_port, vl);

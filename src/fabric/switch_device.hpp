@@ -90,6 +90,8 @@ class SwitchDevice final : public core::EventHandler {
   topo::DeviceId dev_;
   std::int32_t n_ports_;
   std::int32_t fabric_vls_;
+  bool fast_path_;                  ///< FabricParams::fast_path, cached off the hot path
+  const std::int32_t* lft_row_;     ///< this switch's row of the flat LFT, indexed by dst
   std::vector<InputBuffer> inputs_;
   std::vector<OutputPort> outputs_;
   std::vector<std::uint64_t> busy_mask_;

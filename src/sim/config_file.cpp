@@ -134,6 +134,8 @@ std::string apply_key(const std::string& key, const std::string& value, SimConfi
     return want_double([&](auto v) { c->fabric.hca_drain_gbps = v; });
   if (key == "n_vls") return want_int([&](auto v) { c->fabric.n_vls = static_cast<std::int32_t>(v); });
   if (key == "cut_through") return want_int([&](auto v) { c->fabric.cut_through = v != 0; });
+  if (key == "fabric_fast_path")
+    return want_int([&](auto v) { c->fabric_fast_path = v != 0; });
   if (key == "switch_ibuf_bytes")
     return want_int([&](auto v) { c->fabric.switch_ibuf_data_bytes = v; });
   if (key == "hca_ibuf_bytes")

@@ -59,6 +59,7 @@ SimConfig ExperimentPreset::base_config() const {
   config.seed = seed;
   config.cc.ccti_increase = ccti_increase;
   config.cc.ccti_timer = ccti_timer;
+  config.fabric_fast_path = fabric_fast_path;
   return config;
 }
 

@@ -43,6 +43,11 @@ struct ExperimentPreset {
   std::uint64_t seed = 1;
   std::int32_t threads = 0;  ///< 0 = hardware concurrency
 
+  /// Fabric event fast path (lazy link wakeups, coalesced credit
+  /// returns). Bit-identical results either way; off only for A/B
+  /// timing runs such as `table2_silent --no-fast-path`.
+  bool fabric_fast_path = true;
+
   [[nodiscard]] static ExperimentPreset quick();
   [[nodiscard]] static ExperimentPreset paper();
   /// quick() unless IBSIM_FULL=1 (or a bench was passed --full).

@@ -93,6 +93,13 @@ struct SimConfig {
   /// for those tests and for perf comparisons.
   core::QueueKind scheduler_queue = core::QueueKind::kTwoTier;
 
+  /// Fabric event fast path (fabric::FabricParams::fast_path): lazy link
+  /// wakeups, busy-aware credit handling and coalesced credit returns.
+  /// On and off produce bit-identical SimResults (guarded by the A/B
+  /// equivalence tests); off runs the reference one-event-per-action
+  /// chain, cutting only events_executed, never behaviour.
+  bool fabric_fast_path = true;
+
   /// Latency histogram range (microseconds).
   double latency_hist_max_us = 20000.0;
 

@@ -27,6 +27,9 @@ Simulation::Simulation(const SimConfig& config,
   IBSIM_ASSERT(snapshot_->topology->topo.node_count() == config_.node_count(),
                "snapshot does not match the config's topology");
   const topo::Topology& topo = snapshot_->topology->topo;
+  // The fabric-layer fast-path gate rides on the sim-level knob so CLI
+  // and config files steer it the same way as the scheduler queue.
+  config_.fabric.fast_path = config.fabric_fast_path;
   // CCT entries must cover the CCTI limit; IRD delays reference the
   // injection capacity so the linear table yields rate = cap / (1+i).
   const std::size_t cct_entries = static_cast<std::size_t>(config.cc.ccti_limit) + 1;
@@ -35,7 +38,8 @@ Simulation::Simulation(const SimConfig& config,
   IBSIM_ASSERT(ccalg::CcAlgorithmRegistry::instance().contains(config.cc_algo),
                "unknown cc_algo (see CcAlgorithmRegistry::names)");
   ccm_->set_algo(config.cc_algo);
-  fabric_ = std::make_unique<fabric::Fabric>(topo, snapshot_->tables, config.fabric, *ccm_, sched_);
+  fabric_ =
+      std::make_unique<fabric::Fabric>(topo, snapshot_->tables, config_.fabric, *ccm_, sched_);
 
   core::Rng rng(config.seed);
   scenario_ = std::make_unique<traffic::Scenario>(topo.node_count(), config.scenario, rng);
@@ -81,7 +85,12 @@ SimResult Simulation::run() {
               config_.telemetry.counters_csv.c_str());
   }
   sched_.run_until(config_.warmup);
-  metrics_->reset_window(sched_.now());
+  // Pin the measurement window to the configured instants, not to
+  // sched_.now(): the scheduler clock rests on the last *executed*
+  // event, and the fabric fast path elides bookkeeping events, so a
+  // last-event-based window would make rate denominators depend on the
+  // event-chain mode and break the fast/slow bit-identity guarantee.
+  metrics_->reset_window(config_.warmup);
   sched_.run_until(config_.sim_time);
 
   if (sampler_ != nullptr) sampler_->close();
@@ -92,7 +101,7 @@ SimResult Simulation::run() {
     }
   }
 
-  const SimResult result = snapshot();
+  const SimResult result = snapshot_at(config_.sim_time);
   IBSIM_LOG(core::LogLevel::Info, sched_.now(),
             "done: total %.1f Gb/s, non-hotspot %.3f Gb/s, hotspot %.3f Gb/s, "
             "%llu FECN marks, %llu events",
@@ -102,8 +111,9 @@ SimResult Simulation::run() {
   return result;
 }
 
-SimResult Simulation::snapshot() const {
-  const core::Time now = sched_.now();
+SimResult Simulation::snapshot() const { return snapshot_at(sched_.now()); }
+
+SimResult Simulation::snapshot_at(core::Time now) const {
   SimResult r;
   r.hotspot_rcv_gbps = metrics_->avg_hotspot_gbps(now);
   r.non_hotspot_rcv_gbps = metrics_->avg_non_hotspot_gbps(now);
@@ -119,8 +129,19 @@ SimResult Simulation::snapshot() const {
   r.becn_received = fabric_->total_becn_received();
   r.delivered_bytes = metrics_->delivered_bytes();
   r.events_executed = sched_.executed();
+  r.events_by_kind = sched_.executed_by_kind();
+  r.delivered_packets = fabric_->total_delivered_packets();
   if (telemetry_ != nullptr) {
     fabric_->refresh_gauges();  // observability state only, never simulated state
+    telemetry::CounterRegistry& reg = telemetry_->registry();
+    static constexpr const char* kKindGauges[core::Scheduler::kKindSlots] = {
+        "sched.events.other0",       "sched.events.packet_arrive",
+        "sched.events.link_free",    "sched.events.credit_update",
+        "sched.events.sink_free",    "sched.events.retry_inject",
+        "sched.events.other"};
+    for (std::size_t k = 0; k < core::Scheduler::kKindSlots; ++k) {
+      reg.set(reg.gauge(kKindGauges[k]), static_cast<std::int64_t>(r.events_by_kind[k]));
+    }
     for (auto& [name, value] : telemetry_->registry().snapshot()) {
       r.counters.emplace(std::move(name), value);
     }

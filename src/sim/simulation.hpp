@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -36,6 +37,14 @@ struct SimResult {
   std::uint64_t becn_received = 0;
   std::int64_t delivered_bytes = 0;
   std::uint64_t events_executed = 0;
+  /// events_executed broken down by kind: slots 1..5 are the fabric
+  /// kinds (PacketArrive, LinkFree, CreditUpdate, SinkFree, RetryInject),
+  /// slot 0 is kind-0 driver events, slot 6 everything else (timers,
+  /// samplers, hotspot moves). See core::Scheduler::kKindSlots.
+  std::array<std::uint64_t, core::Scheduler::kKindSlots> events_by_kind{};
+  /// Packets handed to sinks (lifetime): the denominator of the
+  /// events-per-delivered-packet figure the perf harness reports.
+  std::uint64_t delivered_packets = 0;
 
   /// End-of-run counter values (empty unless telemetry was active).
   std::map<std::string, std::int64_t> counters;
@@ -81,8 +90,15 @@ class Simulation {
   [[nodiscard]] const telemetry::Telemetry* telemetry() const { return telemetry_.get(); }
 
   /// Compute the result over the current measurement window without
-  /// running further (used by harnesses sampling mid-run).
+  /// running further (used by harnesses sampling mid-run). Rates are
+  /// referenced to the scheduler clock, i.e. the last executed event.
   [[nodiscard]] SimResult snapshot() const;
+
+  /// Same, with rates referenced to an explicit instant. run() uses the
+  /// configured sim_time so rate denominators never depend on when the
+  /// last bookkeeping event happened to fire (the fabric fast path
+  /// elides some of those, and results must be bit-identical fast/slow).
+  [[nodiscard]] SimResult snapshot_at(core::Time now) const;
 
  private:
   SimConfig config_;

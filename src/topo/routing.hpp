@@ -45,6 +45,14 @@ class RoutingTables {
                 static_cast<std::size_t>(dst)];
   }
 
+  /// Pointer to switch `dev`'s row of the flat LFT, indexed by NodeId.
+  /// Valid while this RoutingTables is alive; devices on the packet hot
+  /// path cache it once instead of re-deriving slot * stride per lookup.
+  [[nodiscard]] const std::int32_t* lft_row(DeviceId dev) const {
+    return lft_.data() +
+           static_cast<std::size_t>(switch_slot_[static_cast<std::size_t>(dev)]) * stride_;
+  }
+
   /// The flattened LFT storage: switch_count() rows of stride() entries,
   /// row order matching Topology::switches(). Exposed for the golden
   /// determinism tests that pin table contents across storage rewrites.

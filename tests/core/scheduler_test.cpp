@@ -275,5 +275,129 @@ TEST_P(SchedulerQueueKind, ChainedSchedulingAdvances) {
   EXPECT_EQ(sched.executed(), 1000u);
 }
 
+// ---------------------------------------------------------------------------
+// Reserved sequence slots, the collision watch and the per-kind counters
+// — the scheduler-side contract the fabric fast path is built on.
+// ---------------------------------------------------------------------------
+
+TEST_P(SchedulerQueueKind, ReservedSeqKeepsItsSlotInSameTimeTies) {
+  // A slot reserved early but scheduled late must still execute where
+  // its eager twin would have: before every same-timestamp event with a
+  // higher sequence, even though those were pushed into the queue first.
+  Scheduler sched(GetParam());
+  Recorder rec;
+  sched.schedule_at(100, &rec, 0, 1);
+  const std::uint64_t reserved = sched.reserve_seq();
+  sched.schedule_at(100, &rec, 0, 3);
+  sched.schedule_at(100, &rec, 0, 4);
+  sched.schedule_at_reserved(100, reserved, &rec, 0, 2);  // materialize late
+  sched.run();
+  EXPECT_EQ(rec.payloads, (std::vector<std::uint64_t>{1, 2, 3, 4}));
+}
+
+TEST_P(SchedulerQueueKind, ReserveSeqBurnsExactlyOneSequence) {
+  // Interleaving reservations must not shift the sequence numbering the
+  // surrounding schedule_at calls observe — parity with a run that
+  // scheduled a real event in each slot.
+  Scheduler sched(GetParam());
+  Recorder rec;
+  const std::uint64_t s0 = sched.schedule_at(10, &rec, 0);
+  const std::uint64_t r0 = sched.reserve_seq();
+  const std::uint64_t s1 = sched.schedule_at(10, &rec, 0);
+  EXPECT_EQ(r0, s0 + 1);
+  EXPECT_EQ(s1, r0 + 1);
+  sched.run();  // an unmaterialized reservation simply never fires
+  EXPECT_EQ(sched.executed(), 2u);
+}
+
+TEST(Scheduler, WatchReportsOnlyTheArmedTimestamp) {
+  Scheduler sched;
+  Recorder rec;
+  sched.arm_watch(50);
+  EXPECT_FALSE(sched.watch_hit());
+  sched.schedule_at(49, &rec, 0);
+  sched.schedule_at(51, &rec, 0);
+  EXPECT_FALSE(sched.watch_hit());  // near misses do not trip it
+  sched.schedule_at(50, &rec, 0);
+  EXPECT_TRUE(sched.watch_hit());
+  // The hit latches until the watch is re-armed.
+  sched.schedule_at(60, &rec, 0);
+  EXPECT_TRUE(sched.watch_hit());
+  sched.arm_watch(60);
+  EXPECT_FALSE(sched.watch_hit());
+}
+
+TEST(Scheduler, WatchSeesReservedSlotMaterialization) {
+  // schedule_at_reserved must trip the watch like schedule_at: a
+  // deferred wakeup landing on the watched timestamp is an observer the
+  // credit coalescer has to assume can see the merge window.
+  Scheduler sched;
+  Recorder rec;
+  const std::uint64_t seq = sched.reserve_seq();
+  sched.arm_watch(70);
+  sched.schedule_at_reserved(70, seq, &rec, 0);
+  EXPECT_TRUE(sched.watch_hit());
+}
+
+TEST(Scheduler, CurrentSeqMatchesDispatchedEvent) {
+  class SeqProbe : public EventHandler {
+   public:
+    void on_event(Scheduler& sched, const Event& ev) override {
+      seen.push_back(sched.current_seq());
+      expected.push_back(ev.seq);
+    }
+    std::vector<std::uint64_t> seen;
+    std::vector<std::uint64_t> expected;
+  };
+  Scheduler sched;
+  SeqProbe probe;
+  sched.schedule_at(5, &probe, 0);
+  (void)sched.reserve_seq();
+  sched.schedule_at(5, &probe, 0);
+  sched.run();
+  EXPECT_EQ(probe.seen, probe.expected);
+  ASSERT_EQ(probe.seen.size(), 2u);
+  EXPECT_LT(probe.seen[0] + 1, probe.seen[1]);  // the burnt slot shows up
+}
+
+TEST(Scheduler, PerKindCountersMapFabricKindsAndOverflow) {
+  Scheduler sched;
+  Recorder rec;
+  sched.schedule_at(1, &rec, 0);      // slot 0: kind-0 driver events
+  sched.schedule_at(2, &rec, 2);      // slot 2: a fabric kind
+  sched.schedule_at(3, &rec, 2);
+  sched.schedule_at(4, &rec, 5);      // slot 5: highest dedicated kind
+  sched.schedule_at(5, &rec, 6);      // first aggregated kind
+  sched.schedule_at(6, &rec, 0xCC01); // far-off kind, same bucket
+  sched.run();
+  const auto& by_kind = sched.executed_by_kind();
+  EXPECT_EQ(by_kind[0], 1u);
+  EXPECT_EQ(by_kind[1], 0u);
+  EXPECT_EQ(by_kind[2], 2u);
+  EXPECT_EQ(by_kind[5], 1u);
+  EXPECT_EQ(by_kind[Scheduler::kKindSlots - 1], 2u);
+  std::uint64_t total = 0;
+  for (const std::uint64_t n : by_kind) total += n;
+  EXPECT_EQ(total, sched.executed());
+}
+
+TEST(Scheduler, PerKindCountersSurviveClear) {
+  Scheduler sched;
+  Recorder rec;
+  sched.schedule_at(1, &rec, 3);
+  sched.run();
+  sched.clear();
+  sched.schedule_at(1, &rec, 3);
+  sched.run();
+  EXPECT_EQ(sched.executed_by_kind()[3], 2u);
+  EXPECT_EQ(sched.executed(), 2u);
+}
+
+TEST(SchedulerDeath, ReservedSeqMustComeFromReserveSeq) {
+  Scheduler sched;
+  Recorder rec;
+  EXPECT_DEATH(sched.schedule_at_reserved(10, 99, &rec, 0), "reserve");
+}
+
 }  // namespace
 }  // namespace ibsim::core

@@ -228,6 +228,73 @@ TEST(PacketQueue, InterleavedFrontBackAccounting) {
   EXPECT_EQ(pool.live(), 0);
 }
 
+TEST(PacketPool, ResetCoversEveryHeaderField) {
+  // The fast path recycles packets harder (fewer events between release
+  // and reallocation), so a stale CC mark or stream tag on a reused slot
+  // would silently corrupt marking statistics. Exercise every field
+  // reset() promises to clear.
+  PacketPool pool(2);
+  Packet* p = pool.allocate();
+  p->src = 3;
+  p->dst = 5;
+  p->bytes = 2048;
+  p->vl = 1;
+  p->sl = 2;
+  p->fecn = true;
+  p->becn = true;
+  p->is_cnp = true;
+  p->flow_dst = 7;
+  p->hotspot_stream = true;
+  p->msg_seq = 42;
+  p->injected_at = 123456;
+  pool.release(p);
+  Packet* q = pool.allocate();
+  ASSERT_EQ(q, p);  // LIFO freelist: same slot comes straight back
+  EXPECT_EQ(q->src, kInvalidNode);
+  EXPECT_EQ(q->dst, kInvalidNode);
+  EXPECT_EQ(q->bytes, 0);
+  EXPECT_EQ(q->vl, kDataVl);
+  EXPECT_EQ(q->sl, 0);
+  EXPECT_FALSE(q->fecn);
+  EXPECT_FALSE(q->becn);
+  EXPECT_FALSE(q->is_cnp);
+  EXPECT_EQ(q->flow_dst, kInvalidNode);
+  EXPECT_FALSE(q->hotspot_stream);
+  EXPECT_EQ(q->msg_seq, 0u);
+  EXPECT_EQ(q->injected_at, 0);
+}
+
+TEST(PacketPool, ChurnKeepsIdsUniqueAndAccountingExact) {
+  // Randomized allocate/release churn across chunk-growth boundaries:
+  // live() must track the model exactly, ids of live packets must never
+  // collide, and total_allocated() must grow by one per allocation.
+  PacketPool pool(8);
+  std::vector<Packet*> live;
+  std::set<std::uint64_t> live_ids;
+  std::uint64_t state = 2026;
+  std::uint64_t allocations = 0;
+  for (int step = 0; step < 5000; ++step) {
+    const bool grow = live.empty() || core::splitmix64(state) % 3 != 0;
+    if (grow) {
+      Packet* p = pool.allocate();
+      ++allocations;
+      ASSERT_TRUE(live_ids.insert(p->id).second) << "duplicate live id";
+      live.push_back(p);
+    } else {
+      const std::size_t idx = core::splitmix64(state) % live.size();
+      Packet* p = live[idx];
+      live_ids.erase(p->id);
+      live[idx] = live.back();
+      live.pop_back();
+      pool.release(p);
+    }
+    ASSERT_EQ(pool.live(), static_cast<std::int64_t>(live.size()));
+    ASSERT_EQ(pool.total_allocated(), allocations);
+  }
+  for (Packet* p : live) pool.release(p);
+  EXPECT_EQ(pool.live(), 0);
+}
+
 TEST(PacketQueueDeath, PopEmptyAborts) {
   PacketQueue q;
   EXPECT_DEATH((void)q.pop_front(), "empty");
