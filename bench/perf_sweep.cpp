@@ -120,7 +120,18 @@ std::vector<Scenario> make_scenarios(bool quick) {
   unc11.config.scenario.n_hotspots = 0;
   unc11.config.scenario.capacity_gbps = 1.5;
 
-  return {silent, windy, moving, cc_storm, unc25, unc11};
+  // Application-workload injection path: a 24-rank incast driven by the
+  // workload engine (dependency gating, per-op delivery accounting) over
+  // the uniform background. Messages are sized so the hot sink stays
+  // saturated for the whole window — the cell tracks events/sec of the
+  // rank-source poll + completion path, not application makespan.
+  Scenario workload_incast{"workload_incast", base};
+  workload_incast.config.workload.name = "incast";
+  workload_incast.config.workload.ranks = 24;
+  workload_incast.config.workload.message_bytes = 1024 * 1024;
+  workload_incast.config.workload.iterations = 8;
+
+  return {silent, windy, moving, cc_storm, unc25, unc11, workload_incast};
 }
 
 struct Cell {

@@ -18,6 +18,7 @@
 #include "sim/simulation.hpp"
 #include "sim/timeline.hpp"
 #include "telemetry/summary.hpp"
+#include "workload/registry.hpp"
 
 int main(int argc, char** argv) {
   using namespace ibsim;
@@ -42,6 +43,17 @@ int main(int argc, char** argv) {
   cli.add_int("hotspots", 1, "number of hotspots");
   cli.add_int("lifetime-us", 0, "hotspot lifetime (0 = static)");
   cli.add_double("inject-gbps", 13.5, "per-node injection capacity");
+  // Application workload (replaces the synthetic scenario when set).
+  cli.add_string("workload", "",
+                 "application workload (incast | ring_allreduce | tree_allreduce | "
+                 "all_to_all | stencil | idle | file; 'help' lists)");
+  cli.add_flag("list-workloads", "print the registered workloads and exit");
+  cli.add_string("workload-file", "", "workload DSL file (with --workload=file)");
+  cli.add_int("workload-ranks", 0, "ranks of the canned patterns (0 = all nodes)");
+  cli.add_int("workload-bytes", 64 * 1024, "payload bytes per workload message");
+  cli.add_int("workload-iters", 1, "iterations of the canned patterns");
+  cli.add_int("workload-compute-us", 0, "per-iteration compute delay");
+  cli.add_flag("workload-no-background", "leave non-rank nodes silent");
   // Congestion control.
   cli.add_flag("no-cc", "disable congestion control");
   cli.add_string("cc-algo", "iba_a10",
@@ -83,6 +95,15 @@ int main(int argc, char** argv) {
     for (const std::string& name : algo_registry.names()) {
       std::printf("  %s\n", name.c_str());
     }
+    return 0;
+  }
+  const auto& workload_registry = workload::WorkloadRegistry::instance();
+  if (cli.flag("list-workloads") || cli.get_string("workload") == "help") {
+    std::printf("registered workloads:\n");
+    for (const std::string& name : workload_registry.names()) {
+      std::printf("  %s\n", name.c_str());
+    }
+    std::printf("  file (DSL file via --workload-file)\n");
     return 0;
   }
 
@@ -128,6 +149,39 @@ int main(int argc, char** argv) {
   config.scenario.capacity_gbps = cli.get_double("inject-gbps");
   if (cli.get_int("lifetime-us") > 0) {
     config.scenario.hotspot_lifetime = cli.get_int("lifetime-us") * core::kMicrosecond;
+  }
+
+  if (cli.was_set("workload")) config.workload.name = cli.get_string("workload");
+  if (cli.was_set("workload-file")) config.workload.file = cli.get_string("workload-file");
+  if (cli.was_set("workload-ranks")) {
+    config.workload.ranks = static_cast<std::int32_t>(cli.get_int("workload-ranks"));
+  }
+  if (cli.was_set("workload-bytes")) config.workload.message_bytes = cli.get_int("workload-bytes");
+  if (cli.was_set("workload-iters")) {
+    config.workload.iterations = static_cast<std::int32_t>(cli.get_int("workload-iters"));
+  }
+  if (cli.was_set("workload-compute-us")) {
+    config.workload.compute = cli.get_int("workload-compute-us") * core::kMicrosecond;
+  }
+  if (cli.flag("workload-no-background")) config.workload.background_uniform = false;
+  if (config.workload.active()) {
+    const std::string& wname = config.workload.name;
+    if (wname == "file") {
+      if (config.workload.file.empty()) {
+        std::fprintf(stderr, "--workload=file needs --workload-file (or workload_file)\n");
+        return 2;
+      }
+      workload::WorkloadSpec spec;
+      const std::string err = workload::load_workload_file(config.workload.file, &spec);
+      if (!err.empty()) {
+        std::fprintf(stderr, "workload file error: %s\n", err.c_str());
+        return 2;
+      }
+    } else if (!workload_registry.contains(wname)) {
+      std::fprintf(stderr, "unknown workload '%s' (valid: %s, or 'file')\n", wname.c_str(),
+                   workload_registry.names_joined().c_str());
+      return 2;
+    }
   }
 
   config.cc.enabled = !cli.flag("no-cc");
@@ -200,6 +254,37 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(r.becn_received));
   std::printf("  events executed                 %llu\n",
               static_cast<unsigned long long>(r.events_executed));
+
+  if (r.workload.ran) {
+    std::printf("\napplication workload (%s):\n", config.workload.name.c_str());
+    std::printf("  messages completed              %llu / %llu\n",
+                static_cast<unsigned long long>(r.workload.messages_completed),
+                static_cast<unsigned long long>(r.workload.messages_total));
+    if (r.workload.completed) {
+      std::printf("  makespan                        %10.1f us\n", r.workload.makespan_us());
+    } else {
+      std::printf("  makespan                        did not finish within sim-time\n");
+    }
+    std::printf("  per-phase finish times (us):");
+    for (std::size_t p = 0; p < r.workload.phase_finish.size(); ++p) {
+      const core::Time t = r.workload.phase_finish[p];
+      if (t == core::kTimeNever) {
+        std::printf(" -");
+      } else {
+        std::printf(" %.1f", static_cast<double>(t) / core::kMicrosecond);
+      }
+    }
+    std::printf("\n  per-rank finish times (us):");
+    for (std::size_t rr = 0; rr < r.workload.rank_finish.size(); ++rr) {
+      const core::Time t = r.workload.rank_finish[rr];
+      if (t == core::kTimeNever) {
+        std::printf(" -");
+      } else {
+        std::printf(" %.1f", static_cast<double>(t) / core::kMicrosecond);
+      }
+    }
+    std::printf("\n");
+  }
 
   const std::string timeline_csv = cli.get_string("timeline-csv");
   if (timeline != nullptr && !timeline_csv.empty()) {

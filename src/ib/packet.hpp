@@ -31,6 +31,7 @@ struct Packet {
   NodeId flow_dst = kInvalidNode;
 
   bool hotspot_stream = false;  ///< generator stream tag (metrics only)
+  bool app = false;             ///< workload-engine payload; msg_seq is the op id
   std::uint32_t msg_seq = 0;    ///< message number within its flow
   core::Time injected_at = 0;   ///< grant time at the source HCA
 
@@ -53,6 +54,7 @@ struct Packet {
     is_cnp = false;
     flow_dst = kInvalidNode;
     hotspot_stream = false;
+    app = false;
     msg_seq = 0;
     injected_at = 0;
   }

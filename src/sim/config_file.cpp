@@ -2,10 +2,12 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <sstream>
 
 #include "ccalg/registry.hpp"
 #include "telemetry/trace.hpp"
+#include "workload/registry.hpp"
 
 namespace ibsim::sim {
 
@@ -141,6 +143,30 @@ std::string apply_key(const std::string& key, const std::string& value, SimConfi
   if (key == "hca_ibuf_bytes")
     return want_int([&](auto v) { c->fabric.hca_ibuf_data_bytes = v; });
 
+  if (key == "workload") {
+    const auto& registry = workload::WorkloadRegistry::instance();
+    if (value != "file" && !registry.contains(value)) {
+      return "unknown workload '" + value + "' (valid: " + registry.names_joined() +
+             ", or 'file' with workload_file)";
+    }
+    c->workload.name = value;
+    return {};
+  }
+  if (key == "workload_file") {
+    c->workload.file = value;
+    return {};
+  }
+  if (key == "workload_ranks")
+    return want_int([&](auto v) { c->workload.ranks = static_cast<std::int32_t>(v); });
+  if (key == "workload_bytes")
+    return want_int([&](auto v) { c->workload.message_bytes = v; });
+  if (key == "workload_iters")
+    return want_int([&](auto v) { c->workload.iterations = static_cast<std::int32_t>(v); });
+  if (key == "workload_compute_us")
+    return want_int([&](auto v) { c->workload.compute = v * core::kMicrosecond; });
+  if (key == "workload_background")
+    return want_int([&](auto v) { c->workload.background_uniform = v != 0; });
+
   if (key == "sim_time_us")
     return want_int([&](auto v) { c->sim_time = v * core::kMicrosecond; });
   if (key == "warmup_us") return want_int([&](auto v) { c->warmup = v * core::kMicrosecond; });
@@ -179,6 +205,7 @@ std::string apply_config_text(const std::string& text, SimConfig* config) {
   std::istringstream in(text);
   std::string line;
   int line_number = 0;
+  std::map<std::string, int> seen_at;  // key -> first line, for duplicate detection
   while (std::getline(in, line)) {
     ++line_number;
     const auto hash = line.find('#');
@@ -193,6 +220,13 @@ std::string apply_config_text(const std::string& text, SimConfig* config) {
     const std::string value = trim(line.substr(eq + 1));
     if (key.empty() || value.empty()) {
       return "line " + std::to_string(line_number) + ": empty key or value";
+    }
+    const auto [it, inserted] = seen_at.emplace(key, line_number);
+    if (!inserted) {
+      // Silent last-wins hides typos and merge accidents; make the
+      // collision loud and point at both occurrences.
+      return "line " + std::to_string(line_number) + ": duplicate key '" + key +
+             "' (already set at line " + std::to_string(it->second) + ")";
     }
     const std::string err = apply_key(key, value, config);
     if (!err.empty()) return "line " + std::to_string(line_number) + ": " + err;

@@ -18,6 +18,9 @@ namespace ibsim::sim {
 ///   single_nodes, chain_switches, chain_nodes
 ///   dumbbell_nodes, mesh_rows, mesh_cols, mesh_nodes
 ///   fraction_b, p_percent, fraction_c, hotspots, lifetime_us, inject_gbps
+///   workload (a workload::WorkloadRegistry name, or 'file'),
+///   workload_file, workload_ranks, workload_bytes, workload_iters,
+///   workload_compute_us, workload_background (0/1)
 ///   cc_enabled (0/1), cc_algo (iba_a10 | dcqcn | aimd | none),
 ///   threshold_weight, marking_rate, packet_size,
 ///   victim_mask (0/1), ccti_increase, ccti_limit, ccti_min, ccti_timer,
@@ -28,6 +31,9 @@ namespace ibsim::sim {
 ///   trace_file, trace_categories (cc,credits,queues,arb | all),
 ///   counters_csv, telemetry_sample_us, trace_ring,
 ///   telemetry_detailed (0/1), telemetry_counters (0/1)
+///
+/// Each key may appear at most once; a duplicate is an error naming both
+/// lines (silent last-wins would hide typos and merge accidents).
 ///
 /// Returns an empty string on success, or a "line N: ..." diagnostic.
 [[nodiscard]] std::string apply_config_text(const std::string& text, SimConfig* config);

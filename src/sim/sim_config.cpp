@@ -30,10 +30,22 @@ std::int32_t SimConfig::node_count() const {
 
 std::string SimConfig::describe() const {
   const std::string cc_desc = cc.enabled ? "on (" + cc_algo + ")" : "off";
-  char buf[256];
+  std::string traffic_desc;
+  if (workload.active()) {
+    char wbuf[160];
+    std::snprintf(wbuf, sizeof(wbuf), "workload %s x%d (%d ranks, %lld B msgs%s)",
+                  workload.name.c_str(), workload.iterations,
+                  workload.ranks > 0 ? workload.ranks : node_count(),
+                  static_cast<long long>(workload.message_bytes),
+                  workload.background_uniform ? ", bg uniform" : "");
+    traffic_desc = wbuf;
+  } else {
+    traffic_desc = scenario.describe();
+  }
+  char buf[320];
   std::snprintf(buf, sizeof(buf), "%s (%d nodes), CC %s, %s, sim %s (warmup %s), seed %llu",
                 topology_name(topology), node_count(), cc_desc.c_str(),
-                scenario.describe().c_str(), core::format_time(sim_time).c_str(),
+                traffic_desc.c_str(), core::format_time(sim_time).c_str(),
                 core::format_time(warmup).c_str(),
                 static_cast<unsigned long long>(seed));
   return buf;

@@ -52,6 +52,31 @@ struct TelemetrySettings {
   }
 };
 
+/// Application workload riding on the run (src/workload). When active,
+/// the workload engine replaces the synthetic scenario as the traffic
+/// source: end nodes 0..ranks-1 run the workload's ranks, the remaining
+/// nodes optionally send uniform background ("victim") traffic.
+struct WorkloadSettings {
+  /// Workload name: "" keeps the synthetic scenario (workload off), a
+  /// workload::WorkloadRegistry key runs a canned pattern, and "file"
+  /// loads the DSL file named by `file`.
+  std::string name;
+  std::string file;
+  /// Ranks the pattern builders use; 0 means every end node.
+  std::int32_t ranks = 0;
+  /// Payload per logical message of the canned patterns.
+  std::int64_t message_bytes = 64 * 1024;
+  /// Iterations of the canned patterns.
+  std::int32_t iterations = 1;
+  /// Per-iteration compute delay of the canned patterns.
+  core::Time compute = 0;
+  /// Fill non-rank end nodes with saturating uniform senders — the
+  /// victim flows the CC comparisons measure.
+  bool background_uniform = true;
+
+  [[nodiscard]] bool active() const { return !name.empty(); }
+};
+
 /// Complete description of one simulation run: topology, fabric
 /// calibration, CC parameters, traffic scenario, and timing.
 struct SimConfig {
@@ -73,6 +98,9 @@ struct SimConfig {
   /// false — the effective algorithm is "none" then.
   std::string cc_algo = "iba_a10";
   traffic::ScenarioSpec scenario;
+  /// Application workload (inactive by default; replaces `scenario`
+  /// when `workload.active()`).
+  WorkloadSettings workload;
 
   /// Total simulated time and the warm-up prefix excluded from metrics.
   core::Time sim_time = 2 * core::kMillisecond;

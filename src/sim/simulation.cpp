@@ -5,6 +5,8 @@
 #include "core/log.hpp"
 #include "telemetry/chrome_trace.hpp"
 #include "telemetry/trace.hpp"
+#include "workload/engine.hpp"
+#include "workload/registry.hpp"
 
 namespace ibsim::sim {
 
@@ -13,6 +15,28 @@ std::shared_ptr<const RoutingSnapshot> resolve_snapshot(const SimConfig& config)
   if (config.snapshot_cache) return SnapshotCache::instance().routing(config);
   return build_routing_snapshot(build_topology_snapshot(config),
                                 tie_break_for(config.topology));
+}
+
+workload::WorkloadSpec resolve_workload_spec(const SimConfig& config) {
+  const WorkloadSettings& w = config.workload;
+  if (w.name == "file") {
+    workload::WorkloadSpec spec;
+    const std::string err = workload::load_workload_file(w.file, &spec);
+    IBSIM_ASSERT(err.empty(), "workload file failed to load");
+    IBSIM_ASSERT(spec.ranks <= config.node_count(),
+                 "workload file needs more ranks than the fabric has end nodes");
+    return spec;
+  }
+  IBSIM_ASSERT(workload::WorkloadRegistry::instance().contains(w.name),
+               "unknown workload (see WorkloadRegistry::names)");
+  workload::WorkloadParams params;
+  params.ranks = w.ranks > 0 ? w.ranks : config.node_count();
+  IBSIM_ASSERT(params.ranks <= config.node_count(),
+               "workload has more ranks than the fabric has end nodes");
+  params.message_bytes = w.message_bytes;
+  params.iterations = w.iterations;
+  params.compute = w.compute;
+  return workload::WorkloadRegistry::instance().build(w.name, params);
 }
 }  // namespace
 
@@ -42,14 +66,28 @@ Simulation::Simulation(const SimConfig& config,
       std::make_unique<fabric::Fabric>(topo, snapshot_->tables, config_.fabric, *ccm_, sched_);
 
   core::Rng rng(config.seed);
-  scenario_ = std::make_unique<traffic::Scenario>(topo.node_count(), config.scenario, rng);
   metrics_ =
       std::make_unique<MetricsCollector>(topo.node_count(), config.latency_hist_max_us);
-  metrics_->set_hotspots(scenario_->schedule().hotspots());
-  for (ib::NodeId node = 0; node < topo.node_count(); ++node) {
-    fabric_->hca(node).attach_observer(metrics_.get());
+  if (config_.workload.active()) {
+    // The workload engine replaces the synthetic scenario: rank nodes
+    // inject dependency-gated application messages, the remaining nodes
+    // send uniform background traffic. Rank nodes are classed as
+    // "hotspot" so non_hotspot_rcv_gbps is the victim-flow throughput.
+    workload::WorkloadEngine::Options wopts;
+    wopts.background_uniform = config_.workload.background_uniform;
+    wopts.background_gbps = config_.scenario.capacity_gbps;
+    workload_ = std::make_unique<workload::WorkloadEngine>(
+        resolve_workload_spec(config_), wopts, rng.fork("workload", 0));
+    workload_->install(*fabric_, metrics_.get());
+    metrics_->set_hotspots(workload_->rank_nodes());
+  } else {
+    scenario_ = std::make_unique<traffic::Scenario>(topo.node_count(), config.scenario, rng);
+    metrics_->set_hotspots(scenario_->schedule().hotspots());
+    for (ib::NodeId node = 0; node < topo.node_count(); ++node) {
+      fabric_->hca(node).attach_observer(metrics_.get());
+    }
+    scenario_->install(*fabric_, sched_);
   }
-  scenario_->install(*fabric_, sched_);
 
   const TelemetrySettings& ts = config_.telemetry;
   if (ts.active()) {
@@ -131,6 +169,16 @@ SimResult Simulation::snapshot_at(core::Time now) const {
   r.events_executed = sched_.executed();
   r.events_by_kind = sched_.executed_by_kind();
   r.delivered_packets = fabric_->total_delivered_packets();
+  if (workload_ != nullptr) {
+    const workload::WorkloadProgress p = workload_->progress();
+    r.workload.ran = true;
+    r.workload.completed = p.complete;
+    r.workload.makespan = p.makespan;
+    r.workload.rank_finish = p.rank_finish;
+    r.workload.phase_finish = p.phase_finish;
+    r.workload.messages_completed = p.messages_completed;
+    r.workload.messages_total = p.messages_total;
+  }
   if (telemetry_ != nullptr) {
     fabric_->refresh_gauges();  // observability state only, never simulated state
     telemetry::CounterRegistry& reg = telemetry_->registry();
@@ -141,6 +189,16 @@ SimResult Simulation::snapshot_at(core::Time now) const {
         "sched.events.other"};
     for (std::size_t k = 0; k < core::Scheduler::kKindSlots; ++k) {
       reg.set(reg.gauge(kKindGauges[k]), static_cast<std::int64_t>(r.events_by_kind[k]));
+    }
+    if (r.workload.ran) {
+      reg.set(reg.gauge("workload.messages_completed"),
+              static_cast<std::int64_t>(r.workload.messages_completed));
+      reg.set(reg.gauge("workload.messages_total"),
+              static_cast<std::int64_t>(r.workload.messages_total));
+      reg.set(reg.gauge("workload.makespan_us"),
+              r.workload.completed
+                  ? static_cast<std::int64_t>(r.workload.makespan / core::kMicrosecond)
+                  : -1);
     }
     for (auto& [name, value] : telemetry_->registry().snapshot()) {
       r.counters.emplace(std::move(name), value);

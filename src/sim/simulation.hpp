@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cc/cc_manager.hpp"
 #include "core/scheduler.hpp"
@@ -18,7 +19,30 @@
 #include "topo/topology.hpp"
 #include "traffic/scenario.hpp"
 
+namespace ibsim::workload {
+class WorkloadEngine;
+}  // namespace ibsim::workload
+
 namespace ibsim::sim {
+
+/// Application completion times of a workload run (empty/ran == false
+/// when the config had no workload). Times are raw scheduler timestamps
+/// so cross-run comparisons are bit-exact; entries that did not finish
+/// inside the simulated window hold core::kTimeNever.
+struct WorkloadResult {
+  bool ran = false;        ///< a workload was configured and installed
+  bool completed = false;  ///< every op finished within sim_time
+  core::Time makespan = core::kTimeNever;
+  std::vector<core::Time> rank_finish;
+  std::vector<core::Time> phase_finish;
+  std::uint64_t messages_completed = 0;
+  std::uint64_t messages_total = 0;
+
+  /// Makespan in microseconds, or -1 when the workload did not finish.
+  [[nodiscard]] double makespan_us() const {
+    return completed ? static_cast<double>(makespan) / core::kMicrosecond : -1.0;
+  }
+};
 
 /// Aggregate outcome of one simulation run — the numbers the paper's
 /// tables and figures are built from.
@@ -48,6 +72,9 @@ struct SimResult {
 
   /// End-of-run counter values (empty unless telemetry was active).
   std::map<std::string, std::int64_t> counters;
+
+  /// Application completion times (ran == false without a workload).
+  WorkloadResult workload;
 };
 
 /// One fully assembled simulation: topology, routing, CC, fabric,
@@ -75,7 +102,10 @@ class Simulation {
   // Component access for tests and custom harnesses.
   [[nodiscard]] core::Scheduler& sched() { return sched_; }
   [[nodiscard]] fabric::Fabric& fabric() { return *fabric_; }
+  /// The synthetic scenario; only valid when no workload is active.
   [[nodiscard]] traffic::Scenario& scenario() { return *scenario_; }
+  /// The workload engine; null when the config has no workload.
+  [[nodiscard]] workload::WorkloadEngine* workload_engine() { return workload_.get(); }
   [[nodiscard]] MetricsCollector& metrics() { return *metrics_; }
   [[nodiscard]] const topo::Topology& topology() const { return snapshot_->topology->topo; }
   [[nodiscard]] const topo::RoutingTables& routing() const { return snapshot_->tables; }
@@ -107,6 +137,7 @@ class Simulation {
   std::unique_ptr<cc::CcManager> ccm_;
   std::unique_ptr<fabric::Fabric> fabric_;
   std::unique_ptr<traffic::Scenario> scenario_;
+  std::unique_ptr<workload::WorkloadEngine> workload_;
   std::unique_ptr<MetricsCollector> metrics_;
   std::unique_ptr<telemetry::Telemetry> telemetry_;
   std::unique_ptr<telemetry::CounterSampler> sampler_;

@@ -129,6 +129,63 @@ TEST(ConfigFile, UnknownCcAlgoListsValidNames) {
   EXPECT_EQ(config.cc_algo, "iba_a10");
 }
 
+TEST(ConfigFile, DuplicateKeyRejectedWithBothLines) {
+  SimConfig config;
+  const std::string err = apply_config_text("seed = 1\nhotspots = 2\nseed = 3\n", &config);
+  EXPECT_NE(err.find("line 3"), std::string::npos);
+  EXPECT_NE(err.find("duplicate key 'seed'"), std::string::npos);
+  EXPECT_NE(err.find("line 1"), std::string::npos);
+}
+
+TEST(ConfigFile, SeparateApplicationsMayRepeatKeys) {
+  // Duplicate detection is per document: layering a second config file
+  // (or CLI-style overrides) on top stays legal.
+  SimConfig config;
+  EXPECT_TRUE(apply_config_text("seed = 1\n", &config).empty());
+  EXPECT_TRUE(apply_config_text("seed = 2\n", &config).empty());
+  EXPECT_EQ(config.seed, 2u);
+}
+
+TEST(ConfigFile, WorkloadKeysApply) {
+  SimConfig config;
+  const std::string err = apply_config_text(R"(
+workload = incast
+workload_ranks = 12
+workload_bytes = 131072
+workload_iters = 3
+workload_compute_us = 5
+workload_background = 0
+)",
+                                            &config);
+  ASSERT_TRUE(err.empty()) << err;
+  EXPECT_TRUE(config.workload.active());
+  EXPECT_EQ(config.workload.name, "incast");
+  EXPECT_EQ(config.workload.ranks, 12);
+  EXPECT_EQ(config.workload.message_bytes, 131072);
+  EXPECT_EQ(config.workload.iterations, 3);
+  EXPECT_EQ(config.workload.compute, 5 * core::kMicrosecond);
+  EXPECT_FALSE(config.workload.background_uniform);
+}
+
+TEST(ConfigFile, UnknownWorkloadListsValidNames) {
+  SimConfig config;
+  const std::string err = apply_config_text("seed = 1\nworkload = lammps\n", &config);
+  EXPECT_NE(err.find("line 2"), std::string::npos);
+  EXPECT_NE(err.find("lammps"), std::string::npos);
+  EXPECT_NE(err.find("valid:"), std::string::npos);
+  EXPECT_NE(err.find("incast"), std::string::npos);
+  EXPECT_NE(err.find("ring_allreduce"), std::string::npos);
+  EXPECT_FALSE(config.workload.active());
+}
+
+TEST(ConfigFile, WorkloadFileKeyAccepted) {
+  SimConfig config;
+  EXPECT_TRUE(
+      apply_config_text("workload = file\nworkload_file = w.wl\n", &config).empty());
+  EXPECT_EQ(config.workload.name, "file");
+  EXPECT_EQ(config.workload.file, "w.wl");
+}
+
 TEST(ConfigFile, CommentsAndWhitespaceTolerated) {
   SimConfig config;
   EXPECT_TRUE(

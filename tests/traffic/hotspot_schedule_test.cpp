@@ -91,6 +91,46 @@ TEST(HotspotSchedule, ZeroHotspots) {
   EXPECT_EQ(sched.moves(), 0);  // nothing to move
 }
 
+TEST(HotspotSchedule, MovingWithAllNodesHotspotTerminates) {
+  // Degenerate moving schedule: every node is a hotspot, so each redraw
+  // rejection-samples a full permutation. Must terminate and keep the
+  // set distinct after every move.
+  core::Scheduler sched_core;
+  HotspotSchedule sched(4, 4, core::kMillisecond, core::Rng(9));
+  sched.install(sched_core);
+  sched_core.run_until(3 * core::kMillisecond);
+  EXPECT_EQ(sched.moves(), 3);
+  std::set<ib::NodeId> unique(sched.hotspots().begin(), sched.hotspots().end());
+  EXPECT_EQ(unique.size(), 4u);
+}
+
+TEST(HotspotSchedule, SingleEndpointPairRelocatesWithinBounds) {
+  // Minimal fabric that can host traffic: two end nodes, one hotspot.
+  core::Scheduler sched_core;
+  HotspotSchedule sched(2, 1, core::kMillisecond, core::Rng(10));
+  sched.install(sched_core);
+  for (int move = 0; move < 5; ++move) {
+    sched_core.run_until((move + 1) * core::kMillisecond);
+    EXPECT_GE(sched.hotspot(0), 0);
+    EXPECT_LT(sched.hotspot(0), 2);
+  }
+  EXPECT_EQ(sched.moves(), 5);
+}
+
+TEST(HotspotSchedule, MoveExactlyAtWindowBoundaryExecutes) {
+  // Simulation::run calls run_until(warmup) then run_until(sim_time);
+  // the scheduler executes events at exactly `until`, so a lifetime that
+  // divides the window boundaries lands moves *on* them. Pin that down:
+  // a move scheduled exactly at the stop time is part of the window.
+  core::Scheduler sched_core;
+  HotspotSchedule sched(10, 2, 100 * core::kMicrosecond, core::Rng(11));
+  sched.install(sched_core);
+  sched_core.run_until(100 * core::kMicrosecond);  // "warmup" edge
+  EXPECT_EQ(sched.moves(), 1);
+  sched_core.run_until(500 * core::kMicrosecond);  // "sim_time" edge
+  EXPECT_EQ(sched.moves(), 5);
+}
+
 TEST(FixedHotspot, AlwaysSame) {
   FixedHotspot p(5);
   EXPECT_EQ(p.current_hotspot(), 5);

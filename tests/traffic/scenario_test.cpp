@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/simulation.hpp"
 #include "topo/builders.hpp"
 
 namespace ibsim::traffic {
@@ -108,6 +109,74 @@ TEST(Scenario, RoleNames) {
   EXPECT_STREQ(role_name(NodeRole::B), "B");
   EXPECT_STREQ(role_name(NodeRole::C), "C");
   EXPECT_STREQ(role_name(NodeRole::V), "V");
+}
+
+TEST(Scenario, ZeroHotspotsDegradesContributorsToUniform) {
+  // A zero-weight hotspot destination set: B and C nodes have hotspot
+  // shares but nowhere to aim them — they must degenerate to pure
+  // uniform senders, not divide by zero or park traffic forever.
+  core::Scheduler sched;
+  const topo::Topology topo = topo::single_switch(8);
+  const topo::RoutingTables routing = topo::RoutingTables::compute(topo);
+  const cc::CcManager ccm(ib::CcParams::disabled());
+  fabric::Fabric fab(topo, routing, fabric::FabricParams{}, ccm, sched);
+
+  ScenarioSpec spec = windy_spec(0.5, 0.7);
+  spec.n_hotspots = 0;
+  Scenario scen(8, spec, core::Rng(8));
+  scen.install(fab, sched);
+  ASSERT_EQ(scen.schedule().n_hotspots(), 0);
+  for (const BNodeGenerator* gen : scen.generators()) {
+    EXPECT_DOUBLE_EQ(gen->params().p, 0.0);
+  }
+  // And traffic actually flows.
+  fab.start(sched);
+  sched.run_until(200 * core::kMicrosecond);
+  EXPECT_GT(fab.total_delivered_bytes(), 0);
+}
+
+TEST(Scenario, TwoNodeFabricRunsEndToEnd) {
+  // The smallest fabric a scenario accepts: two end nodes on one
+  // crossbar. Every draw of the uniform distribution must hit the one
+  // other endpoint and traffic must flow both ways.
+  core::Scheduler sched;
+  const topo::Topology topo = topo::single_switch(2);
+  const topo::RoutingTables routing = topo::RoutingTables::compute(topo);
+  const cc::CcManager ccm(ib::CcParams::disabled());
+  fabric::Fabric fab(topo, routing, fabric::FabricParams{}, ccm, sched);
+
+  ScenarioSpec spec;
+  spec.fraction_b = 0.0;
+  spec.fraction_c_of_rest = 0.0;  // two V nodes, pure uniform
+  spec.n_hotspots = 1;
+  Scenario scen(2, spec, core::Rng(9));
+  scen.install(fab, sched);
+  fab.start(sched);
+  sched.run_until(500 * core::kMicrosecond);
+  EXPECT_GT(fab.hca(0).delivered_bytes(), 0);
+  EXPECT_GT(fab.hca(1).delivered_bytes(), 0);
+}
+
+TEST(Scenario, MovesLandExactlyOnWindowBoundaries) {
+  // A lifetime that divides both warmup and sim_time schedules moves
+  // exactly on the window edges. Simulation::run stops at run_until(warmup)
+  // and run_until(sim_time), both of which execute events at exactly the
+  // stop time — so all five moves (100..500us) must be in, every run.
+  sim::SimConfig config;
+  config.topology = sim::TopologyKind::SingleSwitch;
+  config.single_switch_nodes = 8;
+  config.scenario.n_hotspots = 1;
+  config.scenario.hotspot_lifetime = 100 * core::kMicrosecond;
+  config.sim_time = 500 * core::kMicrosecond;
+  config.warmup = 100 * core::kMicrosecond;
+  sim::Simulation simulation(config);
+  const sim::SimResult r = simulation.run();
+  EXPECT_EQ(simulation.scenario().schedule().moves(), 5);
+  // And the boundary handling is deterministic run to run.
+  sim::Simulation again(config);
+  const sim::SimResult r2 = again.run();
+  EXPECT_EQ(r.delivered_bytes, r2.delivered_bytes);
+  EXPECT_EQ(r.events_executed, r2.events_executed);
 }
 
 TEST(ScenarioDeath, DoubleInstallAborts) {
