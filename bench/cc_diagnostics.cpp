@@ -84,7 +84,8 @@ int main(int argc, char** argv) {
     for (std::int32_t p = 0; p < sw.n_ports(); ++p) {
       const auto& op = sw.output(p);
       if (!op.connected) continue;
-      for (const auto& det : op.cc) {
+      for (ib::Vl vl = 0; vl < sw.bank().n_vls(); ++vl) {
+        const auto& det = sw.bank().cc(p, vl);
         (op.peer_is_hca ? marks_to_hca : marks_fabric) += det.marked();
         (op.peer_is_hca ? queued_to_hca : queued_fabric) += det.queued_bytes();
         victim_suppressed += det.victim_suppressed();

@@ -59,12 +59,12 @@ Outcome run_case(double duty, bool cc_on, core::Time sim_time, std::uint64_t see
       params.mean_off = static_cast<core::Time>(
           static_cast<double>(params.mean_on) * (1.0 - duty) / duty);
       sources.push_back(std::make_unique<traffic::BurstGenerator>(
-          node, n, params, gate, &fab.pool(), rng.fork("burst", node)));
+          node, n, params, gate, &fab.arena(), rng.fork("burst", node)));
     } else {
       traffic::BNodeParams params;
       params.p = 0.0;  // pure uniform
       sources.push_back(std::make_unique<traffic::BNodeGenerator>(
-          node, n, params, nullptr, gate, &fab.pool(), rng.fork("gen", node)));
+          node, n, params, nullptr, gate, &fab.arena(), rng.fork("gen", node)));
     }
     fab.hca(node).attach_source(sources.back().get());
   }

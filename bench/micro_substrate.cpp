@@ -103,26 +103,28 @@ void BM_UniformDestination(benchmark::State& state) {
 }
 BENCHMARK(BM_UniformDestination);
 
-void BM_PacketPoolCycle(benchmark::State& state) {
-  ib::PacketPool pool;
+void BM_PacketArenaCycle(benchmark::State& state) {
+  ib::PacketArena arena;
+  arena.reserve(16);
   for (auto _ : state) {
-    ib::Packet* pkt = pool.allocate();
-    pkt->bytes = ib::kMtuBytes;
-    pool.release(pkt);
+    const ib::PacketHandle h = arena.allocate();
+    arena.get(h).bytes = ib::kMtuBytes;
+    arena.release(h);
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_PacketPoolCycle);
+BENCHMARK(BM_PacketArenaCycle);
 
 void BM_PacketQueueCycle(benchmark::State& state) {
-  ib::PacketPool pool;
+  ib::PacketArena arena;
+  arena.reserve(64);
   ib::PacketQueue queue;
-  std::vector<ib::Packet*> pkts;
-  for (int i = 0; i < 64; ++i) pkts.push_back(pool.allocate());
+  std::vector<ib::PacketHandle> pkts;
+  for (int i = 0; i < 64; ++i) pkts.push_back(arena.allocate());
   std::size_t next = 0;
   for (auto _ : state) {
-    queue.push_back(pkts[next]);
-    benchmark::DoNotOptimize(queue.pop_front());
+    queue.push_back(arena, pkts[next]);
+    benchmark::DoNotOptimize(queue.pop_front(arena));
     next = (next + 1) % pkts.size();
   }
   state.SetItemsProcessed(state.iterations());

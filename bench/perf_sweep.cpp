@@ -145,6 +145,7 @@ struct Cell {
   double events_per_packet = 0.0;
   std::array<std::uint64_t, core::Scheduler::kKindSlots> by_kind{};
   long peak_rss_kib = 0;
+  long bytes_per_endpoint = 0;  ///< scale cells only: RSS delta / endpoints
 };
 
 long peak_rss_kib() {
@@ -199,6 +200,29 @@ void print_by_kind(const Cell& cell) {
               static_cast<unsigned long long>(cell.by_kind[4]),
               static_cast<unsigned long long>(cell.by_kind[5]),
               static_cast<unsigned long long>(cell.by_kind[0] + cell.by_kind[6]));
+}
+
+/// The 10k-endpoint scale cell: the ROADMAP's "modern cluster" target on
+/// the scale_10k fat-tree (16 pods x 32 leaves x 20 nodes = 10240 HCAs,
+/// 608 switches, 64-port aggregation/core radixes). The cell proves the
+/// run *fits* — peak RSS and bytes-per-endpoint land in the JSON — and
+/// tracks event-loop throughput at a working set that no cache level can
+/// hold, which is exactly where the SoA layout earns its keep. The
+/// snapshot cache shares the ~10 s routing build across repeats and the
+/// fast/slow pair, so the harness pays for it once.
+Scenario make_scale_scenario(bool quick) {
+  sim::SimConfig config;
+  config.topology = sim::TopologyKind::FatTree3;
+  config.fat_tree3 = topo::FatTree3Params::scale_10k();
+  config.sim_time = (quick ? 50 : 100) * core::kMicrosecond;
+  config.warmup = 0;
+  config.cc.ccti_increase = 4;
+  config.cc.ccti_timer = 38;
+  config.scenario.fraction_b = 0.0;
+  config.scenario.fraction_c_of_rest = 0.8;
+  config.scenario.n_hotspots = 8;
+  config.snapshot_cache = true;
+  return {"scale_10k", config};
 }
 
 /// The Table II batch on the full sun_dcs_648 fabric, with the window
@@ -317,7 +341,14 @@ std::string json_line(const Cell& cell) {
                 static_cast<unsigned long long>(cell.delivered_bytes),
                 static_cast<unsigned long long>(cell.delivered_packets), cell.wall_seconds,
                 cell.events_per_sec, cell.events_per_packet, cell.peak_rss_kib);
-  return buf;
+  std::string line = buf;
+  if (cell.bytes_per_endpoint > 0) {
+    char extra[64];
+    std::snprintf(extra, sizeof(extra), ", \"bytes_per_endpoint\": %ld}",
+                  cell.bytes_per_endpoint);
+    line.replace(line.size() - 1, 1, extra);
+  }
+  return line;
 }
 
 bool write_json(const std::string& path, const std::vector<Cell>& cells) {
@@ -462,6 +493,53 @@ int main(int argc, char** argv) {
                     : 0.0);
     print_by_kind(fast);
     print_by_kind(slow);
+  }
+
+  // 10k-endpoint scale cell. One fast/slow pair on the default queue —
+  // the evt/pkt ratio gives the scale cell a deterministic gated ratio
+  // like every other scenario — with the per-endpoint footprint measured
+  // as the cell's peak-RSS delta. Repeats are capped at 2: each repeat
+  // re-builds a 10240-HCA fabric, and best-of-2 on a ~1.3M-event run is
+  // already stable.
+  {
+    const long rss_before_scale = peak_rss_kib();
+    const Scenario scale = make_scale_scenario(quick);
+    const int scale_repeat = repeat < 2 ? repeat : 2;
+    Cell scale_fast =
+        run_cell(scale, core::QueueKind::kTwoTier, /*fast_path=*/true, "fast", scale_repeat);
+    const Cell scale_slow =
+        run_cell(scale, core::QueueKind::kTwoTier, /*fast_path=*/false, "slow", scale_repeat);
+    if (scale_fast.delivered_bytes != scale_slow.delivered_bytes ||
+        scale_fast.delivered_packets != scale_slow.delivered_packets ||
+        scale_fast.events >= scale_slow.events) {
+      std::fprintf(stderr,
+                   "FATAL: fast path diverged on 'scale_10k' (events %llu vs %llu, "
+                   "bytes %llu vs %llu)\n",
+                   static_cast<unsigned long long>(scale_fast.events),
+                   static_cast<unsigned long long>(scale_slow.events),
+                   static_cast<unsigned long long>(scale_fast.delivered_bytes),
+                   static_cast<unsigned long long>(scale_slow.delivered_bytes));
+      return 1;
+    }
+    const long endpoints = scale.config.fat_tree3.node_count();
+    scale_fast.bytes_per_endpoint =
+        (scale_fast.peak_rss_kib - rss_before_scale) * 1024 / endpoints;
+    for (const Cell& cell : {scale_fast, scale_slow}) {
+      std::printf("%-16s %-9s %12llu %10.4f %14.0f %10ld\n", cell.scenario.c_str(),
+                  cell.queue.c_str(), static_cast<unsigned long long>(cell.events),
+                  cell.wall_seconds, cell.events_per_sec, cell.peak_rss_kib);
+      cells.push_back(cell);
+    }
+    std::printf("%-16s events/packet fast path: %.2f -> %.2f (%.3fx fewer events)\n",
+                scale.name, scale_slow.events_per_packet, scale_fast.events_per_packet,
+                scale_fast.events_per_packet > 0.0
+                    ? scale_slow.events_per_packet / scale_fast.events_per_packet
+                    : 0.0);
+    std::printf("%-16s footprint: %ld KiB peak RSS, %ld bytes/endpoint over %ld HCAs\n",
+                scale.name, scale_fast.peak_rss_kib, scale_fast.bytes_per_endpoint,
+                endpoints);
+    print_by_kind(scale_fast);
+    print_by_kind(scale_slow);
   }
 
   // Sweep-engine cell: the same Table II batch with per-run snapshot

@@ -25,9 +25,9 @@ namespace {
 /// honours the CC injection-rate delay through the flow gate.
 class ToSinkSource final : public fabric::TrafficSource {
  public:
-  ToSinkSource(ib::NodeId self, ib::NodeId sink, double gbps, ib::PacketPool* pool,
+  ToSinkSource(ib::NodeId self, ib::NodeId sink, double gbps, ib::PacketArena* arena,
                const cc::FlowGate* gate)
-      : self_(self), sink_(sink), gbps_(gbps), pool_(pool), gate_(gate) {}
+      : self_(self), sink_(sink), gbps_(gbps), arena_(arena), gate_(gate) {}
 
   Poll poll(core::Time now) override {
     // Rate-budgeted like the paper's generators: at most gbps x t bytes,
@@ -37,22 +37,23 @@ class ToSinkSource final : public fabric::TrafficSource {
     if (gate_ != nullptr && gate_->flow_ready_at(sink_) > ready) {
       ready = gate_->flow_ready_at(sink_);
     }
-    if (ready > now) return {nullptr, ready};
-    ib::Packet* pkt = pool_->allocate();
-    pkt->src = self_;
-    pkt->dst = sink_;
-    pkt->bytes = ib::kMtuBytes;
-    pkt->vl = ib::kDataVl;
-    pkt->injected_at = now;
-    sent_ += pkt->bytes;
-    return {pkt, core::kTimeNever};
+    if (ready > now) return {ib::kNullPacket, ready};
+    const ib::PacketHandle h = arena_->allocate();
+    ib::Packet& pkt = arena_->get(h);
+    pkt.src = self_;
+    pkt.dst = sink_;
+    pkt.bytes = ib::kMtuBytes;
+    pkt.vl = ib::kDataVl;
+    pkt.injected_at = now;
+    sent_ += pkt.bytes;
+    return {h, core::kTimeNever};
   }
 
  private:
   ib::NodeId self_;
   ib::NodeId sink_;
   double gbps_;
-  ib::PacketPool* pool_;
+  ib::PacketArena* arena_;
   const cc::FlowGate* gate_;
   std::int64_t sent_ = 0;
 };
@@ -94,7 +95,7 @@ RunResult run(bool cc_on, std::int32_t switches, core::Time sim_time, std::uint6
 
   for (ib::NodeId n = 0; n < switches - 1; ++n) {
     const cc::FlowGate* gate = cc_on ? &fab.hca(n).cc_agent() : nullptr;
-    sources.push_back(std::make_unique<ToSinkSource>(n, sink, 13.5, &fab.pool(), gate));
+    sources.push_back(std::make_unique<ToSinkSource>(n, sink, 13.5, &fab.arena(), gate));
     fab.hca(n).attach_source(sources.back().get());
   }
   fab.hca(sink).attach_observer(&observer);

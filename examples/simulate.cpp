@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
 
   sim::Cli cli("simulate: run one InfiniBand CC simulation from the command line");
   // Topology.
-  cli.add_string("topology", "clos", "clos | single | chain | dumbbell | mesh");
+  cli.add_string("topology", "clos", "clos | single | chain | dumbbell | mesh | ft3");
   cli.add_int("leaves", 12, "clos: leaf switches");
   cli.add_int("spines", 6, "clos: spine switches");
   cli.add_int("nodes-per-leaf", 6, "clos: end nodes per leaf");
@@ -36,6 +36,12 @@ int main(int argc, char** argv) {
   cli.add_int("mesh-rows", 4, "mesh: rows");
   cli.add_int("mesh-cols", 4, "mesh: columns");
   cli.add_int("mesh-nodes", 4, "mesh: nodes per switch");
+  cli.add_string("ft3-preset", "", "ft3: canned shape, 2k | 10k (overrides the ft3-* knobs)");
+  cli.add_int("ft3-pods", 4, "ft3: pods");
+  cli.add_int("ft3-leaves", 2, "ft3: leaf switches per pod");
+  cli.add_int("ft3-aggs", 2, "ft3: aggregation switches per pod");
+  cli.add_int("ft3-cores", 4, "ft3: core switches");
+  cli.add_int("ft3-nodes", 4, "ft3: end nodes per leaf");
   // Traffic.
   cli.add_double("fraction-b", 0.0, "share of B nodes (0..1)");
   cli.add_double("p", 50.0, "B-node hotspot percentage (0..100)");
@@ -137,6 +143,23 @@ int main(int argc, char** argv) {
     config.mesh_rows = static_cast<std::int32_t>(cli.get_int("mesh-rows"));
     config.mesh_cols = static_cast<std::int32_t>(cli.get_int("mesh-cols"));
     config.mesh_nodes_per_switch = static_cast<std::int32_t>(cli.get_int("mesh-nodes"));
+  } else if (topology == "ft3") {
+    config.topology = sim::TopologyKind::FatTree3;
+    const std::string preset = cli.get_string("ft3-preset");
+    if (preset == "2k") {
+      config.fat_tree3 = topo::FatTree3Params::scale_2k();
+    } else if (preset == "10k") {
+      config.fat_tree3 = topo::FatTree3Params::scale_10k();
+    } else if (!preset.empty()) {
+      std::fprintf(stderr, "unknown ft3 preset '%s' (valid: 2k | 10k)\n", preset.c_str());
+      return 2;
+    } else {
+      config.fat_tree3.pods = static_cast<std::int32_t>(cli.get_int("ft3-pods"));
+      config.fat_tree3.leaves_per_pod = static_cast<std::int32_t>(cli.get_int("ft3-leaves"));
+      config.fat_tree3.aggs_per_pod = static_cast<std::int32_t>(cli.get_int("ft3-aggs"));
+      config.fat_tree3.cores = static_cast<std::int32_t>(cli.get_int("ft3-cores"));
+      config.fat_tree3.nodes_per_leaf = static_cast<std::int32_t>(cli.get_int("ft3-nodes"));
+    }
   } else {
     std::fprintf(stderr, "unknown topology '%s'\n", topology.c_str());
     return 2;

@@ -22,6 +22,7 @@ CaCcAgent::CaCcAgent(ib::NodeId self, std::int32_t n_nodes, const ib::CcParams& 
   ctx.cct = cct;
   algo_ = ccalg::CcAlgorithmRegistry::instance().create(
       params_.enabled ? algo : "none", ctx);
+  ended_scratch_.reserve(static_cast<std::size_t>(ctx.n_flows));
 }
 
 std::int32_t CaCcAgent::flow_index(ib::NodeId dst) const {

@@ -10,6 +10,9 @@ IbaA10::IbaA10(const CcAlgoContext& ctx) : params_(ctx.params), cct_(ctx.cct) {
   IBSIM_ASSERT(cct_ != nullptr, "iba_a10 needs a congestion control table");
   IBSIM_ASSERT(ctx.n_flows > 0, "iba_a10 needs at least one flow slot");
   flows_.resize(static_cast<std::size_t>(ctx.n_flows));
+  // Every flow can be active at once; reserving here keeps the BECN/timer
+  // hot path free of reallocation for the whole run.
+  active_flows_.reserve(static_cast<std::size_t>(ctx.n_flows));
 }
 
 std::unique_ptr<CcAlgorithm> IbaA10::make(const CcAlgoContext& ctx) {

@@ -11,6 +11,7 @@ RateBasedAlgorithm::RateBasedAlgorithm(const CcAlgoContext& ctx, double min_rate
   IBSIM_ASSERT(ctx.n_flows > 0, "rate-based CC needs at least one flow slot");
   IBSIM_ASSERT(min_rate_ > 0.0 && min_rate_ < 1.0, "min_rate must be in (0, 1)");
   flows_.resize(static_cast<std::size_t>(ctx.n_flows));
+  active_flows_.reserve(static_cast<std::size_t>(ctx.n_flows));
 }
 
 core::Time RateBasedAlgorithm::on_send(std::int32_t flow, std::int32_t bytes,

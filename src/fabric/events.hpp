@@ -7,11 +7,11 @@
 namespace ibsim::fabric {
 
 /// Event kinds exchanged between fabric components. Payload conventions:
-/// `a` carries a Packet* (PacketArrive) or packed credit info
+/// `a` carries a PacketHandle (PacketArrive) or packed credit info
 /// (CreditUpdate); `b` carries the port index on the *receiving* device.
 enum EventKind : std::uint32_t {
   /// A packet's head reaches an input buffer (after link + pipeline
-  /// delays). a = Packet*, b = input port.
+  /// delays). a = PacketHandle, b = input port.
   kEvPacketArrive = 1,
   /// An output port finished serializing (or pacing) a packet and may
   /// arbitrate again. b = output port.
@@ -19,7 +19,8 @@ enum EventKind : std::uint32_t {
   /// Flow-control credits returned by the downstream input buffer.
   /// a = pack_credit(vl, bytes), b = output port being replenished.
   kEvCreditUpdate = 3,
-  /// The HCA sink finished draining a packet. a = Packet*.
+  /// The HCA sink finished draining a packet (held in the HCA's
+  /// draining slot; the payload is unused).
   kEvSinkFree = 4,
   /// Timed retry for an HCA whose traffic source reported a future
   /// readiness time (pacing budget, IRD throttle).

@@ -1,5 +1,7 @@
 #include "fabric/fabric.hpp"
 
+#include <algorithm>
+
 #include "fabric/events.hpp"
 
 namespace ibsim::fabric {
@@ -25,6 +27,14 @@ Fabric::Fabric(const topo::Topology& topo, const topo::RoutingTables& routing,
   const std::string topo_err = topo.validate();
   IBSIM_ASSERT(topo_err.empty(), topo_err.c_str());
 
+  // Pre-size the arena to the fabric's scale: the live-packet population
+  // is bounded by buffered bytes (one MTU per credit unit per link), and
+  // ~16 packets per endpoint covers every calibrated configuration with
+  // headroom. Under-sizing is safe — the arena doubles on demand — this
+  // only moves the growth out of the measured window.
+  arena_.reserve(std::max<std::size_t>(
+      4096, static_cast<std::size_t>(topo.node_count()) * 16));
+
   handlers_.resize(static_cast<std::size_t>(topo.device_count()), nullptr);
   switches_.reserve(topo.switches().size());
   hcas_.reserve(static_cast<std::size_t>(topo.node_count()));
@@ -46,19 +56,19 @@ Fabric::Fabric(const topo::Topology& topo, const topo::RoutingTables& routing,
       const topo::PortRef self{sw->device_id(), p};
       const topo::PortRef peer = topo.peer(self);
       if (!peer.valid()) continue;
-      wire_output(sw->output(p), self, peer, /*from_hca=*/false);
+      wire_output(sw->output(p), sw->bank(), p, self, peer, /*from_hca=*/false);
     }
   }
   for (auto& h : hcas_) {
     const topo::PortRef self{h->device_id(), 0};
     const topo::PortRef peer = topo.peer(self);
     IBSIM_ASSERT(peer.valid(), "HCA must be cabled");
-    wire_output(h->out_, self, peer, /*from_hca=*/true);
+    wire_output(h->out_, h->bank(), 0, self, peer, /*from_hca=*/true);
   }
 }
 
-void Fabric::wire_output(OutputPort& op, topo::PortRef self, topo::PortRef peer,
-                         bool from_hca) {
+void Fabric::wire_output(OutputPort& op, PortVlBank& bank, std::int32_t port,
+                         topo::PortRef self, topo::PortRef peer, bool from_hca) {
   const std::int32_t n_vls = params_.n_vls;
   op.peer_dev = peer.device;
   op.peer_port = peer.port;
@@ -68,25 +78,20 @@ void Fabric::wire_output(OutputPort& op, topo::PortRef self, topo::PortRef peer,
   op.pace_gbps = from_hca ? params_.hca_inject_gbps : params_.wire_gbps;
   op.prop_delay = params_.link_delay;
   op.rx_pipeline_delay = op.peer_is_hca ? params_.hca_rx_delay : params_.switch_delay;
-
-  op.credits.resize(static_cast<std::size_t>(n_vls));
-  op.pending_credit.assign(static_cast<std::size_t>(n_vls), 0);
-  op.rr_next.assign(static_cast<std::size_t>(n_vls), 0);
-  op.cc.resize(static_cast<std::size_t>(n_vls));
   op.vlarb = VlArbiter::make_default(n_vls, params_.cnp_vl());
 
   for (std::int32_t vl = 0; vl < n_vls; ++vl) {
     const auto v = static_cast<ib::Vl>(vl);
-    op.credits[v].initialize(params_.vl_capacity(v, op.peer_is_hca));
+    bank.credit(port, v).initialize(params_.vl_capacity(v, op.peer_is_hca));
     if (!from_hca) {
       // Only switches detect congestion and mark FECN. The threshold is
       // referenced to the switch input-buffer VL capacity; the Victim
       // Mask is applied to ports that face HCAs (endpoint congestion
       // roots there and an HCA never detects congestion itself).
       const bool victim_mask = op.peer_is_hca && ccm_->params().victim_mask_hca_ports;
-      op.cc[v].configure(ccm_->params(),
-                         ccm_->threshold_bytes(params_.vl_capacity(v, /*hca=*/false)),
-                         victim_mask);
+      bank.cc(port, v).configure(ccm_->params(),
+                                 ccm_->threshold_bytes(params_.vl_capacity(v, /*hca=*/false)),
+                                 victim_mask);
     }
   }
   (void)self;
@@ -100,7 +105,7 @@ void Fabric::schedule_credit_return(topo::DeviceId dev, std::int32_t in_port, ib
   core::EventHandler* target = handlers_[static_cast<std::size_t>(upstream.device)];
   if (params_.fast_path) {
     OutputPort& op = output_port_at(upstream.device, upstream.port);
-    std::int32_t& pending = op.pending_credit[vl];
+    std::int32_t& pending = port_bank_at(upstream.device).pending_credit(upstream.port, vl);
     if (coal_.dev == upstream.device && coal_.port == upstream.port && coal_.vl == vl &&
         coal_.at == at && pending > 0 && !sched_->watch_hit() && !op.idle(at)) {
       // Same destination, same refund instant, deferred event still in
@@ -145,6 +150,14 @@ OutputPort& Fabric::output_port_at(topo::DeviceId dev, std::int32_t port) {
   }
   IBSIM_ASSERT(port == 0, "HCAs have a single port");
   return static_cast<Hca*>(handler)->out();
+}
+
+PortVlBank& Fabric::port_bank_at(topo::DeviceId dev) {
+  core::EventHandler* handler = handlers_[static_cast<std::size_t>(dev)];
+  if (topo_->kind(dev) == topo::DeviceKind::Switch) {
+    return static_cast<SwitchDevice*>(handler)->bank();
+  }
+  return static_cast<Hca*>(handler)->bank();
 }
 
 void Fabric::start(core::Scheduler& sched) {
@@ -219,10 +232,12 @@ std::uint64_t Fabric::total_fecn_marked() const {
 std::int64_t Fabric::total_queued_bytes() const {
   std::int64_t total = 0;
   for (const auto& sw : switches_) {
+    const PortVlBank& bank = sw->bank();
     for (std::int32_t p = 0; p < sw->n_ports(); ++p) {
-      const OutputPort& op = sw->output(p);
-      if (!op.connected) continue;
-      for (const auto& det : op.cc) total += det.queued_bytes();
+      if (!sw->output(p).connected) continue;
+      for (std::int32_t v = 0; v < bank.n_vls(); ++v) {
+        total += bank.cc(p, static_cast<ib::Vl>(v)).queued_bytes();
+      }
     }
   }
   return total;

@@ -24,6 +24,10 @@ namespace ibsim::fabric {
 /// The Fabric borrows the topology, routing tables, CC manager and
 /// scheduler — they must outlive it. Traffic sources and the sink
 /// observer are attached afterwards by the simulation builder.
+///
+/// All packets live in one per-fabric PacketArena and travel as 32-bit
+/// handles; the arena is pre-sized to the fabric's scale so steady-state
+/// operation performs no per-packet allocation.
 class Fabric {
  public:
   Fabric(const topo::Topology& topo, const topo::RoutingTables& routing,
@@ -41,7 +45,8 @@ class Fabric {
   [[nodiscard]] std::size_t switch_count() const { return switches_.size(); }
 
   [[nodiscard]] core::Scheduler& sched() { return *sched_; }
-  [[nodiscard]] ib::PacketPool& pool() { return pool_; }
+  [[nodiscard]] ib::PacketArena& arena() { return arena_; }
+  [[nodiscard]] const ib::PacketArena& arena() const { return arena_; }
   [[nodiscard]] const FabricParams& params() const { return params_; }
   [[nodiscard]] const cc::CcManager& cc_manager() const { return *ccm_; }
   [[nodiscard]] const topo::Topology& topology() const { return *topo_; }
@@ -94,10 +99,13 @@ class Fabric {
   [[nodiscard]] std::uint64_t total_delivered_packets() const;
 
  private:
-  void wire_output(OutputPort& op, topo::PortRef self, topo::PortRef peer, bool from_hca);
+  void wire_output(OutputPort& op, PortVlBank& bank, std::int32_t port, topo::PortRef self,
+                   topo::PortRef peer, bool from_hca);
 
   /// The OutputPort object behind (dev, port), switch or HCA.
   [[nodiscard]] OutputPort& output_port_at(topo::DeviceId dev, std::int32_t port);
+  /// The PortVlBank owning (dev, *)'s per-VL state, switch or HCA.
+  [[nodiscard]] PortVlBank& port_bank_at(topo::DeviceId dev);
 
   /// Credit-coalescing candidate (fast path): the most recently scheduled
   /// deferred credit event. A later return for the same (dev, port, vl)
@@ -119,7 +127,7 @@ class Fabric {
   const cc::CcManager* ccm_;
   core::Scheduler* sched_;
 
-  ib::PacketPool pool_;
+  ib::PacketArena arena_;
   std::vector<std::unique_ptr<SwitchDevice>> switches_;
   std::vector<std::unique_ptr<Hca>> hcas_;
   std::vector<core::EventHandler*> handlers_;

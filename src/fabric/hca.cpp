@@ -14,6 +14,7 @@ Hca::Hca(Fabric* fabric, topo::DeviceId dev, ib::NodeId node, std::int32_t n_nod
   const FabricParams& p = fabric_->params();
   drain_gbps_ = p.hca_drain_gbps;
   rx_.resize(static_cast<std::size_t>(p.n_vls));
+  bank_.init(/*n_ports=*/1, p.n_vls, /*with_cc=*/false);
   cc_agent_ = std::make_unique<cc::CaCcAgent>(node, n_nodes, ccm.params(),
                                               ccm.enabled() ? &ccm.cct() : nullptr,
                                               &fabric_->sched(), this, ccm.algo());
@@ -24,7 +25,7 @@ void Hca::start(core::Scheduler& sched) { try_inject(sched); }
 void Hca::on_event(core::Scheduler& sched, const core::Event& ev) {
   switch (ev.kind) {
     case kEvPacketArrive:
-      receive(sched, reinterpret_cast<ib::Packet*>(ev.a));
+      receive(sched, static_cast<ib::PacketHandle>(ev.a));
       break;
     case kEvLinkFree:
       if (fast_path_) {
@@ -36,13 +37,14 @@ void Hca::on_event(core::Scheduler& sched, const core::Event& ev) {
       }
       try_inject(sched);
       break;
-    case kEvCreditUpdate:
+    case kEvCreditUpdate: {
+      const ib::Vl vl = credit_vl(ev.a);
       if (credit_is_deferred(ev.a)) {
-        const ib::Vl vl = credit_vl(ev.a);
-        out_.credits[vl].refund(out_.pending_credit[vl]);
-        out_.pending_credit[vl] = 0;
+        std::int32_t& pending = bank_.pending_credit(0, vl);
+        bank_.credit(0, vl).refund(pending);
+        pending = 0;
       } else {
-        out_.credits[credit_vl(ev.a)].refund(credit_bytes(ev.a));
+        bank_.credit(0, vl).refund(credit_bytes(ev.a));
       }
       // While the port is pacing out a packet, try_inject could not
       // grant; and an elided wakeup implies nothing is waiting to go
@@ -50,6 +52,7 @@ void Hca::on_event(core::Scheduler& sched, const core::Event& ev) {
       if (fast_path_ && !out_.idle(sched.now())) break;
       try_inject(sched);
       break;
+    }
     case kEvSinkFree:
       finish_drain(sched);
       break;
@@ -63,20 +66,23 @@ void Hca::on_event(core::Scheduler& sched, const core::Event& ev) {
 }
 
 void Hca::send_cnp(ib::NodeId to, ib::NodeId flow_dst) {
-  ib::Packet* cnp = fabric_->pool().allocate();
-  cnp->src = node_;
-  cnp->dst = to;
-  cnp->bytes = ib::kCnpBytes;
-  cnp->vl = fabric_->params().cnp_vl();
-  cnp->is_cnp = true;
-  cnp->becn = true;
-  cnp->flow_dst = flow_dst;
-  cnp_queue_.push_back(cnp);
+  ib::PacketArena& arena = fabric_->arena();
+  const ib::PacketHandle h = arena.allocate();
+  ib::Packet& cnp = arena.get(h);
+  cnp.src = node_;
+  cnp.dst = to;
+  cnp.bytes = ib::kCnpBytes;
+  cnp.vl = fabric_->params().cnp_vl();
+  cnp.is_cnp = true;
+  cnp.becn = true;
+  cnp.flow_dst = flow_dst;
+  const ib::Vl cnp_vl = cnp.vl;
+  cnp_queue_.push_back(arena, h);
   if (registry_ != nullptr) {
     registry_->inc(counters_.becn_sent);
     if (tracer_ != nullptr) {
       tracer_->record(telemetry::Category::kCc, telemetry::EventKind::kBecnSent,
-                      fabric_->sched().now(), dev_, /*port=*/0, cnp->vl,
+                      fabric_->sched().now(), dev_, /*port=*/0, cnp_vl,
                       /*value=*/to, /*aux=*/flow_dst);
     }
   }
@@ -128,57 +134,60 @@ void Hca::try_inject(core::Scheduler& sched) {
   }
   if (!out_.idle(now)) return;  // the pending LinkFree event will re-enter
 
+  ib::PacketArena& arena = fabric_->arena();
+
   // Congestion notifications go out ahead of data ("as soon as
   // possible", section II.2): their VL has strict priority and a
   // separate credit pool.
   if (!cnp_queue_.empty()) {
-    ib::Packet* cnp = cnp_queue_.front();
-    if (out_.credits[cnp->vl].can_send(cnp->bytes)) {
-      (void)cnp_queue_.pop_front();
-      grant(sched, cnp);
+    const ib::Packet& cnp = arena.get(cnp_queue_.front());
+    if (bank_.credit(0, cnp.vl).can_send(cnp.bytes)) {
+      grant(sched, cnp_queue_.pop_front(arena));
       return;
     }
     // CNP blocked on its VL credits; data below may still proceed.
   }
 
-  if (staged_ == nullptr && source_ != nullptr) {
+  if (staged_ == ib::kNullPacket && source_ != nullptr) {
     TrafficSource::Poll res = source_->poll(now);
     staged_ = res.pkt;
-    if (staged_ == nullptr) {
+    if (staged_ == ib::kNullPacket) {
       maybe_schedule_retry(sched, res.retry_at);
       return;
     }
-    IBSIM_ASSERT(staged_->src == node_, "source produced a packet for another node");
+    IBSIM_ASSERT(arena.get(staged_).src == node_, "source produced a packet for another node");
   }
-  if (staged_ == nullptr) return;
-  if (!out_.credits[staged_->vl].can_send(staged_->bytes)) return;  // wait for credits
+  if (staged_ == ib::kNullPacket) return;
+  const ib::Packet& staged = arena.get(staged_);
+  if (!bank_.credit(0, staged.vl).can_send(staged.bytes)) return;  // wait for credits
 
-  ib::Packet* pkt = staged_;
-  staged_ = nullptr;
-  grant(sched, pkt);
+  const ib::PacketHandle h = staged_;
+  staged_ = ib::kNullPacket;
+  grant(sched, h);
 }
 
-void Hca::grant(core::Scheduler& sched, ib::Packet* pkt) {
+void Hca::grant(core::Scheduler& sched, ib::PacketHandle h) {
   const core::Time now = sched.now();
-  out_.credits[pkt->vl].consume(pkt->bytes);
+  ib::Packet& pkt = fabric_->arena().get(h);
+  bank_.credit(0, pkt.vl).consume(pkt.bytes);
   // Pacing below wire speed models the PCIe injection bottleneck: the
   // port stays "busy" for the paced interval even though the wire
   // serializes faster.
-  out_.busy_until = now + out_.pace_time(pkt->bytes);
-  out_.tx_bytes += pkt->bytes;
+  out_.busy_until = now + out_.pace_time(pkt.bytes);
+  out_.tx_bytes += pkt.bytes;
   ++out_.tx_packets;
-  pkt->injected_at = now;
-  injected_bytes_ += pkt->bytes;
+  pkt.injected_at = now;
+  injected_bytes_ += pkt.bytes;
   ++injected_packets_;
 
   core::Time arrive = now + out_.prop_delay + out_.rx_pipeline_delay;
-  if (!fabric_->params().cut_through) arrive += out_.ser_time(pkt->bytes);
+  if (!fabric_->params().cut_through) arrive += out_.ser_time(pkt.bytes);
   sched.schedule_at(arrive, fabric_->handler(out_.peer_dev), kEvPacketArrive,
-                    reinterpret_cast<std::uint64_t>(pkt),
+                    static_cast<std::uint64_t>(h),
                     static_cast<std::uint64_t>(out_.peer_port));
   if (!fast_path_) {
     sched.schedule_at(out_.busy_until, this, kEvLinkFree, 0, 0);
-  } else if (!cnp_queue_.empty() || staged_ != nullptr || source_ != nullptr) {
+  } else if (!cnp_queue_.empty() || staged_ != ib::kNullPacket || source_ != nullptr) {
     // More to send — or a source whose poll() must run at the wakeup
     // (polling mutates generator state, so it cannot be deferred):
     // schedule eagerly, slow-path style.
@@ -191,10 +200,10 @@ void Hca::grant(core::Scheduler& sched, ib::Packet* pkt) {
     out_.wake_seq = sched.reserve_seq();
   }
 
-  if (!pkt->is_cnp) {
+  if (!pkt.is_cnp) {
     // The injection-rate delay for this flow's next packet starts when
     // this one finishes.
-    cc_agent_->on_data_granted(pkt->dst, pkt->bytes, out_.busy_until);
+    cc_agent_->on_data_granted(pkt.dst, pkt.bytes, out_.busy_until);
   }
 }
 
@@ -206,14 +215,16 @@ void Hca::maybe_schedule_retry(core::Scheduler& sched, core::Time at) {
   sched.schedule_at(at, this, kEvRetryInject, 0, 0);
 }
 
-void Hca::receive(core::Scheduler& sched, ib::Packet* pkt) {
-  rx_[pkt->vl].push_back(pkt);
-  rx_active_vls_ |= static_cast<std::uint16_t>(1u << pkt->vl);
+void Hca::receive(core::Scheduler& sched, ib::PacketHandle h) {
+  ib::PacketArena& arena = fabric_->arena();
+  const ib::Vl vl = arena.get(h).vl;
+  rx_[vl].push_back(arena, h);
+  rx_active_vls_ |= static_cast<std::uint16_t>(1u << vl);
   try_drain(sched);
 }
 
 void Hca::try_drain(core::Scheduler& sched) {
-  if (draining_ != nullptr) return;
+  if (draining_ != ib::kNullPacket) return;
   if (rx_active_vls_ == 0) return;
   // CNP VL first so BECNs reach the CC agent with minimum delay, then
   // the lowest nonempty VL — one word test instead of scanning queues.
@@ -221,35 +232,42 @@ void Hca::try_drain(core::Scheduler& sched) {
   const ib::Vl vl = (rx_active_vls_ & (1u << cnp_vl)) != 0
                         ? cnp_vl
                         : static_cast<ib::Vl>(std::countr_zero(rx_active_vls_));
+  ib::PacketArena& arena = fabric_->arena();
   ib::PacketQueue* queue = &rx_[vl];
-  draining_ = queue->pop_front();
+  draining_ = queue->pop_front(arena);
   if (queue->empty()) rx_active_vls_ &= static_cast<std::uint16_t>(~(1u << vl));
-  const core::Time done = sched.now() + core::transmit_time(draining_->bytes, drain_gbps_);
+  const core::Time done =
+      sched.now() + core::transmit_time(arena.get(draining_).bytes, drain_gbps_);
   sched.schedule_at(done, this, kEvSinkFree, 0, 0);
 }
 
 void Hca::finish_drain(core::Scheduler& sched) {
-  ib::Packet* pkt = draining_;
-  IBSIM_ASSERT(pkt != nullptr, "sink-free event without a draining packet");
-  draining_ = nullptr;
+  const ib::PacketHandle h = draining_;
+  IBSIM_ASSERT(h != ib::kNullPacket, "sink-free event without a draining packet");
+  draining_ = ib::kNullPacket;
   const core::Time now = sched.now();
+  // Copy the packet out of the arena before running the callbacks below:
+  // on_fecn can send a CNP and the observer can nudge a workload rank,
+  // both of which allocate — and an allocation may grow the arena,
+  // invalidating any reference into it.
+  const ib::Packet pkt = fabric_->arena().get(h);
 
   // The packet has left the HCA input buffer: flow-control credits go
   // back to the last switch.
-  fabric_->schedule_credit_return(dev_, 0, pkt->vl, pkt->bytes, now);
+  fabric_->schedule_credit_return(dev_, 0, pkt.vl, pkt.bytes, now);
 
-  if (pkt->is_cnp) {
-    cc_agent_->on_becn(pkt->flow_dst, now);
+  if (pkt.is_cnp) {
+    cc_agent_->on_becn(pkt.flow_dst, now);
   } else {
-    delivered_bytes_ += pkt->bytes;
+    delivered_bytes_ += pkt.bytes;
     ++delivered_packets_;
-    if (pkt->fecn) {
+    if (pkt.fecn) {
       ++fecn_delivered_;
-      cc_agent_->on_fecn(pkt->src);
+      cc_agent_->on_fecn(pkt.src);
     }
-    if (observer_ != nullptr) observer_->on_delivered(node_, *pkt, now);
+    if (observer_ != nullptr) observer_->on_delivered(node_, pkt, now);
   }
-  fabric_->pool().release(pkt);
+  fabric_->arena().release(h);
   try_drain(sched);
 }
 

@@ -9,6 +9,7 @@
 #include "core/event.hpp"
 #include "fabric/interfaces.hpp"
 #include "fabric/output_port.hpp"
+#include "fabric/port_state.hpp"
 #include "fabric/telemetry_hooks.hpp"
 #include "ib/packet.hpp"
 #include "telemetry/telemetry.hpp"
@@ -22,6 +23,9 @@ class Fabric;
 /// rate, CNPs ahead of data, per-flow IRD throttling via the CC agent)
 /// and the receive path (per-VL receive queues drained by the sink at the
 /// calibrated end-node rate, FECN-to-CNP turnaround, metrics delivery).
+///
+/// Packets are arena handles throughout; the per-VL credit balances live
+/// in a one-port PortVlBank (no CC detectors — an HCA never marks FECN).
 class Hca final : public core::EventHandler, public cc::CnpSender {
  public:
   Hca(Fabric* fabric, topo::DeviceId dev, ib::NodeId node, std::int32_t n_nodes,
@@ -50,6 +54,10 @@ class Hca final : public core::EventHandler, public cc::CnpSender {
   [[nodiscard]] const cc::CaCcAgent& cc_agent() const { return *cc_agent_; }
   [[nodiscard]] OutputPort& out() { return out_; }
 
+  /// The flat per-VL state bank of the single uplink port (port 0).
+  [[nodiscard]] PortVlBank& bank() { return bank_; }
+  [[nodiscard]] const PortVlBank& bank() const { return bank_; }
+
   [[nodiscard]] std::int64_t injected_bytes() const { return injected_bytes_; }
   [[nodiscard]] std::uint64_t injected_packets() const { return injected_packets_; }
   [[nodiscard]] std::int64_t delivered_bytes() const { return delivered_bytes_; }
@@ -65,9 +73,9 @@ class Hca final : public core::EventHandler, public cc::CnpSender {
   friend class Fabric;  // wiring
 
   void try_inject(core::Scheduler& sched);
-  void grant(core::Scheduler& sched, ib::Packet* pkt);
+  void grant(core::Scheduler& sched, ib::PacketHandle h);
   void maybe_schedule_retry(core::Scheduler& sched, core::Time at);
-  void receive(core::Scheduler& sched, ib::Packet* pkt);
+  void receive(core::Scheduler& sched, ib::PacketHandle h);
   void try_drain(core::Scheduler& sched);
   void finish_drain(core::Scheduler& sched);
 
@@ -78,7 +86,8 @@ class Hca final : public core::EventHandler, public cc::CnpSender {
 
   // Injection side.
   OutputPort out_;
-  ib::Packet* staged_ = nullptr;  ///< data packet waiting for credits
+  PortVlBank bank_;  ///< port 0 only: per-VL credits + coalesce accumulators
+  ib::PacketHandle staged_ = ib::kNullPacket;  ///< data packet waiting for credits
   ib::PacketQueue cnp_queue_;
   TrafficSource* source_ = nullptr;
   core::Time retry_at_ = core::kTimeNever;
@@ -86,7 +95,7 @@ class Hca final : public core::EventHandler, public cc::CnpSender {
   // Receive side.
   std::vector<ib::PacketQueue> rx_;  ///< per VL
   std::uint16_t rx_active_vls_ = 0;  ///< bit vl set iff rx_[vl] nonempty
-  ib::Packet* draining_ = nullptr;
+  ib::PacketHandle draining_ = ib::kNullPacket;
   double drain_gbps_ = 13.6;
   SinkObserver* observer_ = nullptr;
 

@@ -8,16 +8,16 @@ namespace ibsim::fabric {
 
 /// A traffic source attached to an HCA. The HCA polls it whenever the
 /// injection path is free; the source either hands over the next packet
-/// to send (ownership transfers to the fabric) or reports when it should
-/// be polled again (budget refill, throttled flow becoming ready, next
-/// arrival of an open-loop process). `retry_at == kTimeNever` means
-/// "nothing until external state changes".
+/// to send (an arena handle — ownership transfers to the fabric) or
+/// reports when it should be polled again (budget refill, throttled flow
+/// becoming ready, next arrival of an open-loop process).
+/// `retry_at == kTimeNever` means "nothing until external state changes".
 class TrafficSource {
  public:
   virtual ~TrafficSource() = default;
 
   struct Poll {
-    ib::Packet* pkt = nullptr;
+    ib::PacketHandle pkt = ib::kNullPacket;
     core::Time retry_at = core::kTimeNever;
   };
 

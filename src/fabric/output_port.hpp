@@ -1,11 +1,8 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
-#include "cc/switch_cc.hpp"
 #include "core/time.hpp"
-#include "fabric/credits.hpp"
 #include "fabric/vl_arbiter.hpp"
 #include "ib/types.hpp"
 #include "telemetry/counters.hpp"
@@ -26,8 +23,12 @@ enum class WakeState : std::uint8_t {
 };
 
 /// Per-output-port state shared by switches and HCAs: the downstream
-/// link, credit balances per VL, the VL arbiter, round-robin input
-/// pointers, and (on switches) the congestion-detection state.
+/// link, timing, the VL arbiter and the wakeup bookkeeping. This is a
+/// flat value type — no heap blocks behind it. The per-(port, VL) hot
+/// arrays (credits, coalesced-credit accumulators, round-robin cursors,
+/// CC detectors) live in the owning device's PortVlBank so the grant
+/// loop reads them from stride-indexed contiguous storage (DESIGN.md
+/// §13).
 ///
 /// Behaviour (arbitration loops, event scheduling) lives in the owning
 /// device; this struct is deliberately state-plus-small-helpers so both
@@ -55,11 +56,7 @@ struct OutputPort {
   WakeState wake = WakeState::kNone;
   std::uint64_t wake_seq = 0;
 
-  std::vector<CreditTracker> credits;       ///< per VL, against the peer's ibuf
-  std::vector<std::int32_t> pending_credit; ///< per VL: bytes riding a deferred credit event
-  std::vector<std::int32_t> rr_next;        ///< per VL: next input port to consider
   VlArbiter vlarb;
-  std::vector<cc::SwitchPortCc> cc;         ///< per VL congestion detector (switches)
 
   // Statistics.
   std::int64_t tx_bytes = 0;

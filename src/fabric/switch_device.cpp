@@ -16,9 +16,13 @@ SwitchDevice::SwitchDevice(Fabric* fabric, topo::DeviceId dev, std::int32_t n_po
       fast_path_(fabric->params().fast_path),
       lft_row_(fabric->routing().lft_row(dev)) {
   IBSIM_ASSERT(n_ports <= 64, "switch radix limited to 64 by the arbitration bitmask");
-  inputs_.resize(static_cast<std::size_t>(n_ports));
   outputs_.resize(static_cast<std::size_t>(n_ports));
-  for (auto& in : inputs_) in.init(n_ports, fabric_vls_);
+  bank_.init(n_ports, fabric_vls_, /*with_cc=*/true);
+  voqs_.assign(static_cast<std::size_t>(n_ports) * static_cast<std::size_t>(fabric_vls_) *
+                   static_cast<std::size_t>(n_ports),
+               ib::PacketQueue{});
+  vl_bytes_.assign(
+      static_cast<std::size_t>(n_ports) * static_cast<std::size_t>(fabric_vls_), 0);
   busy_mask_.assign(
       static_cast<std::size_t>(n_ports) * static_cast<std::size_t>(fabric_vls_), 0);
   active_vls_.assign(static_cast<std::size_t>(n_ports), 0);
@@ -27,7 +31,7 @@ SwitchDevice::SwitchDevice(Fabric* fabric, topo::DeviceId dev, std::int32_t n_po
 void SwitchDevice::on_event(core::Scheduler& sched, const core::Event& ev) {
   switch (ev.kind) {
     case kEvPacketArrive:
-      receive(sched, reinterpret_cast<ib::Packet*>(ev.a), static_cast<std::int32_t>(ev.b));
+      receive(sched, static_cast<ib::PacketHandle>(ev.a), static_cast<std::int32_t>(ev.b));
       break;
     case kEvLinkFree: {
       if (fast_path_) {
@@ -43,22 +47,23 @@ void SwitchDevice::on_event(core::Scheduler& sched, const core::Event& ev) {
       break;
     }
     case kEvCreditUpdate: {
-      auto& op = outputs_[static_cast<std::size_t>(ev.b)];
+      const auto port = static_cast<std::int32_t>(ev.b);
+      const ib::Vl vl = credit_vl(ev.a);
       if (credit_is_deferred(ev.a)) {
         // Coalesced return: the byte total rode the port-side
         // accumulator instead of the event payload.
-        const ib::Vl vl = credit_vl(ev.a);
-        op.credits[vl].refund(op.pending_credit[vl]);
-        op.pending_credit[vl] = 0;
+        std::int32_t& pending = bank_.pending_credit(port, vl);
+        bank_.credit(port, vl).refund(pending);
+        pending = 0;
       } else {
-        op.credits[credit_vl(ev.a)].refund(credit_bytes(ev.a));
+        bank_.credit(port, vl).refund(credit_bytes(ev.a));
       }
       // Busy-aware fast path: while the port is serializing, try_send
       // could not grant anyway (and a deferred wakeup can only be
       // outstanding for a workless port — see DESIGN.md §11), so skip
       // the arbitration attempt entirely.
-      if (fast_path_ && !op.idle(sched.now())) break;
-      try_send(sched, static_cast<std::int32_t>(ev.b));
+      if (fast_path_ && !outputs_[static_cast<std::size_t>(port)].idle(sched.now())) break;
+      try_send(sched, port);
       break;
     }
     default:
@@ -66,23 +71,30 @@ void SwitchDevice::on_event(core::Scheduler& sched, const core::Event& ev) {
   }
 }
 
-void SwitchDevice::receive(core::Scheduler& sched, ib::Packet* pkt, std::int32_t in_port) {
-  const std::int32_t out = lft_row_[pkt->dst];
+void SwitchDevice::receive(core::Scheduler& sched, ib::PacketHandle h, std::int32_t in_port) {
+  ib::PacketArena& arena = fabric_->arena();
+  const ib::Packet& pkt = arena.get(h);
+  const std::int32_t out = lft_row_[pkt.dst];
   IBSIM_ASSERT(out >= 0 && out < n_ports_, "LFT has no route to destination");
-  InputBuffer& in = inputs_[static_cast<std::size_t>(in_port)];
-  busy_mask(out, pkt->vl) |= 1ull << in_port;
-  active_vls(out) |= static_cast<std::uint16_t>(1u << pkt->vl);
-  in.enqueue(out, pkt->vl, pkt);
-  const bool entered =
-      outputs_[static_cast<std::size_t>(out)].cc[pkt->vl].on_enqueue(pkt->bytes);
-  if (telemetry_ != nullptr) note_enqueue(out, pkt->vl, entered, sched.now());
+  const ib::Vl vl = pkt.vl;
+  const std::int32_t bytes = pkt.bytes;
+  busy_mask(out, vl) |= 1ull << in_port;
+  active_vls(out) |= static_cast<std::uint16_t>(1u << vl);
+  voqs_[voq_slot(in_port, out, vl)].push_back(arena, h);
+  vl_bytes_[static_cast<std::size_t>(in_port) * static_cast<std::size_t>(fabric_vls_) +
+            static_cast<std::size_t>(vl)] += bytes;
+  const bool entered = bank_.cc(out, vl).on_enqueue(bytes);
+  if (telemetry_ != nullptr) {
+    note_buffer_level(in_port, vl);
+    note_enqueue(out, vl, entered, sched.now());
+  }
   try_send(sched, out);
 }
 
 bool SwitchDevice::input_eligible(std::int32_t in, std::int32_t out, ib::Vl vl) const {
-  const ib::PacketQueue& q = inputs_[static_cast<std::size_t>(in)].voq(out, vl);
+  const ib::PacketQueue& q = voqs_[voq_slot(in, out, vl)];
   if (q.empty()) return false;
-  return outputs_[static_cast<std::size_t>(out)].credits[vl].can_send(q.front()->bytes);
+  return bank_.credit(out, vl).can_send(fabric_->arena().get(q.front()).bytes);
 }
 
 void SwitchDevice::try_send(core::Scheduler& sched, std::int32_t out_port) {
@@ -145,21 +157,25 @@ bool SwitchDevice::grant_one(core::Scheduler& sched, std::int32_t out_port) {
     return false;
   }
   const std::int32_t vl_pick = op.vlarb.pick([&](ib::Vl vl) {
-    return (vl_work & (1u << vl)) != 0 && op.credits[vl].available() > 0;
+    return (vl_work & (1u << vl)) != 0 && bank_.credit(out_port, vl).available() > 0;
   });
   if (vl_pick < 0) {
     if (telemetry_ != nullptr) note_blocked(out_port, now);
     return false;
   }
   const auto vl = static_cast<ib::Vl>(vl_pick);
+  CreditTracker& credits = bank_.credit(out_port, vl);
+  ib::PacketArena& arena = fabric_->arena();
+  // The n_ports VoQs feeding (out_port, vl) — contiguous by layout.
+  ib::PacketQueue* const lane = &voqs_[voq_slot(0, out_port, vl)];
 
   // Next busy input at or after the round-robin pointer, wrapping.
+  std::int32_t& rr_next = bank_.rr_next(out_port, vl);
   const std::uint64_t mask = busy_mask(out_port, vl);
-  const std::uint64_t from_start = mask & (~0ull << op.rr_next[vl]);
+  const std::uint64_t from_start = mask & (~0ull << rr_next);
   std::int32_t chosen =
       std::countr_zero(from_start != 0 ? from_start : mask);
-  if (!op.credits[vl].can_send(
-          inputs_[static_cast<std::size_t>(chosen)].voq(out_port, vl).front()->bytes)) {
+  if (!credits.can_send(arena.get(lane[chosen].front()).bytes)) {
     // Head too large for the remaining credits; rare (mixed packet sizes
     // on one VL) — fall back to scanning the other busy inputs.
     chosen = -1;
@@ -167,7 +183,7 @@ bool SwitchDevice::grant_one(core::Scheduler& sched, std::int32_t out_port) {
     while (rest != 0) {
       const std::int32_t in = std::countr_zero(rest);
       rest &= rest - 1;
-      if (input_eligible(in, out_port, vl)) {
+      if (!lane[in].empty() && credits.can_send(arena.get(lane[in].front()).bytes)) {
         chosen = in;
         break;
       }
@@ -179,51 +195,59 @@ bool SwitchDevice::grant_one(core::Scheduler& sched, std::int32_t out_port) {
   }
   // Branch instead of %: n_ports is not a power of two, so the modulo
   // compiles to an integer division on this per-grant path.
-  op.rr_next[vl] = chosen + 1 == n_ports_ ? 0 : chosen + 1;
+  rr_next = chosen + 1 == n_ports_ ? 0 : chosen + 1;
 
-  InputBuffer& in_buf = inputs_[static_cast<std::size_t>(chosen)];
-  ib::Packet* pkt = in_buf.dequeue(out_port, vl);
-  if (in_buf.voq(out_port, vl).empty()) {
+  const ib::PacketHandle h = lane[chosen].pop_front(arena);
+  ib::Packet& pkt = arena.get(h);
+  vl_bytes_[static_cast<std::size_t>(chosen) * static_cast<std::size_t>(fabric_vls_) +
+            static_cast<std::size_t>(vl)] -= pkt.bytes;
+  IBSIM_ASSERT(input_vl_bytes(chosen, vl) >= 0, "input buffer occupancy underflow");
+  if (lane[chosen].empty()) {
     std::uint64_t& mask_ref = busy_mask(out_port, vl);
     mask_ref &= ~(1ull << chosen);
     if (mask_ref == 0)
       active_vls(out_port) &= static_cast<std::uint16_t>(~(1u << vl));
   }
-  op.vlarb.granted(pkt->bytes);
-  const bool exited = op.cc[vl].on_dequeue(pkt->bytes);
-  op.credits[vl].consume(pkt->bytes);
+  op.vlarb.granted(pkt.bytes);
+  const bool exited = bank_.cc(out_port, vl).on_dequeue(pkt.bytes);
+  credits.consume(pkt.bytes);
 
   // FECN marking: the packet is forwarded through this Port VL; the
   // detector applies the threshold / root-vs-victim / Packet_Size /
   // Marking_Rate rules (paper section II.1).
-  const bool fecn_now = op.cc[vl].decide_fecn(op.credits[vl].available(), pkt->bytes);
-  if (fecn_now) pkt->fecn = true;
+  const bool fecn_now = bank_.cc(out_port, vl).decide_fecn(credits.available(), pkt.bytes);
+  if (fecn_now) pkt.fecn = true;
 
-  const core::Time pace = op.pace_time(pkt->bytes);
+  const core::Time pace = op.pace_time(pkt.bytes);
   op.busy_until = now + pace;
-  op.tx_bytes += pkt->bytes;
+  op.tx_bytes += pkt.bytes;
   ++op.tx_packets;
-  if (telemetry_ != nullptr) note_grant(now, out_port, vl, *pkt, exited, fecn_now, pace);
+  if (telemetry_ != nullptr) {
+    note_buffer_level(chosen, vl);
+    note_grant(now, out_port, vl, pkt, exited, fecn_now, pace);
+  }
 
   // Head of the packet reaches the peer's input stage after link
   // propagation plus the receiver pipeline (cut-through); add the full
   // serialization time when running store-and-forward.
   core::Time arrive = now + op.prop_delay + op.rx_pipeline_delay;
-  if (!fabric_->params().cut_through) arrive += op.ser_time(pkt->bytes);
+  if (!fabric_->params().cut_through) arrive += op.ser_time(pkt.bytes);
   sched.schedule_at(arrive, fabric_->handler(op.peer_dev), kEvPacketArrive,
-                    reinterpret_cast<std::uint64_t>(pkt),
+                    static_cast<std::uint64_t>(h),
                     static_cast<std::uint64_t>(op.peer_port));
 
   // The packet's tail leaves our input buffer one serialization later;
   // that is when the upstream sender's credits come back.
-  fabric_->schedule_credit_return(dev_, chosen, vl, pkt->bytes, now + op.ser_time(pkt->bytes));
+  fabric_->schedule_credit_return(dev_, chosen, vl, pkt.bytes, now + op.ser_time(pkt.bytes));
   return true;
 }
 
 std::uint64_t SwitchDevice::fecn_marked() const {
   std::uint64_t total = 0;
-  for (const auto& op : outputs_) {
-    for (const auto& det : op.cc) total += det.marked();
+  for (std::int32_t p = 0; p < n_ports_; ++p) {
+    for (std::int32_t v = 0; v < fabric_vls_; ++v) {
+      total += bank_.cc(p, static_cast<ib::Vl>(v)).marked();
+    }
   }
   return total;
 }
@@ -240,8 +264,9 @@ void SwitchDevice::attach_telemetry(telemetry::Telemetry* telemetry,
   tracer_ = telemetry != nullptr ? telemetry->tracer() : nullptr;
   counters_ = counters;
   out_queue_gauges_.clear();
+  in_buf_gauges_.clear();
+  probe_registry_ = nullptr;
   if (telemetry_ == nullptr || !telemetry_->detailed()) {
-    for (auto& in : inputs_) in.set_probe(nullptr, {});
     for (auto& op : outputs_) op.h_stall_ps = {};
     return;
   }
@@ -251,8 +276,11 @@ void SwitchDevice::attach_telemetry(telemetry::Telemetry* telemetry,
   // telemetry to a 648-node fabric allocates one prefix per switch, not
   // one temporary chain per instrument.
   telemetry::CounterRegistry& reg = telemetry_->registry();
+  probe_registry_ = &reg;
   out_queue_gauges_.reserve(static_cast<std::size_t>(n_ports_) *
                             static_cast<std::size_t>(fabric_vls_));
+  in_buf_gauges_.reserve(static_cast<std::size_t>(n_ports_) *
+                         static_cast<std::size_t>(fabric_vls_));
   const std::string sw_prefix = "switch." + std::to_string(dev_);
   for (std::int32_t p = 0; p < n_ports_; ++p) {
     const std::string port_str = std::to_string(p);
@@ -262,25 +290,30 @@ void SwitchDevice::attach_telemetry(telemetry::Telemetry* telemetry,
           reg.gauge(base + ".vl" + std::to_string(v) + ".queue_bytes"));
     }
     outputs_[static_cast<std::size_t>(p)].h_stall_ps = reg.counter(base + ".credit_stall_ps");
-    std::vector<telemetry::CounterRegistry::Handle> buf_gauges;
-    buf_gauges.reserve(static_cast<std::size_t>(fabric_vls_));
     const std::string in_base = sw_prefix + ".in." + port_str + ".vl";
     for (std::int32_t v = 0; v < fabric_vls_; ++v) {
-      buf_gauges.push_back(reg.gauge(in_base + std::to_string(v) + ".buf_bytes"));
+      in_buf_gauges_.push_back(reg.gauge(in_base + std::to_string(v) + ".buf_bytes"));
     }
-    inputs_[static_cast<std::size_t>(p)].set_probe(&reg, std::move(buf_gauges));
   }
+}
+
+void SwitchDevice::note_buffer_level(std::int32_t in, ib::Vl vl) {
+  if (probe_registry_ == nullptr) return;
+  const std::size_t slot = static_cast<std::size_t>(in) *
+                               static_cast<std::size_t>(fabric_vls_) +
+                           static_cast<std::size_t>(vl);
+  probe_registry_->set(in_buf_gauges_[slot], vl_bytes_[slot]);
 }
 
 void SwitchDevice::note_enqueue(std::int32_t out, ib::Vl vl, bool entered_congestion,
                                 core::Time now) {
-  const auto& op = outputs_[static_cast<std::size_t>(out)];
+  const cc::SwitchPortCc& det = bank_.cc(out, vl);
   if (!out_queue_gauges_.empty()) {
-    telemetry_->registry().set(out_queue_gauge(out, vl), op.cc[vl].queued_bytes());
+    telemetry_->registry().set(out_queue_gauge(out, vl), det.queued_bytes());
   }
   if (entered_congestion && tracer_ != nullptr) {
     tracer_->record(telemetry::Category::kQueues, telemetry::EventKind::kCongestionEnter, now,
-                    dev_, out, vl, op.cc[vl].queued_bytes());
+                    dev_, out, vl, det.queued_bytes());
   }
 }
 
@@ -289,9 +322,10 @@ void SwitchDevice::note_grant(core::Time now, std::int32_t out, ib::Vl vl,
                               core::Time pace) {
   telemetry::CounterRegistry& reg = telemetry_->registry();
   auto& op = outputs_[static_cast<std::size_t>(out)];
+  const cc::SwitchPortCc& det = bank_.cc(out, vl);
   reg.inc(counters_.arb_grants);
   if (fecn_set) reg.inc(counters_.fecn_marked);
-  if (!out_queue_gauges_.empty()) reg.set(out_queue_gauge(out, vl), op.cc[vl].queued_bytes());
+  if (!out_queue_gauges_.empty()) reg.set(out_queue_gauge(out, vl), det.queued_bytes());
   if (op.stall_since != core::kTimeNever) {
     const core::Time stalled = now - op.stall_since;
     op.stall_since = core::kTimeNever;
@@ -306,11 +340,11 @@ void SwitchDevice::note_grant(core::Time now, std::int32_t out, ib::Vl vl,
   if (tracer_ == nullptr) return;
   if (fecn_set) {
     tracer_->record(telemetry::Category::kCc, telemetry::EventKind::kFecnMark, now, dev_, out,
-                    vl, op.cc[vl].queued_bytes());
+                    vl, det.queued_bytes());
   }
   if (exited_congestion) {
     tracer_->record(telemetry::Category::kQueues, telemetry::EventKind::kCongestionExit, now,
-                    dev_, out, vl, op.cc[vl].queued_bytes());
+                    dev_, out, vl, det.queued_bytes());
   }
   tracer_->record(telemetry::Category::kArb, telemetry::EventKind::kArbGrant, now, dev_, out,
                   vl, pkt.bytes, static_cast<std::int32_t>(pace));

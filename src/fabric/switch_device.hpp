@@ -4,8 +4,8 @@
 #include <vector>
 
 #include "core/event.hpp"
-#include "fabric/input_buffer.hpp"
 #include "fabric/output_port.hpp"
+#include "fabric/port_state.hpp"
 #include "fabric/telemetry_hooks.hpp"
 #include "ib/packet.hpp"
 #include "telemetry/telemetry.hpp"
@@ -15,10 +15,17 @@ namespace ibsim::fabric {
 
 class Fabric;
 
-/// A crossbar switch: one input buffer (VoQs) and one output port per
-/// physical port, destination routing via the linear forwarding tables,
-/// round-robin arbitration per output across inputs under the VL arbiter,
-/// and per-output-Port-VL congestion detection / FECN marking.
+/// A crossbar switch: virtual output queues per (input, output, VL),
+/// destination routing via the linear forwarding tables, round-robin
+/// arbitration per output across inputs under the VL arbiter, and
+/// per-output-Port-VL congestion detection / FECN marking.
+///
+/// Hot state is structure-of-arrays: credits / coalesced-credit
+/// accumulators / round-robin cursors / CC detectors live in a flat
+/// PortVlBank, and the VoQs are one switch-level array laid out so the
+/// inputs competing for an (output, VL) pair are contiguous — the
+/// arbitration scan walks one cache-line run instead of hopping across
+/// per-input buffer objects.
 class SwitchDevice final : public core::EventHandler {
  public:
   SwitchDevice(Fabric* fabric, topo::DeviceId dev, std::int32_t n_ports);
@@ -31,8 +38,21 @@ class SwitchDevice final : public core::EventHandler {
   [[nodiscard]] const OutputPort& output(std::int32_t port) const {
     return outputs_[static_cast<std::size_t>(port)];
   }
-  [[nodiscard]] const InputBuffer& input(std::int32_t port) const {
-    return inputs_[static_cast<std::size_t>(port)];
+
+  /// The flat per-(output port, VL) state bank (credits, CC, cursors).
+  [[nodiscard]] PortVlBank& bank() { return bank_; }
+  [[nodiscard]] const PortVlBank& bank() const { return bank_; }
+
+  /// The VoQ holding input `in`'s packets towards (out, vl).
+  [[nodiscard]] const ib::PacketQueue& voq(std::int32_t in, std::int32_t out,
+                                           ib::Vl vl) const {
+    return voqs_[voq_slot(in, out, vl)];
+  }
+
+  /// Bytes resident in input `in`'s buffer on `vl` (all VoQs).
+  [[nodiscard]] std::int64_t input_vl_bytes(std::int32_t in, ib::Vl vl) const {
+    return vl_bytes_[static_cast<std::size_t>(in) * static_cast<std::size_t>(fabric_vls_) +
+                     static_cast<std::size_t>(vl)];
   }
 
   /// Total FECN marks applied by this switch (all ports/VLs).
@@ -50,16 +70,28 @@ class SwitchDevice final : public core::EventHandler {
  private:
   friend class Fabric;  // wiring
 
-  void receive(core::Scheduler& sched, ib::Packet* pkt, std::int32_t in_port);
+  void receive(core::Scheduler& sched, ib::PacketHandle h, std::int32_t in_port);
   void try_send(core::Scheduler& sched, std::int32_t out_port);
   [[nodiscard]] bool grant_one(core::Scheduler& sched, std::int32_t out_port);
   [[nodiscard]] bool input_eligible(std::int32_t in, std::int32_t out, ib::Vl vl) const;
+
+  /// VoQ layout: the n_ports inputs of one (out, vl) pair are adjacent,
+  /// so the credit-fallback scan over busy inputs stays in one stride.
+  [[nodiscard]] std::size_t voq_slot(std::int32_t in, std::int32_t out, ib::Vl vl) const {
+    IBSIM_ASSERT(in >= 0 && in < n_ports_ && out >= 0 && out < n_ports_ && vl < fabric_vls_,
+                 "VoQ index out of range");
+    return (static_cast<std::size_t>(out) * static_cast<std::size_t>(fabric_vls_) +
+            static_cast<std::size_t>(vl)) *
+               static_cast<std::size_t>(n_ports_) +
+           static_cast<std::size_t>(in);
+  }
 
   // --- telemetry (cold paths; every caller is behind a null check) ------
   void note_enqueue(std::int32_t out, ib::Vl vl, bool entered_congestion, core::Time now);
   void note_grant(core::Time now, std::int32_t out, ib::Vl vl, const ib::Packet& pkt,
                   bool exited_congestion, bool fecn_set, core::Time pace);
   void note_blocked(std::int32_t out, core::Time now);
+  void note_buffer_level(std::int32_t in, ib::Vl vl);
   [[nodiscard]] telemetry::CounterRegistry::Handle out_queue_gauge(std::int32_t out,
                                                                    ib::Vl vl) const {
     return out_queue_gauges_[static_cast<std::size_t>(out) *
@@ -92,8 +124,10 @@ class SwitchDevice final : public core::EventHandler {
   std::int32_t fabric_vls_;
   bool fast_path_;                  ///< FabricParams::fast_path, cached off the hot path
   const std::int32_t* lft_row_;     ///< this switch's row of the flat LFT, indexed by dst
-  std::vector<InputBuffer> inputs_;
   std::vector<OutputPort> outputs_;
+  PortVlBank bank_;                          ///< per (out, vl): credits/pending/rr/cc
+  std::vector<ib::PacketQueue> voqs_;        ///< [(out * n_vls + vl) * n_ports + in]
+  std::vector<std::int64_t> vl_bytes_;       ///< per (in, vl) buffer occupancy
   std::vector<std::uint64_t> busy_mask_;
   std::vector<std::uint16_t> active_vls_;  ///< per output port
 
@@ -102,6 +136,8 @@ class SwitchDevice final : public core::EventHandler {
   telemetry::Tracer* tracer_ = nullptr;
   FabricCounters counters_;
   std::vector<telemetry::CounterRegistry::Handle> out_queue_gauges_;  ///< per (out, vl)
+  telemetry::CounterRegistry* probe_registry_ = nullptr;  ///< detailed mode only
+  std::vector<telemetry::CounterRegistry::Handle> in_buf_gauges_;     ///< per (in, vl)
 };
 
 }  // namespace ibsim::fabric

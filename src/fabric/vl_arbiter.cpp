@@ -1,37 +1,46 @@
 #include "fabric/vl_arbiter.hpp"
 
+#include <algorithm>
+
 #include "core/assert.hpp"
 
 namespace ibsim::fabric {
 
-void VlArbiter::configure(std::vector<VlArbEntry> high, std::vector<VlArbEntry> low,
+void VlArbiter::configure(std::span<const VlArbEntry> high, std::span<const VlArbEntry> low,
                           std::uint8_t high_limit) {
   IBSIM_ASSERT(!high.empty() || !low.empty(), "VL arbiter needs at least one entry");
+  IBSIM_ASSERT(high.size() <= kMaxEntries && low.size() <= kMaxEntries,
+               "VL arbiter table exceeds the inline capacity");
   for (const auto& e : high) IBSIM_ASSERT(e.weight > 0, "VL arb weight must be positive");
   for (const auto& e : low) IBSIM_ASSERT(e.weight > 0, "VL arb weight must be positive");
-  high_ = std::move(high);
-  low_ = std::move(low);
+  std::copy(high.begin(), high.end(), high_.entries.begin());
+  high_.size = high.size();
+  std::copy(low.begin(), low.end(), low_.entries.begin());
+  low_.size = low.size();
   high_limit_ = high_limit;
   hi_bytes_since_yield_ = 0;
   last_from_high_ = false;
   hi_idx_ = lo_idx_ = 0;
-  hi_left_ = high_.empty() ? 0 : high_.front().weight;
-  lo_left_ = low_.empty() ? 0 : low_.front().weight;
+  hi_left_ = high_.size == 0 ? 0 : high_.entries.front().weight;
+  lo_left_ = low_.size == 0 ? 0 : low_.entries.front().weight;
 }
 
 VlArbiter VlArbiter::make_default(std::int32_t n_vls, ib::Vl cnp_vl) {
   VlArbiter arb;
-  std::vector<VlArbEntry> high;
-  std::vector<VlArbEntry> low;
+  std::array<VlArbEntry, kMaxEntries> high{};
+  std::array<VlArbEntry, kMaxEntries> low{};
+  std::size_t n_high = 0;
+  std::size_t n_low = 0;
   for (std::int32_t vl = 0; vl < n_vls; ++vl) {
     if (n_vls > 1 && static_cast<ib::Vl>(vl) == cnp_vl) {
-      high.push_back(VlArbEntry{static_cast<ib::Vl>(vl), 1});
+      high[n_high++] = VlArbEntry{static_cast<ib::Vl>(vl), 1};
     } else {
-      low.push_back(VlArbEntry{static_cast<ib::Vl>(vl), 64});
+      low[n_low++] = VlArbEntry{static_cast<ib::Vl>(vl), 64};
     }
   }
-  if (high.empty() && low.empty()) low.push_back(VlArbEntry{0, 64});
-  arb.configure(std::move(high), std::move(low));
+  if (n_high == 0 && n_low == 0) low[n_low++] = VlArbEntry{0, 64};
+  arb.configure(std::span<const VlArbEntry>(high.data(), n_high),
+                std::span<const VlArbEntry>(low.data(), n_low));
   return arb;
 }
 

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <vector>
+#include <initializer_list>
+#include <span>
 
 #include "ib/types.hpp"
 
@@ -27,6 +29,11 @@ struct VlArbEntry {
 /// high table) priority over bulk data, which is exactly the "notify
 /// the source as quickly as possible" property section II.2 of the
 /// paper calls for.
+///
+/// The tables are inline fixed-capacity arrays (IBA allows at most 15
+/// data VLs), so an arbiter is a flat value type: the tens of thousands
+/// of output ports in a large fabric carry no per-port heap blocks and
+/// arbitration never leaves the port's cache lines.
 class VlArbiter {
  public:
   VlArbiter() = default;
@@ -34,8 +41,17 @@ class VlArbiter {
   /// The spec's "unlimited" HighPriority limit sentinel.
   static constexpr std::uint8_t kUnlimitedHighLimit = 255;
 
-  void configure(std::vector<VlArbEntry> high, std::vector<VlArbEntry> low,
+  /// Inline table capacity; covers the IBA VL space.
+  static constexpr std::size_t kMaxEntries = 16;
+
+  void configure(std::span<const VlArbEntry> high, std::span<const VlArbEntry> low,
                  std::uint8_t high_limit = kUnlimitedHighLimit);
+  void configure(std::initializer_list<VlArbEntry> high,
+                 std::initializer_list<VlArbEntry> low,
+                 std::uint8_t high_limit = kUnlimitedHighLimit) {
+    configure(std::span<const VlArbEntry>(high.begin(), high.size()),
+              std::span<const VlArbEntry>(low.begin(), low.size()), high_limit);
+  }
 
   /// Default tables for `n_vls` lanes: the CNP VL (if distinct) in the
   /// high-priority table, all other VLs with equal weight in the low one.
@@ -87,31 +103,40 @@ class VlArbiter {
   /// owner's active-VL bitmask) call this instead of scanning, keeping
   /// subsequent arbitration decisions bit-identical to a full scan.
   void note_failed_pick() {
-    if (!high_.empty()) hi_left_ = high_[hi_idx_].weight;
-    if (!low_.empty()) lo_left_ = low_[lo_idx_].weight;
+    if (high_.size != 0) hi_left_ = high_.entries[hi_idx_].weight;
+    if (low_.size != 0) lo_left_ = low_.entries[lo_idx_].weight;
     if (high_exhausted()) hi_bytes_since_yield_ = 0;
   }
 
   [[nodiscard]] std::uint8_t high_limit() const { return high_limit_; }
 
-  [[nodiscard]] const std::vector<VlArbEntry>& high_table() const { return high_; }
-  [[nodiscard]] const std::vector<VlArbEntry>& low_table() const { return low_; }
+  [[nodiscard]] std::span<const VlArbEntry> high_table() const {
+    return {high_.entries.data(), high_.size};
+  }
+  [[nodiscard]] std::span<const VlArbEntry> low_table() const {
+    return {low_.entries.data(), low_.size};
+  }
 
  private:
+  struct Table {
+    std::array<VlArbEntry, kMaxEntries> entries{};
+    std::size_t size = 0;
+  };
+
   template <typename HasWork>
-  [[nodiscard]] std::int32_t pick_from(const std::vector<VlArbEntry>& table, std::size_t& idx,
+  [[nodiscard]] std::int32_t pick_from(const Table& table, std::size_t& idx,
                                        std::int32_t& left, HasWork&& has_work) {
-    if (table.empty()) return -1;
+    if (table.size == 0) return -1;
     // Visit each entry at most twice: once with its remaining quantum,
     // once after a reset, so a lone busy VL is always found.
-    for (std::size_t step = 0; step < 2 * table.size(); ++step) {
-      const VlArbEntry& entry = table[idx];
+    for (std::size_t step = 0; step < 2 * table.size; ++step) {
+      const VlArbEntry& entry = table.entries[idx];
       if (left > 0 && has_work(entry.vl)) {
         --left;
         return entry.vl;
       }
-      idx = (idx + 1) % table.size();
-      left = table[idx].weight;
+      idx = (idx + 1) % table.size;
+      left = table.entries[idx].weight;
     }
     return -1;
   }
@@ -123,8 +148,8 @@ class VlArbiter {
            hi_bytes_since_yield_ >= static_cast<std::int64_t>(high_limit_) * 4096;
   }
 
-  std::vector<VlArbEntry> high_;
-  std::vector<VlArbEntry> low_;
+  Table high_;
+  Table low_;
   std::uint8_t high_limit_ = kUnlimitedHighLimit;
   std::int64_t hi_bytes_since_yield_ = 0;
   bool last_from_high_ = false;

@@ -4,72 +4,73 @@
 
 namespace ibsim::ib {
 
-void PacketQueue::push_back(Packet* pkt) {
-  IBSIM_ASSERT(pkt != nullptr, "queueing null packet");
-  pkt->pool_next = nullptr;
-  if (tail_ == nullptr) {
-    head_ = tail_ = pkt;
+void PacketQueue::push_back(PacketArena& arena, PacketHandle h) {
+  IBSIM_ASSERT(h != kNullPacket, "queueing null packet");
+  Packet& pkt = arena.get(h);
+  pkt.next = kNullPacket;
+  if (tail_ == kNullPacket) {
+    head_ = tail_ = h;
   } else {
-    tail_->pool_next = pkt;
-    tail_ = pkt;
+    arena.get(tail_).next = h;
+    tail_ = h;
   }
   ++count_;
-  bytes_ += pkt->bytes;
+  bytes_ += pkt.bytes;
 }
 
-void PacketQueue::push_front(Packet* pkt) {
-  IBSIM_ASSERT(pkt != nullptr, "queueing null packet");
-  pkt->pool_next = head_;
-  head_ = pkt;
-  if (tail_ == nullptr) tail_ = pkt;
+void PacketQueue::push_front(PacketArena& arena, PacketHandle h) {
+  IBSIM_ASSERT(h != kNullPacket, "queueing null packet");
+  Packet& pkt = arena.get(h);
+  pkt.next = head_;
+  head_ = h;
+  if (tail_ == kNullPacket) tail_ = h;
   ++count_;
-  bytes_ += pkt->bytes;
+  bytes_ += pkt.bytes;
 }
 
-Packet* PacketQueue::pop_front() {
-  IBSIM_ASSERT(head_ != nullptr, "popping an empty packet queue");
-  Packet* pkt = head_;
-  head_ = pkt->pool_next;
-  if (head_ == nullptr) tail_ = nullptr;
-  pkt->pool_next = nullptr;
+PacketHandle PacketQueue::pop_front(PacketArena& arena) {
+  IBSIM_ASSERT(head_ != kNullPacket, "popping an empty packet queue");
+  const PacketHandle h = head_;
+  Packet& pkt = arena.get(h);
+  head_ = pkt.next;
+  if (head_ == kNullPacket) tail_ = kNullPacket;
+  pkt.next = kNullPacket;
   --count_;
-  bytes_ -= pkt->bytes;
-  return pkt;
+  bytes_ -= pkt.bytes;
+  return h;
 }
 
-PacketPool::PacketPool(std::size_t chunk_packets) : chunk_packets_(chunk_packets) {
-  IBSIM_ASSERT(chunk_packets_ > 0, "packet pool chunk must be positive");
+void PacketArena::reserve(std::size_t slots) {
+  // Exact: a caller that reserves 4 gets 4, so tests can provoke
+  // exhaustion-regrowth cheaply; only exhaustion applies the doubling.
+  if (slots > slots_.size()) grow_to(slots);
 }
 
-PacketPool::~PacketPool() {
-  for (Packet* chunk : chunks_) delete[] chunk;
+void PacketArena::grow(std::size_t min_slots) {
+  std::size_t new_size = slots_.empty() ? 1024 : slots_.size() * 2;
+  if (new_size < min_slots) new_size = min_slots;
+  grow_to(new_size);
 }
 
-void PacketPool::grow() {
-  auto* chunk = new Packet[chunk_packets_];
-  chunks_.push_back(chunk);
-  for (std::size_t i = 0; i < chunk_packets_; ++i) {
-    chunk[i].pool_next = free_list_;
-    free_list_ = &chunk[i];
+void PacketArena::grow_to(std::size_t new_size) {
+  const std::size_t old_size = slots_.size();
+  IBSIM_ASSERT(new_size < static_cast<std::size_t>(kNullPacket),
+               "packet arena exceeds the 32-bit handle space");
+  slots_.resize(new_size);
+  // Thread the new slots onto the freelist so the lowest index allocates
+  // first — freshly used packets stay at the dense front of the arena.
+  for (std::size_t i = new_size; i > old_size; --i) {
+    slots_[i - 1].next = free_head_;
+    free_head_ = static_cast<PacketHandle>(i - 1);
   }
+  ++growths_;
 }
 
-Packet* PacketPool::allocate() {
-  if (free_list_ == nullptr) grow();
-  Packet* pkt = free_list_;
-  free_list_ = pkt->pool_next;
-  pkt->reset();
-  pkt->id = next_id_++;
-  pkt->pool_next = nullptr;
-  ++live_;
-  return pkt;
-}
-
-void PacketPool::release(Packet* pkt) {
-  IBSIM_ASSERT(pkt != nullptr, "releasing null packet");
-  IBSIM_ASSERT(live_ > 0, "pool released more packets than it allocated");
-  pkt->pool_next = free_list_;
-  free_list_ = pkt;
+void PacketArena::release(PacketHandle h) {
+  IBSIM_ASSERT(h != kNullPacket && h < slots_.size(), "releasing a foreign packet handle");
+  IBSIM_ASSERT(live_ > 0, "arena released more packets than it allocated");
+  slots_[h].next = free_head_;
+  free_head_ = h;
   --live_;
 }
 

@@ -8,11 +8,23 @@
 
 namespace ibsim::ib {
 
+/// Index of a packet inside its PacketArena. Handles are what the fabric
+/// stores everywhere a packet rests (event payloads, staged slots, VoQs,
+/// receive queues) — they stay valid across arena growth, unlike raw
+/// pointers/references, and they halve the size of every queue link.
+using PacketHandle = std::uint32_t;
+
+/// The null handle ("no packet"). An arena never hands this index out.
+inline constexpr PacketHandle kNullPacket = 0xffffffffu;
+
 /// One InfiniBand packet as the simulator models it: the header fields the
 /// CC mechanism and the fabric need, plus bookkeeping for metrics.
 ///
-/// Packets are pool-allocated (`PacketPool`) and passed by pointer through
-/// scheduler event payloads; they are never copied on the data path.
+/// Packets live in a PacketArena and travel by PacketHandle through
+/// scheduler event payloads; they are never copied on the data path. A
+/// `Packet&` obtained from an arena is a *transient* view: it may dangle
+/// after the next allocate() (the slot vector can grow), so persistent
+/// state must hold handles and re-resolve.
 struct Packet {
   std::uint64_t id = 0;       ///< unique per simulation, for tracing
   NodeId src = kInvalidNode;  ///< source end node
@@ -35,13 +47,15 @@ struct Packet {
   std::uint32_t msg_seq = 0;    ///< message number within its flow
   core::Time injected_at = 0;   ///< grant time at the source HCA
 
-  Packet* pool_next = nullptr;  ///< intrusive freelist link
+  /// Intrusive link: the next handle in whichever list holds this packet
+  /// (arena freelist or one PacketQueue — never both).
+  PacketHandle next = kNullPacket;
 
   /// Reset every live header/bookkeeping field to its freshly-constructed
-  /// value. `id` and `pool_next` are deliberately untouched: the pool
-  /// assigns a fresh id on allocation and owns the freelist link. Keeping
-  /// this an explicit field list (instead of `*this = Packet{}`) avoids
-  /// the double id write on the allocation hot path and makes any future
+  /// value. `id` and `next` are deliberately untouched: the arena assigns
+  /// a fresh id on allocation and owns the list link. Keeping this an
+  /// explicit field list (instead of `*this = Packet{}`) avoids the
+  /// double id write on the allocation hot path and makes any future
   /// field addition a conscious reset decision.
   void reset() {
     src = kInvalidNode;
@@ -60,42 +74,44 @@ struct Packet {
   }
 };
 
-/// Intrusive FIFO of packets, chained through `Packet::pool_next` (a
-/// packet is either in the pool's freelist or in at most one queue, never
-/// both). Keeps the tens of thousands of VoQs in a large fabric
-/// allocation-free; tracks byte occupancy for flow control and CC.
-class PacketQueue {
+/// Contiguous packet storage with an intrusive handle freelist. All
+/// packets of one simulation live in a single dense vector, so the hot
+/// loop walks cache lines instead of chasing per-chunk heap pointers, and
+/// a handle is a 32-bit index instead of a 64-bit pointer.
+///
+/// Allocation never touches the heap once the arena holds enough slots
+/// for the peak live-packet count (Fabric pre-sizes from the topology);
+/// growth doubles the slot vector and is counted in `growths()` so tests
+/// can pin a steady-state window to zero reallocation.
+class PacketArena {
  public:
-  [[nodiscard]] bool empty() const { return head_ == nullptr; }
-  [[nodiscard]] std::int32_t count() const { return count_; }
-  [[nodiscard]] std::int64_t bytes() const { return bytes_; }
-  [[nodiscard]] Packet* front() const { return head_; }
-
-  void push_back(Packet* pkt);
-  void push_front(Packet* pkt);
-  [[nodiscard]] Packet* pop_front();
-
- private:
-  Packet* head_ = nullptr;
-  Packet* tail_ = nullptr;
-  std::int32_t count_ = 0;
-  std::int64_t bytes_ = 0;
-};
-
-/// Freelist-based packet allocator. Allocation never touches the heap on
-/// the hot path after the first chunk; recycled packets are fully reset.
-class PacketPool {
- public:
-  explicit PacketPool(std::size_t chunk_packets = 4096);
-  ~PacketPool();
-  PacketPool(const PacketPool&) = delete;
-  PacketPool& operator=(const PacketPool&) = delete;
+  PacketArena() = default;
+  PacketArena(const PacketArena&) = delete;
+  PacketArena& operator=(const PacketArena&) = delete;
 
   /// Fetch a zero-initialised packet with a fresh id.
-  [[nodiscard]] Packet* allocate();
+  [[nodiscard]] PacketHandle allocate() {
+    if (free_head_ == kNullPacket) grow(slots_.size() + 1);
+    const PacketHandle h = free_head_;
+    Packet& pkt = slots_[h];
+    free_head_ = pkt.next;
+    pkt.reset();
+    pkt.id = next_id_++;
+    pkt.next = kNullPacket;
+    ++live_;
+    return h;
+  }
 
-  /// Return a packet to the pool. Must have come from this pool.
-  void release(Packet* pkt);
+  /// Return a packet to the arena. Must have come from this arena.
+  void release(PacketHandle h);
+
+  /// Resolve a handle. The reference is transient: valid only until the
+  /// next allocate()/reserve() (the slot vector may grow).
+  [[nodiscard]] Packet& get(PacketHandle h) { return slots_[h]; }
+  [[nodiscard]] const Packet& get(PacketHandle h) const { return slots_[h]; }
+
+  /// Ensure capacity for at least `slots` packets (does not shrink).
+  void reserve(std::size_t slots);
 
   /// Packets currently handed out (allocated minus released).
   [[nodiscard]] std::int64_t live() const { return live_; }
@@ -103,14 +119,50 @@ class PacketPool {
   /// Total packets ever allocated (freshly or recycled).
   [[nodiscard]] std::uint64_t total_allocated() const { return next_id_; }
 
- private:
-  void grow();
+  /// Slots owned (live + free).
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
 
-  std::size_t chunk_packets_;
-  std::vector<Packet*> chunks_;
-  Packet* free_list_ = nullptr;
+  /// Times the slot vector grew (including explicit reserve() growth).
+  /// A steady-state window with growths() unchanged proves the packet
+  /// path performed zero heap allocations.
+  [[nodiscard]] std::uint64_t growths() const { return growths_; }
+
+  /// Approximate resident bytes of the arena storage.
+  [[nodiscard]] std::size_t memory_bytes() const { return slots_.capacity() * sizeof(Packet); }
+
+ private:
+  void grow(std::size_t min_slots);
+  void grow_to(std::size_t new_size);
+
+  std::vector<Packet> slots_;
+  PacketHandle free_head_ = kNullPacket;
   std::int64_t live_ = 0;
   std::uint64_t next_id_ = 0;
+  std::uint64_t growths_ = 0;
+};
+
+/// Intrusive FIFO of packets, chained through `Packet::next` (a packet is
+/// either in the arena's freelist or in at most one queue, never both).
+/// Holds handles, not pointers, and takes the arena as a parameter
+/// instead of storing it — a queue is 24 bytes, which is what keeps the
+/// tens of thousands of VoQs of a 10k-endpoint fabric dense in cache.
+/// Tracks byte occupancy for flow control and CC.
+class PacketQueue {
+ public:
+  [[nodiscard]] bool empty() const { return head_ == kNullPacket; }
+  [[nodiscard]] std::int32_t count() const { return count_; }
+  [[nodiscard]] std::int64_t bytes() const { return bytes_; }
+  [[nodiscard]] PacketHandle front() const { return head_; }
+
+  void push_back(PacketArena& arena, PacketHandle h);
+  void push_front(PacketArena& arena, PacketHandle h);
+  [[nodiscard]] PacketHandle pop_front(PacketArena& arena);
+
+ private:
+  PacketHandle head_ = kNullPacket;
+  PacketHandle tail_ = kNullPacket;
+  std::int32_t count_ = 0;
+  std::int64_t bytes_ = 0;
 };
 
 }  // namespace ibsim::ib

@@ -63,6 +63,18 @@ struct FatTree3Params {
   std::int32_t cores = 4;
   std::int32_t nodes_per_leaf = 4;
 
+  /// The 10k-endpoint scale target: 16 pods x 32 leaves x 20 nodes =
+  /// 10240 HCAs over 608 switches. Largest radixes are the aggregation
+  /// (32 + 32) and core (16 x 4) switches at 64 ports — right at the
+  /// arbitration bitmask limit, matching the biggest single-chip
+  /// crossbars.
+  [[nodiscard]] static FatTree3Params scale_10k() { return {16, 32, 4, 32, 20}; }
+
+  /// A ~2k-endpoint instance of the same shape (8 pods x 16 leaves x
+  /// 16 nodes = 2048 HCAs, 160 switches) — big enough to exercise the
+  /// scale path, small enough for CI smoke runs.
+  [[nodiscard]] static FatTree3Params scale_2k() { return {8, 16, 4, 16, 16}; }
+
   [[nodiscard]] std::int32_t node_count() const {
     return pods * leaves_per_pod * nodes_per_leaf;
   }

@@ -6,11 +6,11 @@ namespace ibsim::traffic {
 
 BurstGenerator::BurstGenerator(ib::NodeId self, std::int32_t n_nodes,
                                const BurstParams& params, const cc::FlowGate* gate,
-                               ib::PacketPool* pool, core::Rng rng)
+                               ib::PacketArena* arena, core::Rng rng)
     : self_(self),
       params_(params),
       gate_(gate),
-      pool_(pool),
+      arena_(arena),
       rng_(rng),
       uniform_(self, n_nodes) {
   IBSIM_ASSERT(params_.mean_on > 0 && params_.mean_off >= 0, "burst phases must be positive");
@@ -50,7 +50,7 @@ void BurstGenerator::advance_phases(core::Time now) {
 
 fabric::TrafficSource::Poll BurstGenerator::poll(core::Time now) {
   advance_phases(now);
-  if (!on_) return {nullptr, phase_end_};
+  if (!on_) return {ib::kNullPacket, phase_end_};
 
   core::Time ready = next_send_;
   const core::Time flow_ready = gate_ != nullptr ? gate_->flow_ready_at(current_dst_) : 0;
@@ -58,18 +58,19 @@ fabric::TrafficSource::Poll BurstGenerator::poll(core::Time now) {
   if (ready > now) {
     // Wake at the earlier of "next packet slot" and "phase end" (the
     // burst may end before the throttle clears).
-    return {nullptr, ready < phase_end_ ? ready : phase_end_};
+    return {ib::kNullPacket, ready < phase_end_ ? ready : phase_end_};
   }
 
-  ib::Packet* pkt = pool_->allocate();
-  pkt->src = self_;
-  pkt->dst = current_dst_;
-  pkt->bytes = params_.packet_bytes;
-  pkt->vl = ib::kDataVl;
-  pkt->injected_at = now;
-  bytes_sent_ += pkt->bytes;
-  next_send_ = now + core::transmit_time(pkt->bytes, params_.rate_gbps);
-  return {pkt, core::kTimeNever};
+  const ib::PacketHandle h = arena_->allocate();
+  ib::Packet& pkt = arena_->get(h);
+  pkt.src = self_;
+  pkt.dst = current_dst_;
+  pkt.bytes = params_.packet_bytes;
+  pkt.vl = ib::kDataVl;
+  pkt.injected_at = now;
+  bytes_sent_ += pkt.bytes;
+  next_send_ = now + core::transmit_time(pkt.bytes, params_.rate_gbps);
+  return {h, core::kTimeNever};
 }
 
 }  // namespace ibsim::traffic

@@ -32,7 +32,7 @@ class BurstGenerator final : public fabric::TrafficSource {
  public:
   /// `gate` may be null (CC disabled).
   BurstGenerator(ib::NodeId self, std::int32_t n_nodes, const BurstParams& params,
-                 const cc::FlowGate* gate, ib::PacketPool* pool, core::Rng rng);
+                 const cc::FlowGate* gate, ib::PacketArena* arena, core::Rng rng);
 
   [[nodiscard]] Poll poll(core::Time now) override;
 
@@ -49,7 +49,7 @@ class BurstGenerator final : public fabric::TrafficSource {
   ib::NodeId self_;
   BurstParams params_;
   const cc::FlowGate* gate_;
-  ib::PacketPool* pool_;
+  ib::PacketArena* arena_;
   core::Rng rng_;
   UniformDestination uniform_;
 

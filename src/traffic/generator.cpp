@@ -9,12 +9,12 @@ namespace ibsim::traffic {
 
 BNodeGenerator::BNodeGenerator(ib::NodeId self, std::int32_t n_nodes,
                                const BNodeParams& params, const HotspotProvider* hotspot,
-                               const cc::FlowGate* gate, ib::PacketPool* pool, core::Rng rng)
+                               const cc::FlowGate* gate, ib::PacketArena* arena, core::Rng rng)
     : self_(self),
       params_(params),
       hotspot_(hotspot),
       gate_(gate),
-      pool_(pool),
+      arena_(arena),
       rng_(rng),
       uniform_(self, n_nodes) {
   IBSIM_ASSERT(params_.p >= 0.0 && params_.p <= 1.0, "p must be a fraction in [0, 1]");
@@ -24,6 +24,9 @@ BNodeGenerator::BNodeGenerator(ib::NodeId self, std::int32_t n_nodes,
   streams_[0].to_hotspot = true;
   streams_[1].share = 1.0 - params_.p;
   streams_[1].to_hotspot = false;
+  // The deferred set is bounded by kMaxDeferred: reserving it here keeps
+  // the poll path allocation-free for the lifetime of the generator.
+  for (Stream& s : streams_) s.deferred.reserve(kMaxDeferred);
 }
 
 core::Time BNodeGenerator::stream_ready_at(Stream& stream, core::Time now) {
@@ -60,7 +63,6 @@ core::Time BNodeGenerator::stream_ready_at(Stream& stream, core::Time now) {
   // blocking the stream (per-QP queueing), bounded per poll and in total
   // to keep the deferred set small. The hotspot stream has a single
   // destination, so when its flow is throttled the stream simply waits.
-  constexpr std::size_t kMaxDeferred = 16;
   for (int attempt = 0; attempt < 4; ++attempt) {
     ib::NodeId dst = stream.to_hotspot ? hotspot_->current_hotspot() : uniform_.draw(rng_);
     // A node drawn as its own hotspot redirects that message uniformly
@@ -87,19 +89,20 @@ core::Time BNodeGenerator::stream_ready_at(Stream& stream, core::Time now) {
   return earliest > now ? earliest : now;
 }
 
-ib::Packet* BNodeGenerator::emit(Stream& stream, core::Time now) {
+ib::PacketHandle BNodeGenerator::emit(Stream& stream, core::Time now) {
   IBSIM_ASSERT(stream.pending.packets > 0, "emitting without an open message");
-  ib::Packet* pkt = pool_->allocate();
-  pkt->src = self_;
-  pkt->dst = stream.pending.dst;
-  pkt->bytes = params_.packet_bytes;
-  pkt->vl = ib::kDataVl;
-  pkt->hotspot_stream = stream.to_hotspot;
-  pkt->msg_seq = stream.pending.seq;
-  pkt->injected_at = now;
-  stream.sent_bytes += pkt->bytes;
+  const ib::PacketHandle h = arena_->allocate();
+  ib::Packet& pkt = arena_->get(h);
+  pkt.src = self_;
+  pkt.dst = stream.pending.dst;
+  pkt.bytes = params_.packet_bytes;
+  pkt.vl = ib::kDataVl;
+  pkt.hotspot_stream = stream.to_hotspot;
+  pkt.msg_seq = stream.pending.seq;
+  pkt.injected_at = now;
+  stream.sent_bytes += pkt.bytes;
   --stream.pending.packets;
-  return pkt;
+  return h;
 }
 
 fabric::TrafficSource::Poll BNodeGenerator::poll(core::Time now) {
@@ -120,7 +123,7 @@ fabric::TrafficSource::Poll BNodeGenerator::poll(core::Time now) {
     }
     return Poll{emit(streams_[pick], now), core::kTimeNever};
   }
-  return Poll{nullptr, ready[0] < ready[1] ? ready[0] : ready[1]};
+  return Poll{ib::kNullPacket, ready[0] < ready[1] ? ready[0] : ready[1]};
 }
 
 }  // namespace ibsim::traffic

@@ -38,7 +38,7 @@ class BNodeGenerator final : public fabric::TrafficSource {
   /// `gate` may be null (CC disabled). `hotspot` may be null when p == 0.
   BNodeGenerator(ib::NodeId self, std::int32_t n_nodes, const BNodeParams& params,
                  const HotspotProvider* hotspot, const cc::FlowGate* gate,
-                 ib::PacketPool* pool, core::Rng rng);
+                 ib::PacketArena* arena, core::Rng rng);
 
   [[nodiscard]] Poll poll(core::Time now) override;
 
@@ -55,6 +55,10 @@ class BNodeGenerator final : public fabric::TrafficSource {
     std::uint32_t seq = 0;
   };
 
+  /// Hard cap on parked messages per stream; the deferred vector is
+  /// reserved to this at construction so polling never allocates.
+  static constexpr std::size_t kMaxDeferred = 16;
+
   struct Stream {
     double share = 0.0;            ///< fraction of capacity this stream may use
     bool to_hotspot = false;
@@ -70,13 +74,13 @@ class BNodeGenerator final : public fabric::TrafficSource {
   /// Earliest time `stream` may inject its next packet (budget + IRD),
   /// opening a new message if none is pending.
   [[nodiscard]] core::Time stream_ready_at(Stream& stream, core::Time now);
-  [[nodiscard]] ib::Packet* emit(Stream& stream, core::Time now);
+  [[nodiscard]] ib::PacketHandle emit(Stream& stream, core::Time now);
 
   ib::NodeId self_;
   BNodeParams params_;
   const HotspotProvider* hotspot_;
   const cc::FlowGate* gate_;
-  ib::PacketPool* pool_;
+  ib::PacketArena* arena_;
   core::Rng rng_;
   UniformDestination uniform_;
   Stream streams_[2];  ///< [0] hotspot, [1] uniform

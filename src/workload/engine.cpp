@@ -24,6 +24,17 @@ WorkloadEngine::WorkloadEngine(WorkloadSpec spec, const Options& options, core::
   phase_last_.assign(phase_remaining_.size(), core::kTimeNever);
   rank_remaining_.assign(static_cast<std::size_t>(spec_.ranks), 0);
   rank_last_.assign(rank_remaining_.size(), core::kTimeNever);
+  // Reserve every per-rank ready queue to the number of ops that rank
+  // sends and the nudge scratch to the rank count: the injection path
+  // then never reallocates, whatever order dependencies resolve in.
+  wake_.reserve(static_cast<std::size_t>(spec_.ranks));
+  {
+    std::vector<std::int32_t> src_ops(static_cast<std::size_t>(spec_.ranks), 0);
+    for (const WorkloadOp& op : spec_.ops) ++src_ops[static_cast<std::size_t>(op.src_rank)];
+    for (std::int32_t r = 0; r < spec_.ranks; ++r)
+      ranks_[static_cast<std::size_t>(r)].queue.reserve(
+          static_cast<std::size_t>(src_ops[static_cast<std::size_t>(r)]));
+  }
   for (std::size_t i = 0; i < n_ops; ++i) {
     const WorkloadOp& op = spec_.ops[i];
     run_[i].deps_left = static_cast<std::int32_t>(op.deps.size());
@@ -50,7 +61,7 @@ void WorkloadEngine::install(fabric::Fabric& fabric, fabric::SinkObserver* next)
                "workload has more ranks than the fabric has end nodes");
   fabric_ = &fabric;
   next_ = next;
-  pool_ = &fabric.pool();
+  arena_ = &fabric.arena();
   const bool cc_on = fabric.cc_manager().enabled();
   sources_.reserve(static_cast<std::size_t>(spec_.ranks));
   for (std::int32_t r = 0; r < spec_.ranks; ++r) {
@@ -67,7 +78,7 @@ void WorkloadEngine::install(fabric::Fabric& fabric, fabric::SinkObserver* next)
       fabric::Hca& hca = fabric.hca(node);
       background_.push_back(std::make_unique<traffic::BNodeGenerator>(
           node, fabric.node_count(), params, nullptr,
-          cc_on ? &hca.cc_agent() : nullptr, pool_, rng_.fork("workload_bg", node)));
+          cc_on ? &hca.cc_agent() : nullptr, arena_, rng_.fork("workload_bg", node)));
       hca.attach_source(background_.back().get());
     }
   }
@@ -97,19 +108,20 @@ fabric::TrafficSource::Poll WorkloadEngine::poll_rank(std::int32_t rank, core::T
       earliest = std::min(earliest, at);
       continue;
     }
-    ib::Packet* pkt = pool_->allocate();
+    const ib::PacketHandle h = arena_->allocate();
+    ib::Packet& pkt = arena_->get(h);
     const std::int64_t remaining = op.bytes - run.injected;
-    pkt->src = rank_nodes_[static_cast<std::size_t>(rank)];
-    pkt->dst = rank_nodes_[static_cast<std::size_t>(op.dst_rank)];
-    pkt->bytes = static_cast<std::int32_t>(std::min<std::int64_t>(remaining, ib::kMtuBytes));
-    pkt->vl = ib::kDataVl;
-    pkt->app = true;
-    pkt->msg_seq = static_cast<std::uint32_t>(op_id);
-    pkt->injected_at = now;
-    run.injected += pkt->bytes;
+    pkt.src = rank_nodes_[static_cast<std::size_t>(rank)];
+    pkt.dst = rank_nodes_[static_cast<std::size_t>(op.dst_rank)];
+    pkt.bytes = static_cast<std::int32_t>(std::min<std::int64_t>(remaining, ib::kMtuBytes));
+    pkt.vl = ib::kDataVl;
+    pkt.app = true;
+    pkt.msg_seq = static_cast<std::uint32_t>(op_id);
+    pkt.injected_at = now;
+    run.injected += pkt.bytes;
     if (run.injected == op.bytes)
       state.queue.erase(state.queue.begin() + static_cast<std::ptrdiff_t>(qi));
-    result.pkt = pkt;
+    result.pkt = h;
     return result;
   }
   result.retry_at = earliest;

@@ -116,7 +116,7 @@ class WorkloadEngine final : public fabric::SinkObserver {
 
   fabric::Fabric* fabric_ = nullptr;
   fabric::SinkObserver* next_ = nullptr;
-  ib::PacketPool* pool_ = nullptr;
+  ib::PacketArena* arena_ = nullptr;
   std::vector<const cc::FlowGate*> gate_;  ///< per rank; null when CC is off
   std::vector<std::unique_ptr<RankSource>> sources_;
   std::vector<std::unique_ptr<traffic::BNodeGenerator>> background_;

@@ -15,7 +15,7 @@ namespace ibsim::fabric::testing {
 /// bursts as fast as the HCA lets it, in order.
 class ScriptedSource final : public TrafficSource {
  public:
-  explicit ScriptedSource(ib::NodeId self, ib::PacketPool* pool) : self_(self), pool_(pool) {}
+  explicit ScriptedSource(ib::NodeId self, ib::PacketArena* arena) : self_(self), arena_(arena) {}
 
   void add_burst(ib::NodeId dst, std::int32_t bytes, std::int32_t count) {
     bursts_.push_back({dst, bytes, count});
@@ -23,17 +23,18 @@ class ScriptedSource final : public TrafficSource {
 
   Poll poll(core::Time now) override {
     while (!bursts_.empty() && bursts_.front().count == 0) bursts_.erase(bursts_.begin());
-    if (bursts_.empty()) return {nullptr, core::kTimeNever};
+    if (bursts_.empty()) return {ib::kNullPacket, core::kTimeNever};
     Burst& b = bursts_.front();
     --b.count;
-    ib::Packet* pkt = pool_->allocate();
-    pkt->src = self_;
-    pkt->dst = b.dst;
-    pkt->bytes = b.bytes;
-    pkt->vl = ib::kDataVl;
-    pkt->injected_at = now;
+    const ib::PacketHandle h = arena_->allocate();
+    ib::Packet& pkt = arena_->get(h);
+    pkt.src = self_;
+    pkt.dst = b.dst;
+    pkt.bytes = b.bytes;
+    pkt.vl = ib::kDataVl;
+    pkt.injected_at = now;
     ++emitted;
-    return {pkt, core::kTimeNever};
+    return {h, core::kTimeNever};
   }
 
   int emitted = 0;
@@ -45,7 +46,7 @@ class ScriptedSource final : public TrafficSource {
     std::int32_t count;
   };
   ib::NodeId self_;
-  ib::PacketPool* pool_;
+  ib::PacketArena* arena_;
   std::vector<Burst> bursts_;
 };
 
@@ -89,7 +90,7 @@ struct FabricFixture {
   }
 
   ScriptedSource& source(ib::NodeId node) {
-    auto src = std::make_unique<ScriptedSource>(node, &fabric.pool());
+    auto src = std::make_unique<ScriptedSource>(node, &fabric.arena());
     ScriptedSource* raw = src.get();
     sources.push_back(std::move(src));
     fabric.hca(node).attach_source(raw);

@@ -21,7 +21,8 @@ TEST(FlowControl, CreditsNeverExceedBufferCapacity) {
       for (std::int32_t port = 0; port < sw.n_ports(); ++port) {
         const OutputPort& op = sw.output(port);
         if (!op.connected) continue;
-        for (const CreditTracker& credits : op.credits) {
+        for (ib::Vl vl = 0; vl < sw.bank().n_vls(); ++vl) {
+          const CreditTracker& credits = sw.bank().credit(port, vl);
           EXPECT_GE(credits.available(), 0);
           EXPECT_LE(credits.outstanding(), credits.capacity());
         }
@@ -38,7 +39,7 @@ TEST(FlowControl, LosslessUnderHeavyFanIn) {
   for (ib::NodeId s = 1; s < 8; ++s) fx.source(s).add_burst(0, ib::kMtuBytes, kPackets);
   fx.run();
   EXPECT_EQ(fx.observer.deliveries.size(), static_cast<std::size_t>(7 * kPackets));
-  EXPECT_EQ(fx.fabric.pool().live(), 0);
+  EXPECT_EQ(fx.fabric.arena().live(), 0);
 }
 
 TEST(FlowControl, BackpressurePropagatesThroughChain) {
@@ -50,7 +51,7 @@ TEST(FlowControl, BackpressurePropagatesThroughChain) {
   fx.source(1).add_burst(2, ib::kMtuBytes, 150);
   fx.run();
   EXPECT_EQ(fx.observer.bytes_to(2), 300 * ib::kMtuBytes);
-  EXPECT_EQ(fx.fabric.pool().live(), 0);
+  EXPECT_EQ(fx.fabric.arena().live(), 0);
 }
 
 TEST(FlowControl, HolBlockingEmergesWithSharedBuffers) {
@@ -110,14 +111,14 @@ TEST(FlowControl, CnpVlHasIndependentCredits) {
   // initial credit pools are per-VL with the configured capacities.
   FabricParams params;
   FabricFixture fx(topo::single_switch(2), ib::CcParams::paper_table1(), params);
-  OutputPort& hca_out = fx.fabric.hca(0).out();
-  ASSERT_EQ(hca_out.credits.size(), static_cast<std::size_t>(params.n_vls));
-  EXPECT_EQ(hca_out.credits[ib::kDataVl].capacity(), params.switch_ibuf_data_bytes);
-  EXPECT_EQ(hca_out.credits[params.cnp_vl()].capacity(), params.switch_ibuf_cnp_bytes);
+  const PortVlBank& hca_bank = fx.fabric.hca(0).bank();
+  ASSERT_EQ(hca_bank.n_vls(), params.n_vls);
+  EXPECT_EQ(hca_bank.credit(0, ib::kDataVl).capacity(), params.switch_ibuf_data_bytes);
+  EXPECT_EQ(hca_bank.credit(0, params.cnp_vl()).capacity(), params.switch_ibuf_cnp_bytes);
   // Switch ports facing HCAs advertise the HCA buffer sizes.
-  const OutputPort& sw_out = fx.fabric.switch_at(0).output(0);
-  EXPECT_EQ(sw_out.credits[ib::kDataVl].capacity(), params.hca_ibuf_data_bytes);
-  EXPECT_EQ(sw_out.credits[params.cnp_vl()].capacity(), params.hca_ibuf_cnp_bytes);
+  const PortVlBank& sw_bank = fx.fabric.switch_at(0).bank();
+  EXPECT_EQ(sw_bank.credit(0, ib::kDataVl).capacity(), params.hca_ibuf_data_bytes);
+  EXPECT_EQ(sw_bank.credit(0, params.cnp_vl()).capacity(), params.hca_ibuf_cnp_bytes);
 }
 
 TEST(FlowControl, WireFasterThanDrainKeepsBufferBounded) {
@@ -127,11 +128,10 @@ TEST(FlowControl, WireFasterThanDrainKeepsBufferBounded) {
   fx.sched.run_until(200 * core::kMicrosecond);
   // The switch port towards HCA 0 can have at most the HCA buffer
   // outstanding.
-  const OutputPort& to_hca = fx.fabric.switch_at(0).output(0);
-  EXPECT_LE(to_hca.credits[ib::kDataVl].outstanding(),
+  EXPECT_LE(fx.fabric.switch_at(0).bank().credit(0, ib::kDataVl).outstanding(),
             fx.fabric.params().hca_ibuf_data_bytes);
   fx.sched.run_until(core::kTimeNever);
-  EXPECT_EQ(fx.fabric.pool().live(), 0);
+  EXPECT_EQ(fx.fabric.arena().live(), 0);
 }
 
 }  // namespace

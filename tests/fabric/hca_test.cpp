@@ -39,7 +39,7 @@ TEST(Hca, CnpJumpsTheDataQueue) {
   EXPECT_GT(agent1.becn_received() + agent2.becn_received(), 0u);
   // And node 0's agent sent the CNPs.
   EXPECT_GT(fx.fabric.hca(0).cc_agent().cnps_sent(), 0u);
-  EXPECT_EQ(fx.fabric.pool().live(), 0);
+  EXPECT_EQ(fx.fabric.arena().live(), 0);
 }
 
 TEST(Hca, FecnDeliveredCounterTracksMarks) {
@@ -86,31 +86,32 @@ TEST(Hca, SourceRetryHintsAreHonoured) {
   // injection path schedules a retry event rather than spinning).
   class OneShotAtTime final : public TrafficSource {
    public:
-    OneShotAtTime(ib::NodeId self, core::Time when, ib::PacketPool* pool)
-        : self_(self), when_(when), pool_(pool) {}
+    OneShotAtTime(ib::NodeId self, core::Time when, ib::PacketArena* arena)
+        : self_(self), when_(when), arena_(arena) {}
     Poll poll(core::Time now) override {
       ++polls;
-      if (now < when_) return {nullptr, when_};
-      if (sent_) return {nullptr, core::kTimeNever};
+      if (now < when_) return {ib::kNullPacket, when_};
+      if (sent_) return {ib::kNullPacket, core::kTimeNever};
       sent_ = true;
-      ib::Packet* pkt = pool_->allocate();
-      pkt->src = self_;
-      pkt->dst = 1;
-      pkt->bytes = ib::kMtuBytes;
-      pkt->vl = ib::kDataVl;
-      return {pkt, core::kTimeNever};
+      const ib::PacketHandle h = arena_->allocate();
+      ib::Packet& pkt = arena_->get(h);
+      pkt.src = self_;
+      pkt.dst = 1;
+      pkt.bytes = ib::kMtuBytes;
+      pkt.vl = ib::kDataVl;
+      return {h, core::kTimeNever};
     }
     int polls = 0;
 
    private:
     ib::NodeId self_;
     core::Time when_;
-    ib::PacketPool* pool_;
+    ib::PacketArena* arena_;
     bool sent_ = false;
   };
 
   FabricFixture fx(topo::single_switch(2));
-  OneShotAtTime source(0, 500 * core::kMicrosecond, &fx.fabric.pool());
+  OneShotAtTime source(0, 500 * core::kMicrosecond, &fx.fabric.arena());
   fx.fabric.hca(0).attach_source(&source);
   fx.run();
   ASSERT_EQ(fx.observer.deliveries.size(), 1u);

@@ -131,7 +131,7 @@ TEST(PacketPath, NoSourceMeansSilence) {
   FabricFixture fx(topo::single_switch(2));
   fx.run(core::kMillisecond);
   EXPECT_TRUE(fx.observer.deliveries.empty());
-  EXPECT_EQ(fx.fabric.pool().live(), 0);
+  EXPECT_EQ(fx.fabric.arena().live(), 0);
 }
 
 TEST(PacketPath, PoolDrainsAfterRun) {
@@ -140,7 +140,7 @@ TEST(PacketPath, PoolDrainsAfterRun) {
   fx.source(2).add_burst(1, ib::kMtuBytes, 20);
   fx.run();
   // Every allocated packet was delivered and released: lossless.
-  EXPECT_EQ(fx.fabric.pool().live(), 0);
+  EXPECT_EQ(fx.fabric.arena().live(), 0);
   EXPECT_EQ(fx.observer.deliveries.size(), 40u);
 }
 

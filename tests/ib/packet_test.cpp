@@ -11,170 +11,218 @@
 namespace ibsim::ib {
 namespace {
 
-TEST(PacketPool, AllocatesFreshPackets) {
-  PacketPool pool(16);
-  Packet* a = pool.allocate();
-  Packet* b = pool.allocate();
-  ASSERT_NE(a, nullptr);
-  ASSERT_NE(b, nullptr);
+TEST(PacketArena, AllocatesFreshPackets) {
+  PacketArena arena;
+  arena.reserve(16);
+  const PacketHandle a = arena.allocate();
+  const PacketHandle b = arena.allocate();
+  ASSERT_NE(a, kNullPacket);
+  ASSERT_NE(b, kNullPacket);
   EXPECT_NE(a, b);
-  EXPECT_NE(a->id, b->id);
-  EXPECT_EQ(pool.live(), 2);
+  EXPECT_NE(arena.get(a).id, arena.get(b).id);
+  EXPECT_EQ(arena.live(), 2);
 }
 
-TEST(PacketPool, RecyclesReleasedPackets) {
-  PacketPool pool(4);
-  Packet* a = pool.allocate();
-  a->bytes = 2048;
-  a->fecn = true;
-  pool.release(a);
-  Packet* b = pool.allocate();
+TEST(PacketArena, RecyclesReleasedHandles) {
+  PacketArena arena;
+  arena.reserve(4);
+  const PacketHandle a = arena.allocate();
+  arena.get(a).bytes = 2048;
+  arena.get(a).fecn = true;
+  arena.release(a);
+  const PacketHandle b = arena.allocate();
   EXPECT_EQ(a, b);  // LIFO freelist reuses the slot
-  EXPECT_EQ(b->bytes, 0);
-  EXPECT_FALSE(b->fecn);  // fully reset
-  EXPECT_EQ(b->dst, kInvalidNode);
+  EXPECT_EQ(arena.get(b).bytes, 0);
+  EXPECT_FALSE(arena.get(b).fecn);  // fully reset
+  EXPECT_EQ(arena.get(b).dst, kInvalidNode);
 }
 
-TEST(PacketPool, GrowsBeyondOneChunk) {
-  PacketPool pool(4);
-  std::vector<Packet*> pkts;
-  for (int i = 0; i < 50; ++i) pkts.push_back(pool.allocate());
-  EXPECT_EQ(pool.live(), 50);
-  for (Packet* p : pkts) pool.release(p);
-  EXPECT_EQ(pool.live(), 0);
+TEST(PacketArena, GrowsBeyondInitialReserve) {
+  PacketArena arena;
+  arena.reserve(4);
+  std::vector<PacketHandle> pkts;
+  for (int i = 0; i < 50; ++i) pkts.push_back(arena.allocate());
+  EXPECT_EQ(arena.live(), 50);
+  EXPECT_GE(arena.capacity(), 50u);
+  for (const PacketHandle h : pkts) arena.release(h);
+  EXPECT_EQ(arena.live(), 0);
 }
 
-TEST(PacketPool, IdsAreUniqueAcrossRecycling) {
-  PacketPool pool(2);
-  Packet* a = pool.allocate();
-  const std::uint64_t id0 = a->id;
-  pool.release(a);
-  Packet* b = pool.allocate();
-  EXPECT_NE(b->id, id0);
+TEST(PacketArena, HandlesStayValidAcrossGrowth) {
+  // Growth reallocates the slot storage but handles are indices: data
+  // written before an exhaustion-triggered regrowth must read back
+  // unchanged through the same handles afterwards.
+  PacketArena arena;
+  arena.reserve(4);
+  std::vector<PacketHandle> pkts;
+  for (int i = 0; i < 4; ++i) {
+    const PacketHandle h = arena.allocate();
+    arena.get(h).bytes = 100 + i;
+    arena.get(h).msg_seq = static_cast<std::uint32_t>(i);
+    pkts.push_back(h);
+  }
+  const std::uint64_t growths_before = arena.growths();
+  for (int i = 0; i < 100; ++i) pkts.push_back(arena.allocate());  // forces regrowth
+  EXPECT_GT(arena.growths(), growths_before);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(arena.get(pkts[static_cast<std::size_t>(i)]).bytes, 100 + i);
+    EXPECT_EQ(arena.get(pkts[static_cast<std::size_t>(i)]).msg_seq,
+              static_cast<std::uint32_t>(i));
+  }
+  for (const PacketHandle h : pkts) arena.release(h);
+  EXPECT_EQ(arena.live(), 0);
 }
 
-TEST(PacketPoolDeath, DoubleAccountingCaught) {
-  PacketPool pool(2);
-  Packet* a = pool.allocate();
-  pool.release(a);
-  EXPECT_DEATH(pool.release(a), "more packets");
+TEST(PacketArena, IdsAreUniqueAcrossRecycling) {
+  PacketArena arena;
+  arena.reserve(2);
+  const PacketHandle a = arena.allocate();
+  const std::uint64_t id0 = arena.get(a).id;
+  arena.release(a);
+  const PacketHandle b = arena.allocate();
+  EXPECT_NE(arena.get(b).id, id0);
+}
+
+TEST(PacketArenaDeath, DoubleAccountingCaught) {
+  PacketArena arena;
+  arena.reserve(2);
+  const PacketHandle a = arena.allocate();
+  arena.release(a);
+  EXPECT_DEATH(arena.release(a), "more packets");
+}
+
+TEST(PacketArenaDeath, ForeignHandleCaught) {
+  PacketArena arena;
+  arena.reserve(2);
+  (void)arena.allocate();
+  EXPECT_DEATH(arena.release(kNullPacket), "foreign");
 }
 
 TEST(PacketQueue, FifoOrder) {
-  PacketPool pool(8);
+  PacketArena arena;
+  arena.reserve(8);
   PacketQueue q;
-  Packet* a = pool.allocate();
-  Packet* b = pool.allocate();
-  Packet* c = pool.allocate();
-  q.push_back(a);
-  q.push_back(b);
-  q.push_back(c);
-  EXPECT_EQ(q.pop_front(), a);
-  EXPECT_EQ(q.pop_front(), b);
-  EXPECT_EQ(q.pop_front(), c);
+  const PacketHandle a = arena.allocate();
+  const PacketHandle b = arena.allocate();
+  const PacketHandle c = arena.allocate();
+  q.push_back(arena, a);
+  q.push_back(arena, b);
+  q.push_back(arena, c);
+  EXPECT_EQ(q.pop_front(arena), a);
+  EXPECT_EQ(q.pop_front(arena), b);
+  EXPECT_EQ(q.pop_front(arena), c);
   EXPECT_TRUE(q.empty());
 }
 
 TEST(PacketQueue, TracksCountAndBytes) {
-  PacketPool pool(8);
+  PacketArena arena;
+  arena.reserve(8);
   PacketQueue q;
-  Packet* a = pool.allocate();
-  a->bytes = 100;
-  Packet* b = pool.allocate();
-  b->bytes = 200;
-  q.push_back(a);
-  q.push_back(b);
+  const PacketHandle a = arena.allocate();
+  arena.get(a).bytes = 100;
+  const PacketHandle b = arena.allocate();
+  arena.get(b).bytes = 200;
+  q.push_back(arena, a);
+  q.push_back(arena, b);
   EXPECT_EQ(q.count(), 2);
   EXPECT_EQ(q.bytes(), 300);
-  (void)q.pop_front();
+  (void)q.pop_front(arena);
   EXPECT_EQ(q.count(), 1);
   EXPECT_EQ(q.bytes(), 200);
 }
 
 TEST(PacketQueue, PushFrontGoesFirst) {
-  PacketPool pool(8);
+  PacketArena arena;
+  arena.reserve(8);
   PacketQueue q;
-  Packet* a = pool.allocate();
-  Packet* b = pool.allocate();
-  q.push_back(a);
-  q.push_front(b);
+  const PacketHandle a = arena.allocate();
+  const PacketHandle b = arena.allocate();
+  q.push_back(arena, a);
+  q.push_front(arena, b);
   EXPECT_EQ(q.front(), b);
-  EXPECT_EQ(q.pop_front(), b);
-  EXPECT_EQ(q.pop_front(), a);
+  EXPECT_EQ(q.pop_front(arena), b);
+  EXPECT_EQ(q.pop_front(arena), a);
 }
 
 TEST(PacketQueue, PushFrontIntoEmpty) {
-  PacketPool pool(2);
+  PacketArena arena;
+  arena.reserve(2);
   PacketQueue q;
-  Packet* a = pool.allocate();
-  q.push_front(a);
+  const PacketHandle a = arena.allocate();
+  q.push_front(arena, a);
   EXPECT_EQ(q.count(), 1);
-  EXPECT_EQ(q.pop_front(), a);
+  EXPECT_EQ(q.pop_front(arena), a);
   EXPECT_TRUE(q.empty());
 }
 
 TEST(PacketQueue, InterleavedOperations) {
-  PacketPool pool(16);
+  PacketArena arena;
+  arena.reserve(16);
   PacketQueue q;
-  std::vector<Packet*> order;
+  std::vector<PacketHandle> order;
   for (int i = 0; i < 5; ++i) {
-    Packet* p = pool.allocate();
-    order.push_back(p);
-    q.push_back(p);
+    const PacketHandle h = arena.allocate();
+    order.push_back(h);
+    q.push_back(arena, h);
   }
-  EXPECT_EQ(q.pop_front(), order[0]);
-  Packet* extra = pool.allocate();
-  q.push_back(extra);
-  EXPECT_EQ(q.pop_front(), order[1]);
-  EXPECT_EQ(q.pop_front(), order[2]);
-  EXPECT_EQ(q.pop_front(), order[3]);
-  EXPECT_EQ(q.pop_front(), order[4]);
-  EXPECT_EQ(q.pop_front(), extra);
+  EXPECT_EQ(q.pop_front(arena), order[0]);
+  const PacketHandle extra = arena.allocate();
+  q.push_back(arena, extra);
+  EXPECT_EQ(q.pop_front(arena), order[1]);
+  EXPECT_EQ(q.pop_front(arena), order[2]);
+  EXPECT_EQ(q.pop_front(arena), order[3]);
+  EXPECT_EQ(q.pop_front(arena), order[4]);
+  EXPECT_EQ(q.pop_front(arena), extra);
 }
 
-TEST(PacketPool, ReusedSlotsCycleWithoutNewChunks) {
+TEST(PacketArena, ReusedSlotsCycleWithoutGrowth) {
   // Steady-state churn must be served entirely from the freelist: with a
-  // chunk of 4 and never more than 4 live, the same 4 slots cycle
-  // forever and every reused packet comes back fully reset.
-  PacketPool pool(4);
-  std::vector<Packet*> first;
-  for (int i = 0; i < 4; ++i) first.push_back(pool.allocate());
-  std::set<Packet*> slots(first.begin(), first.end());
-  for (Packet* p : first) {
-    p->bytes = 2048;
-    p->msg_seq = 7;
-    p->becn = true;
-    pool.release(p);
+  // reserve of 4 and never more than 4 live, the same 4 slots cycle
+  // forever, the arena never grows again, and every reused packet comes
+  // back fully reset.
+  PacketArena arena;
+  arena.reserve(4);
+  std::vector<PacketHandle> first;
+  for (int i = 0; i < 4; ++i) first.push_back(arena.allocate());
+  std::set<PacketHandle> slots(first.begin(), first.end());
+  for (const PacketHandle h : first) {
+    arena.get(h).bytes = 2048;
+    arena.get(h).msg_seq = 7;
+    arena.get(h).becn = true;
+    arena.release(h);
   }
+  const std::uint64_t growths = arena.growths();
   for (int round = 0; round < 100; ++round) {
-    Packet* p = pool.allocate();
-    EXPECT_EQ(slots.count(p), 1u) << "allocation left the original chunk";
-    EXPECT_EQ(p->bytes, 0);
-    EXPECT_EQ(p->msg_seq, 0u);
-    EXPECT_FALSE(p->becn);
-    EXPECT_EQ(p->pool_next, nullptr);
-    pool.release(p);
+    const PacketHandle h = arena.allocate();
+    EXPECT_EQ(slots.count(h), 1u) << "allocation left the original slots";
+    EXPECT_EQ(arena.get(h).bytes, 0);
+    EXPECT_EQ(arena.get(h).msg_seq, 0u);
+    EXPECT_FALSE(arena.get(h).becn);
+    EXPECT_EQ(arena.get(h).next, kNullPacket);
+    arena.release(h);
   }
-  EXPECT_EQ(pool.live(), 0);
+  EXPECT_EQ(arena.growths(), growths) << "steady-state churn grew the arena";
+  EXPECT_EQ(arena.live(), 0);
 }
 
 TEST(PacketQueue, ReleasedPacketNeverStaysLinked) {
-  // pop_front must sever pool_next before handing the packet out;
+  // pop_front must sever the link before handing the handle out;
   // otherwise a release-then-reallocate could double-link the freelist
   // with a packet still referenced by a queue.
-  PacketPool pool(8);
+  PacketArena arena;
+  arena.reserve(8);
   PacketQueue q;
-  Packet* a = pool.allocate();
-  Packet* b = pool.allocate();
-  q.push_back(a);
-  q.push_back(b);  // a->pool_next == b inside the queue
-  Packet* popped = q.pop_front();
+  const PacketHandle a = arena.allocate();
+  const PacketHandle b = arena.allocate();
+  q.push_back(arena, a);
+  q.push_back(arena, b);  // a.next == b inside the queue
+  const PacketHandle popped = q.pop_front(arena);
   ASSERT_EQ(popped, a);
-  EXPECT_EQ(popped->pool_next, nullptr);
-  pool.release(popped);
-  Packet* c = pool.allocate();
+  EXPECT_EQ(arena.get(popped).next, kNullPacket);
+  arena.release(popped);
+  const PacketHandle c = arena.allocate();
   EXPECT_EQ(c, a);  // LIFO reuse
-  EXPECT_EQ(c->pool_next, nullptr);
+  EXPECT_EQ(arena.get(c).next, kNullPacket);
   // b is still queued and untouched by the recycling of a.
   EXPECT_EQ(q.front(), b);
   EXPECT_EQ(q.count(), 1);
@@ -184,120 +232,134 @@ TEST(PacketQueue, InterleavedFrontBackAccounting) {
   // The byte/count totals and FIFO-with-requeue order under the exact
   // pattern the fabric produces: push_back on arrival, push_front when a
   // drained packet is requeued after a blocked grant.
-  PacketPool pool(32);
+  PacketArena arena;
+  arena.reserve(32);
   PacketQueue q;
-  std::deque<Packet*> model;
+  std::deque<PacketHandle> model;
   std::int64_t bytes = 0;
   std::uint64_t state = 123;
   for (int step = 0; step < 2000; ++step) {
     const std::uint64_t roll = core::splitmix64(state) % 4;
     if (roll == 0 && !model.empty()) {
-      Packet* p = q.pop_front();
-      ASSERT_EQ(p, model.front());
+      const PacketHandle h = q.pop_front(arena);
+      ASSERT_EQ(h, model.front());
       model.pop_front();
-      bytes -= p->bytes;
-      pool.release(p);
+      bytes -= arena.get(h).bytes;
+      arena.release(h);
     } else if (roll == 1 && !model.empty()) {
       // Requeue the head (blocked grant path).
-      Packet* p = q.pop_front();
-      q.push_front(p);
+      const PacketHandle h = q.pop_front(arena);
+      q.push_front(arena, h);
     } else {
-      Packet* p = pool.allocate();
-      p->bytes = static_cast<std::int32_t>(core::splitmix64(state) % 2048) + 1;
+      const PacketHandle h = arena.allocate();
+      arena.get(h).bytes = static_cast<std::int32_t>(core::splitmix64(state) % 2048) + 1;
       if (roll == 2) {
-        q.push_front(p);
-        model.push_front(p);
+        q.push_front(arena, h);
+        model.push_front(h);
       } else {
-        q.push_back(p);
-        model.push_back(p);
+        q.push_back(arena, h);
+        model.push_back(h);
       }
-      bytes += p->bytes;
+      bytes += arena.get(h).bytes;
     }
     ASSERT_EQ(q.count(), static_cast<std::int32_t>(model.size()));
     ASSERT_EQ(q.bytes(), bytes);
     ASSERT_EQ(q.empty(), model.empty());
   }
   while (!model.empty()) {
-    Packet* p = q.pop_front();
-    ASSERT_EQ(p, model.front());
+    const PacketHandle h = q.pop_front(arena);
+    ASSERT_EQ(h, model.front());
     model.pop_front();
-    pool.release(p);
+    arena.release(h);
   }
   EXPECT_TRUE(q.empty());
   EXPECT_EQ(q.bytes(), 0);
-  EXPECT_EQ(pool.live(), 0);
+  EXPECT_EQ(arena.live(), 0);
 }
 
-TEST(PacketPool, ResetCoversEveryHeaderField) {
+TEST(PacketArena, ResetCoversEveryHeaderField) {
   // The fast path recycles packets harder (fewer events between release
   // and reallocation), so a stale CC mark or stream tag on a reused slot
   // would silently corrupt marking statistics. Exercise every field
   // reset() promises to clear.
-  PacketPool pool(2);
-  Packet* p = pool.allocate();
-  p->src = 3;
-  p->dst = 5;
-  p->bytes = 2048;
-  p->vl = 1;
-  p->sl = 2;
-  p->fecn = true;
-  p->becn = true;
-  p->is_cnp = true;
-  p->flow_dst = 7;
-  p->hotspot_stream = true;
-  p->msg_seq = 42;
-  p->injected_at = 123456;
-  pool.release(p);
-  Packet* q = pool.allocate();
-  ASSERT_EQ(q, p);  // LIFO freelist: same slot comes straight back
-  EXPECT_EQ(q->src, kInvalidNode);
-  EXPECT_EQ(q->dst, kInvalidNode);
-  EXPECT_EQ(q->bytes, 0);
-  EXPECT_EQ(q->vl, kDataVl);
-  EXPECT_EQ(q->sl, 0);
-  EXPECT_FALSE(q->fecn);
-  EXPECT_FALSE(q->becn);
-  EXPECT_FALSE(q->is_cnp);
-  EXPECT_EQ(q->flow_dst, kInvalidNode);
-  EXPECT_FALSE(q->hotspot_stream);
-  EXPECT_EQ(q->msg_seq, 0u);
-  EXPECT_EQ(q->injected_at, 0);
+  PacketArena arena;
+  arena.reserve(2);
+  const PacketHandle h = arena.allocate();
+  Packet& p = arena.get(h);
+  p.src = 3;
+  p.dst = 5;
+  p.bytes = 2048;
+  p.vl = 1;
+  p.sl = 2;
+  p.fecn = true;
+  p.becn = true;
+  p.is_cnp = true;
+  p.flow_dst = 7;
+  p.hotspot_stream = true;
+  p.app = true;
+  p.msg_seq = 42;
+  p.injected_at = 123456;
+  arena.release(h);
+  const PacketHandle h2 = arena.allocate();
+  ASSERT_EQ(h2, h);  // LIFO freelist: same slot comes straight back
+  const Packet& q = arena.get(h2);
+  EXPECT_EQ(q.src, kInvalidNode);
+  EXPECT_EQ(q.dst, kInvalidNode);
+  EXPECT_EQ(q.bytes, 0);
+  EXPECT_EQ(q.vl, kDataVl);
+  EXPECT_EQ(q.sl, 0);
+  EXPECT_FALSE(q.fecn);
+  EXPECT_FALSE(q.becn);
+  EXPECT_FALSE(q.is_cnp);
+  EXPECT_EQ(q.flow_dst, kInvalidNode);
+  EXPECT_FALSE(q.hotspot_stream);
+  EXPECT_FALSE(q.app);
+  EXPECT_EQ(q.msg_seq, 0u);
+  EXPECT_EQ(q.injected_at, 0);
 }
 
-TEST(PacketPool, ChurnKeepsIdsUniqueAndAccountingExact) {
-  // Randomized allocate/release churn across chunk-growth boundaries:
-  // live() must track the model exactly, ids of live packets must never
+TEST(PacketArena, ChurnKeepsIdsUniqueAndAccountingExact) {
+  // Randomized allocate/release churn across growth boundaries: live()
+  // must track the model exactly, ids of live packets must never
   // collide, and total_allocated() must grow by one per allocation.
-  PacketPool pool(8);
-  std::vector<Packet*> live;
+  PacketArena arena;
+  arena.reserve(8);
+  std::vector<PacketHandle> live;
   std::set<std::uint64_t> live_ids;
   std::uint64_t state = 2026;
   std::uint64_t allocations = 0;
   for (int step = 0; step < 5000; ++step) {
     const bool grow = live.empty() || core::splitmix64(state) % 3 != 0;
     if (grow) {
-      Packet* p = pool.allocate();
+      const PacketHandle h = arena.allocate();
       ++allocations;
-      ASSERT_TRUE(live_ids.insert(p->id).second) << "duplicate live id";
-      live.push_back(p);
+      ASSERT_TRUE(live_ids.insert(arena.get(h).id).second) << "duplicate live id";
+      live.push_back(h);
     } else {
       const std::size_t idx = core::splitmix64(state) % live.size();
-      Packet* p = live[idx];
-      live_ids.erase(p->id);
+      const PacketHandle h = live[idx];
+      live_ids.erase(arena.get(h).id);
       live[idx] = live.back();
       live.pop_back();
-      pool.release(p);
+      arena.release(h);
     }
-    ASSERT_EQ(pool.live(), static_cast<std::int64_t>(live.size()));
-    ASSERT_EQ(pool.total_allocated(), allocations);
+    ASSERT_EQ(arena.live(), static_cast<std::int64_t>(live.size()));
+    ASSERT_EQ(arena.total_allocated(), allocations);
   }
-  for (Packet* p : live) pool.release(p);
-  EXPECT_EQ(pool.live(), 0);
+  for (const PacketHandle h : live) arena.release(h);
+  EXPECT_EQ(arena.live(), 0);
+}
+
+TEST(PacketArena, MemoryBytesTracksCapacity) {
+  PacketArena arena;
+  arena.reserve(1024);
+  EXPECT_EQ(arena.memory_bytes(), arena.capacity() * sizeof(Packet));
 }
 
 TEST(PacketQueueDeath, PopEmptyAborts) {
+  PacketArena arena;
   PacketQueue q;
-  EXPECT_DEATH((void)q.pop_front(), "empty");
+  EXPECT_DEATH((void)q.pop_front(arena), "empty");
 }
 
 TEST(PacketConstants, PaperFraming) {

@@ -71,21 +71,24 @@ TEST_P(InvariantTest, ConservationAndBoundsHold) {
   for (std::size_t i = 0; i < sim.fabric().switch_count(); ++i) {
     auto& sw = sim.fabric().switch_at(i);
     for (std::int32_t port = 0; port < sw.n_ports(); ++port) {
-      const fabric::OutputPort& op = sw.output(port);
-      if (!op.connected) continue;
-      for (const auto& credits : op.credits) buffer_bound += credits.capacity();
+      if (!sw.output(port).connected) continue;
+      for (ib::Vl vl = 0; vl < sw.bank().n_vls(); ++vl) {
+        buffer_bound += sw.bank().credit(port, vl).capacity();
+      }
     }
   }
   for (ib::NodeId n = 0; n < sim.fabric().node_count(); ++n) {
-    const fabric::OutputPort& op = sim.fabric().hca(n).out();
-    for (const auto& credits : op.credits) buffer_bound += credits.capacity();
+    const fabric::PortVlBank& bank = sim.fabric().hca(n).bank();
+    for (ib::Vl vl = 0; vl < bank.n_vls(); ++vl) {
+      buffer_bound += bank.credit(0, vl).capacity();
+    }
   }
   EXPECT_LE(injected - delivered, buffer_bound)
       << "more bytes in flight than the fabric can buffer";
 
   // 2. Live packets are bounded by buffering too (counting staged and
   //    queued CNPs generously via the same bound plus the CNP queues).
-  EXPECT_GE(sim.fabric().pool().live(), 0);
+  EXPECT_GE(sim.fabric().arena().live(), 0);
 
   // 3. Receive rates respect the physical ceilings.
   for (ib::NodeId n = 0; n < sim.fabric().node_count(); ++n) {

@@ -1,0 +1,137 @@
+// Allocation-count regression guard for the fabric hot path.
+//
+// The PR 7 layout refactor (SoA port/VL banks + the packet arena) promises
+// that once a simulation reaches steady state, the per-packet path performs
+// ZERO heap allocations: packets recycle through the arena freelist, queues
+// are intrusive, arbiter tables are inline, and every hot vector is
+// reserved at build time. This binary overrides the global allocator to
+// count every operator-new across a steady-state window of >100k events
+// and pins the count to a small constant — the only allocations permitted
+// are calendar-wheel buckets setting a new occupancy record, which is a
+// geometric O(log) process over the whole run, not O(packets). The packet
+// arena itself must not grow at all.
+//
+// Kept in its own test binary so the counting allocator cannot interact
+// with any other suite.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "sim/simulation.hpp"
+#include "topo/builders.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                               (size + static_cast<std::size_t>(align) - 1) &
+                                   ~(static_cast<std::size_t>(align) - 1));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace ibsim::sim {
+namespace {
+
+SimConfig hotspot_config(bool cc_on) {
+  SimConfig config;
+  config.topology = TopologyKind::FoldedClos;
+  config.clos = topo::FoldedClosParams::scaled(6, 3, 3);
+  config.sim_time = 20 * core::kMillisecond;
+  config.warmup = core::kMillisecond;
+  config.seed = 1;
+  config.cc = cc_on ? ib::CcParams::paper_table1() : ib::CcParams::disabled();
+  config.scenario.fraction_b = 1.0;
+  config.scenario.p = 0.5;
+  config.scenario.n_hotspots = 1;
+  return config;
+}
+
+/// Warm a simulation past its transient, then count heap allocations over
+/// a further simulate window.
+struct WindowCounts {
+  std::uint64_t heap_allocs;
+  std::uint64_t arena_growths;
+  std::uint64_t events;
+};
+
+WindowCounts run_and_count(Simulation& sim, core::Time warm_until, core::Time measure_until) {
+  sim.fabric().start(sim.sched());
+  sim.sched().run_until(warm_until);
+  const std::uint64_t allocs_before = g_heap_allocs.load(std::memory_order_relaxed);
+  const std::uint64_t growths_before = sim.fabric().arena().growths();
+  const std::uint64_t events = sim.sched().run_until(measure_until);
+  return {g_heap_allocs.load(std::memory_order_relaxed) - allocs_before,
+          sim.fabric().arena().growths() - growths_before, events};
+}
+
+// By 10ms of simulated hotspot traffic every hot vector has seen its
+// working-set peak; the remaining 10ms window executes >100k events and
+// may allocate at most a handful of times (a wheel bucket occasionally
+// breaking its occupancy record). 64 is ~3 orders of magnitude below
+// one-per-packet, so any per-packet allocation sneaking back into the
+// path blows through it immediately.
+constexpr std::uint64_t kWindowAllocBudget = 64;
+
+TEST(AllocAudit, SteadyStateWindowHasNoPerPacketAllocations) {
+  // Hotspot congestion with CC enabled: packet churn, FECN/BECN/CNP
+  // traffic, CC timers, credit coalescing — the full hot path.
+  Simulation sim(hotspot_config(/*cc_on=*/true));
+  const WindowCounts counts =
+      run_and_count(sim, 10 * core::kMillisecond, 20 * core::kMillisecond);
+  ASSERT_GT(counts.events, 100000u) << "window too quiet to prove anything";
+  EXPECT_LE(counts.heap_allocs, kWindowAllocBudget)
+      << "the steady-state path allocates per packet again ("
+      << counts.heap_allocs << " allocations over " << counts.events
+      << " events)";
+  EXPECT_EQ(counts.arena_growths, 0u) << "the packet arena grew mid-run";
+}
+
+TEST(AllocAudit, SteadyStateWindowHasNoPerPacketAllocationsWithoutCc) {
+  // CC off removes throttling, so offered load — and packet churn — is
+  // strictly higher; the zero-per-packet property must hold regardless.
+  Simulation sim(hotspot_config(/*cc_on=*/false));
+  const WindowCounts counts =
+      run_and_count(sim, 10 * core::kMillisecond, 20 * core::kMillisecond);
+  ASSERT_GT(counts.events, 100000u);
+  EXPECT_LE(counts.heap_allocs, kWindowAllocBudget)
+      << counts.heap_allocs << " allocations over " << counts.events
+      << " events";
+  EXPECT_EQ(counts.arena_growths, 0u);
+}
+
+TEST(AllocAudit, ArenaPreSizedForTopology) {
+  // Fabric construction reserves the arena from the node count, so the
+  // first packets never trigger growth either.
+  Simulation sim(hotspot_config(/*cc_on=*/true));
+  EXPECT_GE(sim.fabric().arena().capacity(),
+            static_cast<std::size_t>(sim.topology().node_count()) * 16u);
+  EXPECT_EQ(sim.fabric().arena().live(), 0);
+}
+
+}  // namespace
+}  // namespace ibsim::sim

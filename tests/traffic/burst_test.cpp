@@ -15,9 +15,9 @@ class BurstTest : public ::testing::Test {
     core::Time now = 0;
     while (now < until) {
       auto res = gen.poll(now);
-      if (res.pkt != nullptr) {
-        const core::Time pace = core::transmit_time(res.pkt->bytes, 13.5);
-        pool_.release(res.pkt);
+      if (res.pkt != ib::kNullPacket) {
+        const core::Time pace = core::transmit_time(arena_.get(res.pkt).bytes, 13.5);
+        arena_.release(res.pkt);
         now += pace;
       } else {
         ASSERT_GT(res.retry_at, now) << "burst generator must make progress";
@@ -26,7 +26,7 @@ class BurstTest : public ::testing::Test {
     }
   }
 
-  ib::PacketPool pool_;
+  ib::PacketArena arena_;
 };
 
 TEST_F(BurstTest, DutyCycleMatchesPhaseMeans) {
@@ -34,7 +34,7 @@ TEST_F(BurstTest, DutyCycleMatchesPhaseMeans) {
   params.mean_on = 100 * core::kMicrosecond;
   params.mean_off = 300 * core::kMicrosecond;
   params.rate_gbps = 13.5;
-  BurstGenerator gen(0, 8, params, nullptr, &pool_, core::Rng(1));
+  BurstGenerator gen(0, 8, params, nullptr, &arena_, core::Rng(1));
   const core::Time horizon = 200 * core::kMillisecond;
   drive(gen, horizon);
   // Average rate = duty cycle x burst rate = 0.25 x 13.5.
@@ -49,7 +49,7 @@ TEST_F(BurstTest, SilentDuringOffPhases) {
   BurstParams params;
   params.mean_on = 50 * core::kMicrosecond;
   params.mean_off = 200 * core::kMicrosecond;
-  BurstGenerator gen(0, 8, params, nullptr, &pool_, core::Rng(2));
+  BurstGenerator gen(0, 8, params, nullptr, &arena_, core::Rng(2));
   // Consecutive sends within a burst are packet-time spaced; gaps between
   // bursts are much longer. Both must appear.
   core::Time now = 0;
@@ -58,15 +58,16 @@ TEST_F(BurstTest, SilentDuringOffPhases) {
   core::Time last_send = -1;
   while (now < 20 * core::kMillisecond) {
     auto res = gen.poll(now);
-    if (res.pkt != nullptr) {
+    if (res.pkt != ib::kNullPacket) {
       if (last_send >= 0) {
         const core::Time gap = now - last_send;
         if (gap > 10 * core::kMicrosecond) ++long_gaps;
         if (gap <= 2 * core::transmit_time(ib::kMtuBytes, params.rate_gbps)) ++short_gaps;
       }
       last_send = now;
-      pool_.release(res.pkt);
-      now += core::transmit_time(res.pkt->bytes, params.rate_gbps);
+      const std::int32_t bytes = arena_.get(res.pkt).bytes;
+      arena_.release(res.pkt);
+      now += core::transmit_time(bytes, params.rate_gbps);
     } else {
       now = res.retry_at;
     }
@@ -79,13 +80,13 @@ TEST_F(BurstTest, FixedDestinationHonoured) {
   BurstParams params;
   params.fixed_destination = true;
   params.destination = 5;
-  BurstGenerator gen(0, 8, params, nullptr, &pool_, core::Rng(3));
+  BurstGenerator gen(0, 8, params, nullptr, &arena_, core::Rng(3));
   core::Time now = 0;
   for (int i = 0; i < 500 && now < 50 * core::kMillisecond;) {
     auto res = gen.poll(now);
-    if (res.pkt != nullptr) {
-      EXPECT_EQ(res.pkt->dst, 5);
-      pool_.release(res.pkt);
+    if (res.pkt != ib::kNullPacket) {
+      EXPECT_EQ(arena_.get(res.pkt).dst, 5);
+      arena_.release(res.pkt);
       ++i;
       now += 1000;
     } else {
@@ -99,14 +100,14 @@ TEST_F(BurstTest, RedrawsDestinationPerBurst) {
   params.mean_on = 20 * core::kMicrosecond;
   params.mean_off = 20 * core::kMicrosecond;
   params.new_destination_per_burst = true;
-  BurstGenerator gen(0, 32, params, nullptr, &pool_, core::Rng(4));
+  BurstGenerator gen(0, 32, params, nullptr, &arena_, core::Rng(4));
   std::map<ib::NodeId, int> dsts;
   core::Time now = 0;
   while (now < 10 * core::kMillisecond) {
     auto res = gen.poll(now);
-    if (res.pkt != nullptr) {
-      ++dsts[res.pkt->dst];
-      pool_.release(res.pkt);
+    if (res.pkt != ib::kNullPacket) {
+      ++dsts[arena_.get(res.pkt).dst];
+      arena_.release(res.pkt);
       now += core::transmit_time(ib::kMtuBytes, params.rate_gbps);
     } else {
       now = res.retry_at;
@@ -124,11 +125,11 @@ TEST_F(BurstTest, RespectsFlowGate) {
     core::Time flow_ready_at(ib::NodeId) const override { return core::kSecond; }
   } gate;
   BurstParams params;
-  BurstGenerator gen(0, 8, params, &gate, &pool_, core::Rng(5));
+  BurstGenerator gen(0, 8, params, &gate, &arena_, core::Rng(5));
   core::Time now = 0;
   for (int i = 0; i < 100; ++i) {
     auto res = gen.poll(now);
-    EXPECT_EQ(res.pkt, nullptr);
+    EXPECT_EQ(res.pkt, ib::kNullPacket);
     ASSERT_GT(res.retry_at, now);
     now = res.retry_at;
     if (now >= 100 * core::kMillisecond) break;
@@ -138,18 +139,18 @@ TEST_F(BurstTest, RespectsFlowGate) {
 
 TEST_F(BurstTest, DeterministicBySeed) {
   BurstParams params;
-  BurstGenerator a(0, 8, params, nullptr, &pool_, core::Rng(7));
-  BurstGenerator b(0, 8, params, nullptr, &pool_, core::Rng(7));
+  BurstGenerator a(0, 8, params, nullptr, &arena_, core::Rng(7));
+  BurstGenerator b(0, 8, params, nullptr, &arena_, core::Rng(7));
   core::Time now_a = 0;
   core::Time now_b = 0;
   for (int i = 0; i < 200; ++i) {
     auto ra = a.poll(now_a);
     auto rb = b.poll(now_b);
-    EXPECT_EQ(ra.pkt == nullptr, rb.pkt == nullptr);
-    if (ra.pkt != nullptr) {
-      EXPECT_EQ(ra.pkt->dst, rb.pkt->dst);
-      pool_.release(ra.pkt);
-      pool_.release(rb.pkt);
+    EXPECT_EQ(ra.pkt == ib::kNullPacket, rb.pkt == ib::kNullPacket);
+    if (ra.pkt != ib::kNullPacket) {
+      EXPECT_EQ(arena_.get(ra.pkt).dst, arena_.get(rb.pkt).dst);
+      arena_.release(ra.pkt);
+      arena_.release(rb.pkt);
       now_a += 1000;
       now_b += 1000;
     } else {

@@ -26,21 +26,24 @@ class GeneratorTest : public ::testing::Test {
     BNodeParams params;
     params.p = p;
     if (p > 0 && hotspot == nullptr) hotspot = &fixed_;
-    return BNodeGenerator(/*self=*/0, kNodes, params, hotspot, gate, &pool_, core::Rng(7));
+    return BNodeGenerator(/*self=*/0, kNodes, params, hotspot, gate, &arena_, core::Rng(7));
   }
 
-  /// Drain the generator greedily at time `now`; returns emitted packets.
-  static std::vector<ib::Packet*> drain(BNodeGenerator& gen, core::Time now, int max_pkts) {
-    std::vector<ib::Packet*> out;
+  /// Drain the generator greedily at time `now`; returns emitted handles
+  /// (resolve through `pkt()` — they stay valid across arena growth).
+  std::vector<ib::PacketHandle> drain(BNodeGenerator& gen, core::Time now, int max_pkts) {
+    std::vector<ib::PacketHandle> out;
     for (int i = 0; i < max_pkts; ++i) {
       auto res = gen.poll(now);
-      if (res.pkt == nullptr) break;
+      if (res.pkt == ib::kNullPacket) break;
       out.push_back(res.pkt);
     }
     return out;
   }
 
-  ib::PacketPool pool_;
+  const ib::Packet& pkt(ib::PacketHandle h) { return arena_.get(h); }
+
+  ib::PacketArena arena_;
   FixedHotspot fixed_{5};
 };
 
@@ -50,11 +53,11 @@ TEST_F(GeneratorTest, PureHotspotNodeSendsOnlyToHotspot) {
   const core::Time t = core::kMillisecond;
   auto pkts = drain(gen, t, 1000);
   ASSERT_FALSE(pkts.empty());
-  for (ib::Packet* pkt : pkts) {
-    EXPECT_EQ(pkt->dst, 5);
-    EXPECT_TRUE(pkt->hotspot_stream);
-    EXPECT_EQ(pkt->src, 0);
-    EXPECT_EQ(pkt->bytes, ib::kMtuBytes);
+  for (ib::PacketHandle h : pkts) {
+    EXPECT_EQ(pkt(h).dst, 5);
+    EXPECT_TRUE(pkt(h).hotspot_stream);
+    EXPECT_EQ(pkt(h).src, 0);
+    EXPECT_EQ(pkt(h).bytes, ib::kMtuBytes);
   }
 }
 
@@ -62,9 +65,9 @@ TEST_F(GeneratorTest, PureUniformNodeNeverHitsHotspotStream) {
   BNodeGenerator gen = make(0.0);
   auto pkts = drain(gen, core::kMillisecond, 1000);
   ASSERT_FALSE(pkts.empty());
-  for (ib::Packet* pkt : pkts) {
-    EXPECT_FALSE(pkt->hotspot_stream);
-    EXPECT_NE(pkt->dst, 0);  // never self
+  for (ib::PacketHandle h : pkts) {
+    EXPECT_FALSE(pkt(h).hotspot_stream);
+    EXPECT_NE(pkt(h).dst, 0);  // never self
   }
   EXPECT_EQ(gen.hotspot_bytes_sent(), 0);
 }
@@ -100,12 +103,12 @@ TEST_F(GeneratorTest, RetryHintIsBudgetRefillTime) {
   const core::Time t = core::kMicrosecond;
   (void)drain(gen, t, 100000);  // exhaust the budget at t
   auto res = gen.poll(t);
-  EXPECT_EQ(res.pkt, nullptr);
+  EXPECT_EQ(res.pkt, ib::kNullPacket);
   ASSERT_NE(res.retry_at, core::kTimeNever);
   EXPECT_GT(res.retry_at, t);
   // At the hinted time the generator must be ready again.
   auto next = gen.poll(res.retry_at);
-  EXPECT_NE(next.pkt, nullptr);
+  EXPECT_NE(next.pkt, ib::kNullPacket);
 }
 
 TEST_F(GeneratorTest, MessagesAreTwoConsecutivePackets) {
@@ -113,9 +116,9 @@ TEST_F(GeneratorTest, MessagesAreTwoConsecutivePackets) {
   auto pkts = drain(gen, core::kMillisecond, 10);
   ASSERT_GE(pkts.size(), 4u);
   // Packets pair up into messages: same msg_seq twice, then the next.
-  EXPECT_EQ(pkts[0]->msg_seq, pkts[1]->msg_seq);
-  EXPECT_EQ(pkts[2]->msg_seq, pkts[3]->msg_seq);
-  EXPECT_NE(pkts[0]->msg_seq, pkts[2]->msg_seq);
+  EXPECT_EQ(pkt(pkts[0]).msg_seq, pkt(pkts[1]).msg_seq);
+  EXPECT_EQ(pkt(pkts[2]).msg_seq, pkt(pkts[3]).msg_seq);
+  EXPECT_NE(pkt(pkts[0]).msg_seq, pkt(pkts[2]).msg_seq);
 }
 
 TEST_F(GeneratorTest, ThrottledHotspotFlowDoesNotBlockUniform) {
@@ -127,7 +130,7 @@ TEST_F(GeneratorTest, ThrottledHotspotFlowDoesNotBlockUniform) {
   const core::Time t = core::kMillisecond;
   auto pkts = drain(gen, t, 100000);
   ASSERT_FALSE(pkts.empty());
-  for (ib::Packet* pkt : pkts) EXPECT_FALSE(pkt->hotspot_stream);
+  for (ib::PacketHandle h : pkts) EXPECT_FALSE(pkt(h).hotspot_stream);
   // Uniform used its (1-p) share; hotspot sent nothing.
   EXPECT_EQ(gen.hotspot_bytes_sent(), 0);
   EXPECT_GE(gen.uniform_bytes_sent(), core::capacity_bytes(13.5, t) / 2 - ib::kMtuBytes);
@@ -143,7 +146,7 @@ TEST_F(GeneratorTest, UniformDoesNotExceedItsShareWhenHotspotBlocked) {
   (void)drain(gen, t, 100000);
   EXPECT_LE(gen.uniform_bytes_sent(), core::capacity_bytes(13.5, t) / 2 + ib::kMtuBytes);
   auto res = gen.poll(t);
-  EXPECT_EQ(res.pkt, nullptr);  // link idles
+  EXPECT_EQ(res.pkt, ib::kNullPacket);  // link idles
 }
 
 TEST_F(GeneratorTest, ThrottledUniformFlowsParkWithoutStallingTheRest) {
@@ -156,7 +159,7 @@ TEST_F(GeneratorTest, ThrottledUniformFlowsParkWithoutStallingTheRest) {
   BNodeGenerator gen = make(0.5, &gate);
   auto pkts = drain(gen, core::kMillisecond, 100000);
   ASSERT_FALSE(pkts.empty());
-  for (ib::Packet* pkt : pkts) EXPECT_EQ(pkt->dst, 5);
+  for (ib::PacketHandle h : pkts) EXPECT_EQ(pkt(h).dst, 5);
   // The hotspot stream certainly ran; uniform draws that landed on 5
   // may have run too, but nothing else did.
   EXPECT_GT(gen.hotspot_bytes_sent(), 0);
@@ -170,7 +173,7 @@ TEST_F(GeneratorTest, DeficitInterleavesStreams) {
   // any window of 8 packets both streams appear.
   for (std::size_t i = 0; i + 8 <= pkts.size(); i += 8) {
     int hotspot = 0;
-    for (std::size_t j = i; j < i + 8; ++j) hotspot += pkts[j]->hotspot_stream ? 1 : 0;
+    for (std::size_t j = i; j < i + 8; ++j) hotspot += pkt(pkts[j]).hotspot_stream ? 1 : 0;
     EXPECT_GT(hotspot, 0);
     EXPECT_LT(hotspot, 8);
   }
@@ -188,11 +191,11 @@ TEST_F(GeneratorTest, HotspotProviderFollowedPerMessage) {
   BNodeGenerator gen = make(1.0, nullptr, &hs);
   auto first = drain(gen, 10 * core::kMicrosecond, 2);  // one full message
   ASSERT_EQ(first.size(), 2u);
-  EXPECT_EQ(first[0]->dst, 3);
+  EXPECT_EQ(pkt(first[0]).dst, 3);
   hs.current = 9;
   auto second = drain(gen, core::kMillisecond, 2);
   ASSERT_EQ(second.size(), 2u);
-  EXPECT_EQ(second[0]->dst, 9);
+  EXPECT_EQ(pkt(second[0]).dst, 9);
 }
 
 TEST_F(GeneratorTest, SelfHotspotRedirectsUniformly) {
@@ -200,28 +203,28 @@ TEST_F(GeneratorTest, SelfHotspotRedirectsUniformly) {
   BNodeGenerator gen = make(1.0, nullptr, &self_hs);
   auto pkts = drain(gen, core::kMillisecond, 100);
   ASSERT_FALSE(pkts.empty());
-  for (ib::Packet* pkt : pkts) EXPECT_NE(pkt->dst, 0);
+  for (ib::PacketHandle h : pkts) EXPECT_NE(pkt(h).dst, 0);
 }
 
 TEST_F(GeneratorTest, InjectedAtStamped) {
   BNodeGenerator gen = make(0.0);
   auto res = gen.poll(12345678);
-  ASSERT_NE(res.pkt, nullptr);
-  EXPECT_EQ(res.pkt->injected_at, 12345678);
+  ASSERT_NE(res.pkt, ib::kNullPacket);
+  EXPECT_EQ(pkt(res.pkt).injected_at, 12345678);
 }
 
 TEST_F(GeneratorTest, SameSeedSameSequence) {
   BNodeParams params;
   params.p = 0.5;
-  BNodeGenerator a(0, kNodes, params, &fixed_, nullptr, &pool_, core::Rng(99));
-  BNodeGenerator b(0, kNodes, params, &fixed_, nullptr, &pool_, core::Rng(99));
+  BNodeGenerator a(0, kNodes, params, &fixed_, nullptr, &arena_, core::Rng(99));
+  BNodeGenerator b(0, kNodes, params, &fixed_, nullptr, &arena_, core::Rng(99));
   for (int i = 0; i < 200; ++i) {
     auto ra = a.poll(core::kMillisecond);
     auto rb = b.poll(core::kMillisecond);
-    ASSERT_NE(ra.pkt, nullptr);
-    ASSERT_NE(rb.pkt, nullptr);
-    EXPECT_EQ(ra.pkt->dst, rb.pkt->dst);
-    EXPECT_EQ(ra.pkt->hotspot_stream, rb.pkt->hotspot_stream);
+    ASSERT_NE(ra.pkt, ib::kNullPacket);
+    ASSERT_NE(rb.pkt, ib::kNullPacket);
+    EXPECT_EQ(pkt(ra.pkt).dst, pkt(rb.pkt).dst);
+    EXPECT_EQ(pkt(ra.pkt).hotspot_stream, pkt(rb.pkt).hotspot_stream);
   }
 }
 
