@@ -4,20 +4,24 @@
 
 #include <cstdio>
 
+#include "store_opt.hpp"
 #include "sim/cli.hpp"
 #include "sim/experiment.hpp"
 
 int main(int argc, char** argv) {
   using namespace ibsim;
+  if (bench::handle_version_flag(argc, argv, "fig10_moving_windy")) return 0;
 
   sim::Cli cli("fig10_moving_windy: moving windy trees (100% B), lifetime sweep");
   cli.add_flag("full", "paper-scale lifetimes and CC loop (also IBSIM_FULL=1)");
   cli.add_int("seed", 1, "random seed");
   cli.add_string("csv", "", "CSV output path prefix (one file per sub-figure)");
+  bench::add_store_option(cli);
   if (!cli.parse(argc, argv)) return 0;
 
   sim::ExperimentPreset preset = sim::ExperimentPreset::from_env(cli.flag("full"));
   preset.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  preset.result_store = cli.get_string("result-store");
   const std::string csv = cli.get_string("csv");
 
   std::printf("fig10: %d-node fat-tree, 8 moving hotspots, 100%% B nodes\n\n",
@@ -33,5 +37,6 @@ int main(int argc, char** argv) {
 
   std::printf("paper: CC improves performance at every p and lifetime, with the\n"
               "       advantage shrinking as the hotspot lifetime decreases.\n");
+  bench::report_store(preset.result_store);
   return 0;
 }

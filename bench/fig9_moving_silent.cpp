@@ -9,20 +9,24 @@
 
 #include <cstdio>
 
+#include "store_opt.hpp"
 #include "sim/cli.hpp"
 #include "sim/experiment.hpp"
 
 int main(int argc, char** argv) {
   using namespace ibsim;
+  if (bench::handle_version_flag(argc, argv, "fig9_moving_silent")) return 0;
 
   sim::Cli cli("fig9_moving_silent: moving silent trees, lifetime sweep");
   cli.add_flag("full", "paper-scale lifetimes and CC loop (also IBSIM_FULL=1)");
   cli.add_int("seed", 1, "random seed");
   cli.add_string("csv", "", "CSV output path prefix (one file per sub-figure)");
+  bench::add_store_option(cli);
   if (!cli.parse(argc, argv)) return 0;
 
   sim::ExperimentPreset preset = sim::ExperimentPreset::from_env(cli.flag("full"));
   preset.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  preset.result_store = cli.get_string("result-store");
   const std::string csv = cli.get_string("csv");
 
   std::printf("fig9: %d-node fat-tree, 8 moving hotspots, silent trees\n\n",
@@ -39,5 +43,6 @@ int main(int argc, char** argv) {
   std::printf("paper: (a) CC wins 55%% at 10 ms lifetime shrinking to 4%% at 1 ms;\n"
               "       (b) CC wins 2.6x at 10 ms shrinking to 10%% at 1 ms;\n"
               "       receive rates rise as lifetimes shrink in both cases.\n");
+  bench::report_store(preset.result_store);
   return 0;
 }

@@ -1,0 +1,44 @@
+#pragma once
+
+// --result-store / --version plumbing shared by the paper-table benches.
+// The store makes every bench resumable: a rerun with the same directory
+// serves finished cells from disk and simulates only what is missing,
+// and the printed tables are byte-identical either way (store results
+// round-trip bit-exactly). Store statistics go to stderr so cold and
+// warm stdout can be diffed — the CI store-smoke job does exactly that.
+
+#include <cstdio>
+#include <string>
+
+#include "sim/cli.hpp"
+#include "store/result_store.hpp"
+#include "store/version.hpp"
+
+namespace ibsim::bench {
+
+/// Handle a bare `--version` before Cli parsing. Returns true when the
+/// caller should exit (the stamp has been printed).
+inline bool handle_version_flag(int argc, char** argv, const char* program) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--version") {
+      std::printf("%s\n", store::version_line(program).c_str());
+      return true;
+    }
+  }
+  return false;
+}
+
+inline void add_store_option(sim::Cli& cli) {
+  cli.add_string("result-store", "",
+                 "serve repeated runs from (and publish fresh runs to) the "
+                 "on-disk result store at this directory");
+}
+
+/// Print the store's hit/miss summary to stderr (no-op without a store).
+inline void report_store(const std::string& dir) {
+  if (dir.empty()) return;
+  std::fprintf(stderr, "%s\n",
+               store::StoreRegistry::instance().open(dir)->stats_line().c_str());
+}
+
+}  // namespace ibsim::bench

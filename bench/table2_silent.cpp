@@ -13,22 +13,26 @@
 #include <cstdio>
 
 #include "analysis/table.hpp"
+#include "store_opt.hpp"
 #include "sim/cli.hpp"
 #include "sim/experiment.hpp"
 
 int main(int argc, char** argv) {
   using namespace ibsim;
+  if (bench::handle_version_flag(argc, argv, "table2_silent")) return 0;
 
   sim::Cli cli("table2_silent: paper Table II (silent congestion trees)");
   cli.add_flag("full", "paper-scale simulated time (also IBSIM_FULL=1)");
   cli.add_int("seed", 1, "random seed");
   cli.add_string("csv", "", "also write results as CSV to this path");
   cli.add_flag("no-fast-path", "reference event chain (A/B timing; same output)");
+  bench::add_store_option(cli);
   if (!cli.parse(argc, argv)) return 0;
 
   sim::ExperimentPreset preset = sim::ExperimentPreset::from_env(cli.flag("full"));
   preset.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   preset.fabric_fast_path = !cli.flag("no-fast-path");
+  preset.result_store = cli.get_string("result-store");
 
   std::printf("Table II — performance numbers (Gbps), silent congestion trees\n");
   std::printf("topology: %d-node folded Clos (%d leaves x %d spines)\n\n",
@@ -55,5 +59,6 @@ int main(int argc, char** argv) {
       std::printf("CSV written to %s\n", csv.c_str());
     }
   }
+  bench::report_store(preset.result_store);
   return 0;
 }

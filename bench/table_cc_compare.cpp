@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "analysis/table.hpp"
+#include "store_opt.hpp"
 #include "ccalg/registry.hpp"
 #include "sim/cli.hpp"
 #include "sim/experiment.hpp"
@@ -33,12 +34,14 @@ std::vector<std::string> split_csv_list(const std::string& text) {
 
 int main(int argc, char** argv) {
   using namespace ibsim;
+  if (bench::handle_version_flag(argc, argv, "table_cc_compare")) return 0;
 
   sim::Cli cli("table_cc_compare: the congestion-tree taxonomy per CC algorithm");
   cli.add_flag("full", "paper-scale simulated time (also IBSIM_FULL=1)");
   cli.add_int("seed", 1, "random seed");
   cli.add_string("algos", "", "comma-separated algorithm subset (default: all registered)");
   cli.add_string("csv", "", "also write results as CSV to this path");
+  bench::add_store_option(cli);
   if (!cli.parse(argc, argv)) return 0;
 
   const auto& registry = ccalg::CcAlgorithmRegistry::instance();
@@ -53,6 +56,7 @@ int main(int argc, char** argv) {
 
   sim::ExperimentPreset preset = sim::ExperimentPreset::from_env(cli.flag("full"));
   preset.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  preset.result_store = cli.get_string("result-store");
 
   std::printf("CC algorithm comparison (Gbps), %d-node folded Clos, seed %llu\n\n",
               preset.clos.node_count(),
@@ -71,5 +75,6 @@ int main(int argc, char** argv) {
       std::printf("CSV written to %s\n", csv.c_str());
     }
   }
+  bench::report_store(preset.result_store);
   return 0;
 }

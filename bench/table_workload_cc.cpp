@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "analysis/table.hpp"
+#include "store_opt.hpp"
 #include "ccalg/registry.hpp"
 #include "sim/cli.hpp"
 #include "sim/experiment.hpp"
@@ -40,6 +41,7 @@ std::vector<std::string> split_csv_list(const std::string& text) {
 
 int main(int argc, char** argv) {
   using namespace ibsim;
+  if (bench::handle_version_flag(argc, argv, "table_workload_cc")) return 0;
 
   sim::Cli cli("table_workload_cc: application completion time per CC algorithm");
   cli.add_flag("full", "paper-scale messages and windows (also IBSIM_FULL=1)");
@@ -48,6 +50,7 @@ int main(int argc, char** argv) {
   cli.add_string("algos", "", "comma-separated algorithm subset (default: all registered)");
   cli.add_int("threads", 0, "sweep worker threads (0 = IBSIM_THREADS or hardware)");
   cli.add_string("csv", "", "also write results as CSV to this path");
+  bench::add_store_option(cli);
   if (!cli.parse(argc, argv)) return 0;
 
   const auto& wl_registry = workload::WorkloadRegistry::instance();
@@ -90,6 +93,7 @@ int main(int argc, char** argv) {
   base.workload.message_bytes = full ? 128 * 1024 : 32 * 1024;
   base.workload.iterations = full ? 4 : 2;
   base.sim_time = full ? 60 * core::kMillisecond : 15 * core::kMillisecond;
+  base.result_store = cli.get_string("result-store");
 
   // Grid: for each algorithm an idle baseline (victims only) followed by
   // every workload. Index layout: algo a occupies the contiguous block
@@ -143,5 +147,6 @@ int main(int argc, char** argv) {
       std::printf("CSV written to %s\n", csv.c_str());
     }
   }
+  bench::report_store(base.result_store);
   return 0;
 }

@@ -8,6 +8,7 @@
 //
 // Run ./simulate --help for the full knob list.
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 
@@ -17,11 +18,78 @@
 #include "sim/config_file.hpp"
 #include "sim/simulation.hpp"
 #include "sim/timeline.hpp"
+#include "store/key.hpp"
+#include "store/result_store.hpp"
+#include "store/version.hpp"
 #include "telemetry/summary.hpp"
 #include "workload/registry.hpp"
 
+namespace {
+
+/// The headline result block — shared by the live-run path and the
+/// result-store hit path, which must print identical stdout (the store's
+/// contract is that a cached run is indistinguishable from a fresh one).
+void print_results(const ibsim::sim::SimConfig& config, const ibsim::sim::SimResult& r) {
+  using ibsim::core::kMicrosecond;
+  using ibsim::core::kTimeNever;
+  std::printf("\nresults over the measurement window:\n");
+  std::printf("  avg receive rate, hotspots      %10.3f Gb/s\n", r.hotspot_rcv_gbps);
+  std::printf("  avg receive rate, non-hotspots  %10.3f Gb/s\n", r.non_hotspot_rcv_gbps);
+  std::printf("  avg receive rate, all nodes     %10.3f Gb/s\n", r.all_rcv_gbps);
+  std::printf("  total network throughput        %10.1f Gb/s\n", r.total_throughput_gbps);
+  std::printf("  Jain fairness (non-hotspots)    %10.4f\n", r.jain_non_hotspot);
+  std::printf("  median / p99 packet latency     %7.1f / %.1f us\n", r.median_latency_us,
+              r.p99_latency_us);
+  std::printf("  FECN marked / CNPs / BECNs      %llu / %llu / %llu\n",
+              static_cast<unsigned long long>(r.fecn_marked),
+              static_cast<unsigned long long>(r.cnps_sent),
+              static_cast<unsigned long long>(r.becn_received));
+  std::printf("  events executed                 %llu\n",
+              static_cast<unsigned long long>(r.events_executed));
+
+  if (r.workload.ran) {
+    std::printf("\napplication workload (%s):\n", config.workload.name.c_str());
+    std::printf("  messages completed              %llu / %llu\n",
+                static_cast<unsigned long long>(r.workload.messages_completed),
+                static_cast<unsigned long long>(r.workload.messages_total));
+    if (r.workload.completed) {
+      std::printf("  makespan                        %10.1f us\n", r.workload.makespan_us());
+    } else {
+      std::printf("  makespan                        did not finish within sim-time\n");
+    }
+    std::printf("  per-phase finish times (us):");
+    for (std::size_t p = 0; p < r.workload.phase_finish.size(); ++p) {
+      const ibsim::core::Time t = r.workload.phase_finish[p];
+      if (t == kTimeNever) {
+        std::printf(" -");
+      } else {
+        std::printf(" %.1f", static_cast<double>(t) / kMicrosecond);
+      }
+    }
+    std::printf("\n  per-rank finish times (us):");
+    for (std::size_t rr = 0; rr < r.workload.rank_finish.size(); ++rr) {
+      const ibsim::core::Time t = r.workload.rank_finish[rr];
+      if (t == kTimeNever) {
+        std::printf(" -");
+      } else {
+        std::printf(" %.1f", static_cast<double>(t) / kMicrosecond);
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace ibsim;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--version") {
+      std::printf("%s\n", store::version_line("simulate").c_str());
+      return 0;
+    }
+  }
 
   sim::Cli cli("simulate: run one InfiniBand CC simulation from the command line");
   // Topology.
@@ -82,6 +150,10 @@ int main(int argc, char** argv) {
   cli.add_int("timeline-us", 0, "sampling interval for --timeline-csv (0 = off)");
   cli.add_string("timeline-csv", "", "write a telemetry time series CSV");
   cli.add_string("config", "", "key=value config file applied before the flags");
+  cli.add_string("result-store", "",
+                 "on-disk result store directory: serve this run from cache if "
+                 "present, publish it otherwise");
+  cli.add_flag("version", "print the code version stamp and exit");
   cli.add_flag("verbose", "info-level logging");
   // Telemetry.
   cli.add_string("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable)");
@@ -251,79 +323,76 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Result store: the --result-store flag overrides a config-file
+  // result_store key. Timeline and telemetry outputs need a live
+  // simulation (they sample it as it runs), so those runs bypass the
+  // store rather than silently produce empty side files on a hit.
+  if (cli.was_set("result-store")) config.result_store = cli.get_string("result-store");
+  std::shared_ptr<store::ResultStore> result_store;
+  if (!config.result_store.empty()) {
+    if (config.telemetry.active() || cli.get_int("timeline-us") > 0) {
+      std::fprintf(stderr,
+                   "result store bypassed: telemetry/timeline output needs a live run\n");
+    } else {
+      result_store = store::StoreRegistry::instance().open(config.result_store);
+      if (!result_store->error().empty()) {
+        std::fprintf(stderr, "result store disabled: %s\n", result_store->error().c_str());
+      }
+    }
+  }
+
   std::printf("%s\n", config.describe().c_str());
 
-  sim::Simulation simulation(config);
-  std::unique_ptr<sim::TimelineSampler> timeline;
-  if (cli.get_int("timeline-us") > 0) {
-    timeline = std::make_unique<sim::TimelineSampler>(
-        &simulation.fabric(), &simulation.metrics(),
-        cli.get_int("timeline-us") * core::kMicrosecond);
-    timeline->install(simulation.sched());
+  std::string run_key;
+  sim::SimResult cached_result;
+  bool cached = false;
+  if (result_store != nullptr) {
+    run_key = store::run_key(config);
+    cached = result_store->get(run_key, &cached_result);
   }
-  const sim::SimResult r = simulation.run();
 
-  std::printf("\nresults over the measurement window:\n");
-  std::printf("  avg receive rate, hotspots      %10.3f Gb/s\n", r.hotspot_rcv_gbps);
-  std::printf("  avg receive rate, non-hotspots  %10.3f Gb/s\n", r.non_hotspot_rcv_gbps);
-  std::printf("  avg receive rate, all nodes     %10.3f Gb/s\n", r.all_rcv_gbps);
-  std::printf("  total network throughput        %10.1f Gb/s\n", r.total_throughput_gbps);
-  std::printf("  Jain fairness (non-hotspots)    %10.4f\n", r.jain_non_hotspot);
-  std::printf("  median / p99 packet latency     %7.1f / %.1f us\n", r.median_latency_us,
-              r.p99_latency_us);
-  std::printf("  FECN marked / CNPs / BECNs      %llu / %llu / %llu\n",
-              static_cast<unsigned long long>(r.fecn_marked),
-              static_cast<unsigned long long>(r.cnps_sent),
-              static_cast<unsigned long long>(r.becn_received));
-  std::printf("  events executed                 %llu\n",
-              static_cast<unsigned long long>(r.events_executed));
-
-  if (r.workload.ran) {
-    std::printf("\napplication workload (%s):\n", config.workload.name.c_str());
-    std::printf("  messages completed              %llu / %llu\n",
-                static_cast<unsigned long long>(r.workload.messages_completed),
-                static_cast<unsigned long long>(r.workload.messages_total));
-    if (r.workload.completed) {
-      std::printf("  makespan                        %10.1f us\n", r.workload.makespan_us());
-    } else {
-      std::printf("  makespan                        did not finish within sim-time\n");
+  if (cached) {
+    std::fprintf(stderr, "result store hit: %s\n", run_key.c_str());
+    print_results(config, cached_result);
+  } else {
+    sim::Simulation simulation(config);
+    std::unique_ptr<sim::TimelineSampler> timeline;
+    if (cli.get_int("timeline-us") > 0) {
+      timeline = std::make_unique<sim::TimelineSampler>(
+          &simulation.fabric(), &simulation.metrics(),
+          cli.get_int("timeline-us") * core::kMicrosecond);
+      timeline->install(simulation.sched());
     }
-    std::printf("  per-phase finish times (us):");
-    for (std::size_t p = 0; p < r.workload.phase_finish.size(); ++p) {
-      const core::Time t = r.workload.phase_finish[p];
-      if (t == core::kTimeNever) {
-        std::printf(" -");
-      } else {
-        std::printf(" %.1f", static_cast<double>(t) / core::kMicrosecond);
+    const auto wall_start = std::chrono::steady_clock::now();
+    const sim::SimResult r = simulation.run();
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+    if (result_store != nullptr) {
+      result_store->put(run_key, store::canonical_config_text(config), r, wall_seconds);
+    }
+
+    print_results(config, r);
+
+    const std::string timeline_csv = cli.get_string("timeline-csv");
+    if (timeline != nullptr && !timeline_csv.empty()) {
+      timeline->write_csv(timeline_csv);
+      std::printf("timeline written to %s\n", timeline_csv.c_str());
+    }
+
+    if (const telemetry::Telemetry* t = simulation.telemetry(); t != nullptr) {
+      std::printf("\n%s",
+                  telemetry::counters_table(t->registry(), t->detailed()).render().c_str());
+      if (t->tracer() != nullptr) {
+        std::printf("trace: %s -> %s\n", telemetry::describe_tracer(*t->tracer()).c_str(),
+                    config.telemetry.trace_path.c_str());
+      }
+      if (!config.telemetry.counters_csv.empty()) {
+        std::printf("counters CSV written to %s\n", config.telemetry.counters_csv.c_str());
       }
     }
-    std::printf("\n  per-rank finish times (us):");
-    for (std::size_t rr = 0; rr < r.workload.rank_finish.size(); ++rr) {
-      const core::Time t = r.workload.rank_finish[rr];
-      if (t == core::kTimeNever) {
-        std::printf(" -");
-      } else {
-        std::printf(" %.1f", static_cast<double>(t) / core::kMicrosecond);
-      }
-    }
-    std::printf("\n");
   }
-
-  const std::string timeline_csv = cli.get_string("timeline-csv");
-  if (timeline != nullptr && !timeline_csv.empty()) {
-    timeline->write_csv(timeline_csv);
-    std::printf("timeline written to %s\n", timeline_csv.c_str());
-  }
-
-  if (const telemetry::Telemetry* t = simulation.telemetry(); t != nullptr) {
-    std::printf("\n%s", telemetry::counters_table(t->registry(), t->detailed()).render().c_str());
-    if (t->tracer() != nullptr) {
-      std::printf("trace: %s -> %s\n", telemetry::describe_tracer(*t->tracer()).c_str(),
-                  config.telemetry.trace_path.c_str());
-    }
-    if (!config.telemetry.counters_csv.empty()) {
-      std::printf("counters CSV written to %s\n", config.telemetry.counters_csv.c_str());
-    }
+  if (result_store != nullptr) {
+    std::fprintf(stderr, "%s\n", result_store->stats_line().c_str());
   }
   return 0;
 }

@@ -1,0 +1,363 @@
+#include "service/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ibsim::service {
+
+Json Json::boolean(bool v) {
+  Json j;
+  j.kind_ = Kind::Bool;
+  j.bool_ = v;
+  return j;
+}
+
+Json Json::number(double v) {
+  Json j;
+  j.kind_ = Kind::Number;
+  j.number_ = v;
+  char buf[64];
+  // %.17g round-trips every double; trim to the shortest form that still
+  // parses back equal so dumps stay readable.
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  j.string_ = buf;
+  return j;
+}
+
+Json Json::number_int(std::int64_t v) {
+  Json j;
+  j.kind_ = Kind::Number;
+  j.number_ = static_cast<double>(v);
+  j.string_ = std::to_string(v);
+  return j;
+}
+
+Json Json::number_raw(double v, std::string text) {
+  Json j;
+  j.kind_ = Kind::Number;
+  j.number_ = v;
+  j.string_ = std::move(text);
+  return j;
+}
+
+Json Json::string(std::string v) {
+  Json j;
+  j.kind_ = Kind::String;
+  j.string_ = std::move(v);
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::Array;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::Object;
+  return j;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Json::push_back(Json v) { elements_.push_back(std::move(v)); }
+
+void Json::set(const std::string& key, Json v) {
+  for (auto& [k, existing] : members_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  members_.emplace_back(key, std::move(v));
+}
+
+namespace {
+
+void dump_string(const std::string& s, std::string* out) {
+  *out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;  // UTF-8 bytes pass through
+        }
+    }
+  }
+  *out += '"';
+}
+
+void dump_value(const Json& j, std::string* out) {
+  switch (j.kind()) {
+    case Json::Kind::Null: *out += "null"; return;
+    case Json::Kind::Bool: *out += j.as_bool() ? "true" : "false"; return;
+    case Json::Kind::Number: *out += j.number_text(); return;
+    case Json::Kind::String: dump_string(j.as_string(), out); return;
+    case Json::Kind::Array: {
+      *out += '[';
+      bool first = true;
+      for (const Json& e : j.elements()) {
+        if (!first) *out += ',';
+        first = false;
+        dump_value(e, out);
+      }
+      *out += ']';
+      return;
+    }
+    case Json::Kind::Object: {
+      *out += '{';
+      bool first = true;
+      for (const auto& [k, v] : j.members()) {
+        if (!first) *out += ',';
+        first = false;
+        dump_string(k, out);
+        *out += ':';
+        dump_value(v, out);
+      }
+      *out += '}';
+      return;
+    }
+  }
+}
+
+/// Recursive-descent parser over the raw bytes. Depth-capped so a
+/// hostile "[[[[..." line cannot blow the daemon's stack.
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* error) : text_(text), error_(error) {}
+
+  bool parse(Json* out) {
+    skip_ws();
+    if (!value(out, 0)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters after JSON value");
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool fail(const std::string& what) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = what + " at byte " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word, std::size_t len) {
+    if (text_.compare(pos_, len, word) != 0) return fail("invalid literal");
+    pos_ += len;
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return fail("expected '\"'");
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        if (static_cast<unsigned char>(c) < 0x20) return fail("raw control character in string");
+        *out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("bad hex digit in \\u escape");
+          }
+          // Encode the BMP code point as UTF-8 (surrogate pairs are not
+          // needed by the protocol; a lone surrogate encodes as-is).
+          if (code < 0x80) {
+            *out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            *out += static_cast<char>(0xC0 | (code >> 6));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            *out += static_cast<char>(0xE0 | (code >> 12));
+            *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool value(Json* out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case 'n':
+        if (!literal("null", 4)) return false;
+        *out = Json();
+        return true;
+      case 't':
+        if (!literal("true", 4)) return false;
+        *out = Json::boolean(true);
+        return true;
+      case 'f':
+        if (!literal("false", 5)) return false;
+        *out = Json::boolean(false);
+        return true;
+      case '"': {
+        std::string s;
+        if (!parse_string(&s)) return false;
+        *out = Json::string(std::move(s));
+        return true;
+      }
+      case '[': {
+        ++pos_;
+        *out = Json::array();
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        for (;;) {
+          Json element;
+          skip_ws();
+          if (!value(&element, depth + 1)) return false;
+          out->push_back(std::move(element));
+          skip_ws();
+          if (pos_ >= text_.size()) return fail("unterminated array");
+          if (text_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          if (text_[pos_] == ']') {
+            ++pos_;
+            return true;
+          }
+          return fail("expected ',' or ']'");
+        }
+      }
+      case '{': {
+        ++pos_;
+        *out = Json::object();
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        for (;;) {
+          skip_ws();
+          std::string key;
+          if (!parse_string(&key)) return false;
+          skip_ws();
+          if (pos_ >= text_.size() || text_[pos_] != ':') return fail("expected ':'");
+          ++pos_;
+          skip_ws();
+          Json member;
+          if (!value(&member, depth + 1)) return false;
+          out->set(key, std::move(member));
+          skip_ws();
+          if (pos_ >= text_.size()) return fail("unterminated object");
+          if (text_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          if (text_[pos_] == '}') {
+            ++pos_;
+            return true;
+          }
+          return fail("expected ',' or '}'");
+        }
+      }
+      default: {
+        // Number: scan the JSON number grammar, keep the exact source
+        // text, validate by strtod consuming all of it.
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+                text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+                text_[pos_] == '+' || text_[pos_] == '-')) {
+          ++pos_;
+        }
+        if (pos_ == start) return fail("unexpected character");
+        const std::string token = text_.substr(start, pos_ - start);
+        char* end = nullptr;
+        const double v = std::strtod(token.c_str(), &end);
+        if (end == nullptr || *end != '\0') {
+          pos_ = start;
+          return fail("malformed number");
+        }
+        // Preserve the client's spelling, not the shortest re-encoding.
+        *out = Json::number_raw(v, token);
+        return true;
+      }
+    }
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string Json::dump() const {
+  std::string out;
+  dump_value(*this, &out);
+  return out;
+}
+
+Json Json::parse(const std::string& text, std::string* error) {
+  if (error != nullptr) error->clear();
+  Json out;
+  Parser p(text, error);
+  if (!p.parse(&out)) return Json();
+  return out;
+}
+
+}  // namespace ibsim::service

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ibsim::service {
+
+/// Minimal JSON value for the sweep service's newline-delimited protocol
+/// (service/server.hpp). Self-contained by design — the container bakes
+/// in no JSON library, and the protocol needs only the basics: parse one
+/// line, build one line, no comments, no trailing commas, UTF-8 passed
+/// through verbatim (\uXXXX escapes are decoded for BMP code points).
+///
+/// Objects preserve insertion order (vector of pairs, not a map), so a
+/// dumped reply is byte-deterministic given the same construction order
+/// — the store-smoke CI job diffs protocol transcripts.
+///
+/// Numbers keep their source text alongside the parsed double: a value
+/// forwarded from request to config text round-trips exactly as the
+/// client wrote it ("0.1" never becomes "0.10000000000000001").
+class Json {
+ public:
+  enum class Kind : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Json() = default;  // null
+  static Json boolean(bool v);
+  static Json number(double v);
+  static Json number_int(std::int64_t v);
+  /// Number with explicit source text (the parser uses this to preserve
+  /// the client's spelling; `text` must parse back to `v`).
+  static Json number_raw(double v, std::string text);
+  static Json string(std::string v);
+  static Json array();
+  static Json object();
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::Null; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::Bool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::Number; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::String; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::Array; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::Object; }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] double as_double() const { return number_; }
+  [[nodiscard]] std::int64_t as_int() const { return static_cast<std::int64_t>(number_); }
+  [[nodiscard]] const std::string& as_string() const { return string_; }
+  /// The number exactly as written in the source (or as formatted at
+  /// construction) — what sweep requests forward into config text.
+  [[nodiscard]] const std::string& number_text() const { return string_; }
+
+  [[nodiscard]] const std::vector<Json>& elements() const { return elements_; }
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+
+  /// Object member by key, or nullptr (also nullptr on non-objects).
+  [[nodiscard]] const Json* find(const std::string& key) const;
+
+  void push_back(Json v);                    ///< array append
+  void set(const std::string& key, Json v);  ///< object insert/overwrite
+
+  /// Serialize on one line (no newline, minimal whitespace).
+  [[nodiscard]] std::string dump() const;
+
+  /// Parse a complete JSON document. On failure returns null and sets
+  /// `*error` to a byte-offset diagnostic.
+  [[nodiscard]] static Json parse(const std::string& text, std::string* error);
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;  // string value, or number source text
+  std::vector<Json> elements_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace ibsim::service

@@ -1,0 +1,138 @@
+#include "service/socket.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ibsim::service {
+
+Fd::~Fd() { close(); }
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Fd::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+namespace {
+
+bool fill_addr(const std::string& path, sockaddr_un* addr, std::string* error) {
+  if (path.size() >= sizeof(addr->sun_path)) {
+    if (error != nullptr) *error = "socket path too long: " + path;
+    return false;
+  }
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+bool listen_unix(const std::string& path, Fd* out, std::string* error) {
+  sockaddr_un addr{};
+  if (!fill_addr(path, &addr, error)) return false;
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    if (error != nullptr) *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  ::unlink(path.c_str());  // stale socket from a crashed predecessor
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error != nullptr) {
+      *error = "bind '" + path + "': " + std::strerror(errno);
+    }
+    return false;
+  }
+  if (::listen(fd.get(), 16) != 0) {
+    if (error != nullptr) {
+      *error = "listen '" + path + "': " + std::strerror(errno);
+    }
+    return false;
+  }
+  *out = std::move(fd);
+  return true;
+}
+
+bool connect_unix(const std::string& path, Fd* out, std::string* error) {
+  sockaddr_un addr{};
+  if (!fill_addr(path, &addr, error)) return false;
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    if (error != nullptr) *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error != nullptr) {
+      *error = "connect '" + path + "': " + std::strerror(errno);
+    }
+    return false;
+  }
+  *out = std::move(fd);
+  return true;
+}
+
+bool accept_unix(const Fd& listener, Fd* out) {
+  for (;;) {
+    const int fd = ::accept(listener.get(), nullptr, nullptr);
+    if (fd >= 0) {
+      *out = Fd(fd);
+      return true;
+    }
+    if (errno == EINTR) continue;
+    return false;  // listener closed or fatal error: accept loop ends
+  }
+}
+
+bool read_line(int fd, std::string* buffer, std::string* line) {
+  for (;;) {
+    const std::size_t nl = buffer->find('\n');
+    if (nl != std::string::npos) {
+      *line = buffer->substr(0, nl);
+      if (!line->empty() && line->back() == '\r') line->pop_back();
+      buffer->erase(0, nl + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n > 0) {
+      buffer->append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // EOF or error
+  }
+}
+
+bool write_line(int fd, const std::string& line) {
+  std::string out = line;
+  out += '\n';
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+    // MSG_NOSIGNAL: a client that hung up mid-sweep must produce a
+    // write error here, not SIGPIPE-kill the daemon.
+    const ssize_t n = ::send(fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace ibsim::service

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <string>
+
+namespace ibsim::service {
+
+/// Thin RAII + line-I/O layer over Unix domain stream sockets — just
+/// enough for the daemon's newline-delimited JSON protocol. Errors come
+/// back as bool/-1 with the reason in an out-parameter; nothing here
+/// throws (the daemon must survive any client behaviour).
+
+/// Owning fd wrapper (close on destruction, movable, non-copyable).
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd();
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Bind and listen on a Unix socket path. An existing socket file at
+/// `path` is unlinked first (the daemon owns its socket path; a stale
+/// file from a crashed predecessor must not block startup).
+[[nodiscard]] bool listen_unix(const std::string& path, Fd* out, std::string* error);
+
+/// Connect to a listening Unix socket.
+[[nodiscard]] bool connect_unix(const std::string& path, Fd* out, std::string* error);
+
+/// Accept one connection (blocks). Returns false on listener shutdown
+/// or error.
+[[nodiscard]] bool accept_unix(const Fd& listener, Fd* out);
+
+/// Read one '\n'-terminated line (the newline is stripped, a CR before
+/// it too). Returns false on EOF/error with nothing buffered. The
+/// caller owns `buffer` across calls on the same fd — it carries data
+/// read past the newline.
+[[nodiscard]] bool read_line(int fd, std::string* buffer, std::string* line);
+
+/// Write all of `line` plus a trailing newline. False on error.
+[[nodiscard]] bool write_line(int fd, const std::string& line);
+
+}  // namespace ibsim::service

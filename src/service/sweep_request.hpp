@@ -1,0 +1,58 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "service/json.hpp"
+#include "sim/sim_config.hpp"
+
+namespace ibsim::service {
+
+/// One sweep submission, as carried by the daemon protocol:
+///
+///   {"op": "submit", "name": "table2",
+///    "base": {"topology": "clos", "sim_time_us": 2000, ...},
+///    "axes": {"p_percent": [0, 50, 100], "cc_enabled": [0, 1]},
+///    "threads": 4}
+///
+/// `base` and `axes` use exactly the config-file key vocabulary
+/// (sim/config_file.hpp) — the request is a config file plus a Cartesian
+/// sweep over it, nothing more, so every key gets the config parser's
+/// validation and "did you mean" diagnostics for free.
+struct SweepRequest {
+  std::string name;
+  /// Base settings in request order, as (key, value-text) pairs.
+  std::vector<std::pair<std::string, std::string>> base;
+  /// Sweep axes in request order; each axis is (key, value-texts).
+  std::vector<std::pair<std::string, std::vector<std::string>>> axes;
+  /// Advisory worker-thread request (0 = daemon default). The daemon's
+  /// pool size is fixed at startup; the field is accepted so clients can
+  /// carry it, and ignored by the current scheduler.
+  std::int32_t threads = 0;
+};
+
+/// One expanded sweep cell: the fully-resolved config plus a stable
+/// human label of its axis coordinates ("p_percent=50 cc_enabled=1").
+struct SweepCell {
+  std::string label;
+  sim::SimConfig config;
+};
+
+/// Parse a protocol submit object into a SweepRequest. Returns true on
+/// success; on failure fills `*error` (unknown fields, wrong types,
+/// empty axes — requests fail loudly like config files do).
+[[nodiscard]] bool parse_sweep_request(const Json& json, SweepRequest* request,
+                                       std::string* error);
+
+/// Expand a request into cells: the Cartesian product of the axes, in
+/// row-major request order (last axis varies fastest). Each cell starts
+/// from `base_config`, applies the request's base keys, then its axis
+/// assignments — both through the config-file parser, so an invalid
+/// value or unknown key aborts the whole expansion with its diagnostic.
+/// An axes-less request expands to the single base cell.
+[[nodiscard]] bool expand_sweep(const SweepRequest& request,
+                                const sim::SimConfig& base_config,
+                                std::vector<SweepCell>* cells, std::string* error);
+
+}  // namespace ibsim::service

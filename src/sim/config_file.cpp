@@ -1,9 +1,11 @@
 #include "sim/config_file.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
+#include <vector>
 
 #include "ccalg/registry.hpp"
 #include "telemetry/trace.hpp"
@@ -30,6 +32,67 @@ bool parse_int(const std::string& value, std::int64_t* out) {
   char* end = nullptr;
   *out = std::strtoll(value.c_str(), &end, 10);
   return end != nullptr && *end == '\0' && !value.empty();
+}
+
+/// Every key apply_key recognises, in the order the header documents
+/// them. Only used to produce "did you mean" suggestions — the dispatch
+/// itself stays in apply_key so each key sits next to its parsing.
+constexpr const char* kKnownKeys[] = {
+    "topology", "clos_leaves", "clos_spines", "clos_nodes_per_leaf",
+    "single_nodes", "chain_switches", "chain_nodes", "dumbbell_nodes",
+    "mesh_rows", "mesh_cols", "mesh_nodes", "ft3_pods", "ft3_leaves_per_pod",
+    "ft3_aggs_per_pod", "ft3_cores", "ft3_nodes_per_leaf", "fraction_b",
+    "p_percent", "fraction_c", "hotspots", "lifetime_us", "inject_gbps",
+    "cc_enabled", "cc_algo", "threshold_weight", "marking_rate", "packet_size",
+    "victim_mask", "ccti_increase", "ccti_limit", "ccti_min", "ccti_timer",
+    "sl_level", "cct_fill", "cct_base", "wire_gbps", "hca_inject_gbps",
+    "hca_drain_gbps", "n_vls", "cut_through", "fabric_fast_path",
+    "switch_ibuf_bytes", "hca_ibuf_bytes", "workload", "workload_file",
+    "workload_ranks", "workload_bytes", "workload_iters", "workload_compute_us",
+    "workload_background", "sim_time_us", "warmup_us", "seed", "trace_file",
+    "trace_categories", "counters_csv", "telemetry_sample_us", "trace_ring",
+    "telemetry_detailed", "telemetry_counters", "result_store",
+};
+
+/// Levenshtein edit distance with a cutoff: stops caring past `limit`
+/// (returns limit + 1), which keeps suggestion scans cheap.
+std::size_t edit_distance(const std::string& a, const std::string& b, std::size_t limit) {
+  if (a.size() > b.size()) return edit_distance(b, a, limit);
+  if (b.size() - a.size() > limit) return limit + 1;
+  std::vector<std::size_t> row(a.size() + 1);
+  for (std::size_t i = 0; i <= a.size(); ++i) row[i] = i;
+  for (std::size_t j = 1; j <= b.size(); ++j) {
+    std::size_t prev_diag = row[0];
+    row[0] = j;
+    std::size_t best = row[0];
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+      const std::size_t subst = prev_diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      prev_diag = row[i];
+      row[i] = std::min({row[i - 1] + 1, row[i] + 1, subst});
+      best = std::min(best, row[i]);
+    }
+    if (best > limit) return limit + 1;
+  }
+  return row[a.size()];
+}
+
+/// Nearest recognised key within a small edit distance, or "" when
+/// nothing is plausibly close (so a genuinely unknown key does not get
+/// a nonsense suggestion).
+std::string closest_known_key(const std::string& key) {
+  // One typo per ~4 characters of key, at least 2: catches "topolgy",
+  // "result_stor", "cc_algoo" without matching unrelated keys.
+  const std::size_t limit = std::max<std::size_t>(2, key.size() / 4);
+  std::string best;
+  std::size_t best_distance = limit + 1;
+  for (const char* candidate : kKnownKeys) {
+    const std::size_t d = edit_distance(key, candidate, limit);
+    if (d < best_distance) {
+      best_distance = d;
+      best = candidate;
+    }
+  }
+  return best;
 }
 
 /// Apply one key. Returns an error description or empty.
@@ -196,7 +259,15 @@ std::string apply_key(const std::string& key, const std::string& value, SimConfi
   if (key == "telemetry_counters")
     return want_int([&](auto v) { c->telemetry.counters = v != 0; });
 
-  return "unknown key '" + key + "'";
+  if (key == "result_store") {
+    c->result_store = value;
+    return {};
+  }
+
+  std::string err = "unknown key '" + key + "'";
+  const std::string near = closest_known_key(key);
+  if (!near.empty()) err += " (did you mean '" + near + "'?)";
+  return err;
 }
 
 }  // namespace

@@ -31,9 +31,12 @@ namespace ibsim::sim {
 ///   trace_file, trace_categories (cc,credits,queues,arb | all),
 ///   counters_csv, telemetry_sample_us, trace_ring,
 ///   telemetry_detailed (0/1), telemetry_counters (0/1)
+///   result_store (directory of the on-disk result cache; see src/store)
 ///
 /// Each key may appear at most once; a duplicate is an error naming both
-/// lines (silent last-wins would hide typos and merge accidents).
+/// lines (silent last-wins would hide typos and merge accidents). An
+/// unknown key's diagnostic suggests the closest recognised key when one
+/// is within a small edit distance ("did you mean 'topology'?").
 ///
 /// Returns an empty string on success, or a "line N: ..." diagnostic.
 [[nodiscard]] std::string apply_config_text(const std::string& text, SimConfig* config);

@@ -11,6 +11,8 @@
 #include "analysis/tmax.hpp"
 #include "ccalg/registry.hpp"
 #include "core/assert.hpp"
+#include "store/key.hpp"
+#include "store/result_store.hpp"
 
 namespace ibsim::sim {
 
@@ -60,6 +62,7 @@ SimConfig ExperimentPreset::base_config() const {
   config.cc.ccti_increase = ccti_increase;
   config.cc.ccti_timer = ccti_timer;
   config.fabric_fast_path = fabric_fast_path;
+  config.result_store = result_store;
   return config;
 }
 
@@ -107,6 +110,9 @@ void SweepReport::publish(telemetry::CounterRegistry& registry) const {
                static_cast<std::int64_t>(workers.size()));
   registry.set(registry.gauge("sweep.utilization_permille"),
                static_cast<std::int64_t>(utilization() * 1000.0));
+  registry.set(registry.gauge("sweep.store_hits"), static_cast<std::int64_t>(store_hits));
+  registry.set(registry.gauge("sweep.store_misses"),
+               static_cast<std::int64_t>(store_misses));
   for (std::size_t w = 0; w < workers.size(); ++w) {
     const std::string prefix = "sweep.worker." + std::to_string(w);
     registry.set(registry.gauge(prefix + ".busy_us"),
@@ -121,45 +127,85 @@ std::vector<SimResult> run_parallel(const std::vector<SimConfig>& configs,
   std::vector<SimResult> results(configs.size());
   if (report != nullptr) *report = SweepReport{};
   if (configs.empty()) return results;
-  threads = resolve_threads(threads);
-  const auto n_workers =
-      static_cast<std::size_t>(threads) < configs.size() ? static_cast<std::size_t>(threads)
-                                                         : configs.size();
-  // Work-stealing via a shared cursor: each worker claims the next
-  // unstarted run the moment it goes idle, so one long moving-hotspot
-  // run cannot strand a statically assigned tail behind it. Result
-  // ordering and per-run seeding are untouched — slot i always holds
-  // configs[i] run with configs[i].seed, whoever executes it.
-  std::atomic<std::size_t> next{0};
-  std::vector<SweepWorkerStats> worker_stats(n_workers);
-  std::vector<std::thread> pool;
-  pool.reserve(n_workers);
   const auto sweep_start = std::chrono::steady_clock::now();
-  for (std::size_t w = 0; w < n_workers; ++w) {
-    pool.emplace_back([&, w] {
-      SweepWorkerStats& stats = worker_stats[w];
-      for (;;) {
-        const std::size_t i = next.fetch_add(1);
-        if (i >= configs.size()) return;
-        const auto run_start = std::chrono::steady_clock::now();
-        // Build the result worker-locally, then move it into the
-        // pre-sized slot: counter snapshots and series never get
-        // deep-copied, and peak memory stays one in-flight result per
-        // worker above the output vector.
-        SimResult r = run_sim(configs[i]);
-        results[i] = std::move(r);
-        stats.busy_seconds +=
-            std::chrono::duration<double>(std::chrono::steady_clock::now() - run_start)
-                .count();
-        ++stats.runs;
+
+  // Result-store pre-pass: cells already on disk fill their slots here
+  // and never reach the pool; the remainder keeps its original order in
+  // `todo` (positional determinism is untouched — the store only decides
+  // *whether* slot i is computed, never what goes into it). Keys and
+  // store handles are kept per-slot so a mixed sweep (different stores,
+  // or some configs without one) stays correct.
+  std::vector<std::size_t> todo;
+  todo.reserve(configs.size());
+  std::vector<std::shared_ptr<store::ResultStore>> stores(configs.size());
+  std::vector<std::string> keys(configs.size());
+  std::uint64_t store_hits = 0;
+  std::uint64_t store_misses = 0;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    if (!configs[i].result_store.empty()) {
+      stores[i] = store::StoreRegistry::instance().open(configs[i].result_store);
+      keys[i] = store::run_key(configs[i]);
+      if (stores[i]->get(keys[i], &results[i])) {
+        ++store_hits;
+        continue;
       }
-    });
+      ++store_misses;
+    }
+    todo.push_back(i);
   }
-  for (auto& t : pool) t.join();
+
+  if (!todo.empty()) {
+    threads = resolve_threads(threads);
+    const auto n_workers = static_cast<std::size_t>(threads) < todo.size()
+                               ? static_cast<std::size_t>(threads)
+                               : todo.size();
+    // Work-stealing via a shared cursor: each worker claims the next
+    // unstarted run the moment it goes idle, so one long moving-hotspot
+    // run cannot strand a statically assigned tail behind it. Result
+    // ordering and per-run seeding are untouched — slot i always holds
+    // configs[i] run with configs[i].seed, whoever executes it.
+    std::atomic<std::size_t> next{0};
+    std::vector<SweepWorkerStats> worker_stats(n_workers);
+    std::vector<std::thread> pool;
+    pool.reserve(n_workers);
+    for (std::size_t w = 0; w < n_workers; ++w) {
+      pool.emplace_back([&, w] {
+        SweepWorkerStats& stats = worker_stats[w];
+        for (;;) {
+          const std::size_t t = next.fetch_add(1);
+          if (t >= todo.size()) return;
+          const std::size_t i = todo[t];
+          const auto run_start = std::chrono::steady_clock::now();
+          // Build the result worker-locally, then move it into the
+          // pre-sized slot: counter snapshots and series never get
+          // deep-copied, and peak memory stays one in-flight result per
+          // worker above the output vector.
+          SimResult r = run_sim(configs[i]);
+          results[i] = std::move(r);
+          const double run_seconds =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() - run_start)
+                  .count();
+          stats.busy_seconds += run_seconds;
+          ++stats.runs;
+          // Publish after timing: a cold sweep pays the store write
+          // outside busy_seconds, keeping worker-balance numbers about
+          // simulation work only.
+          if (stores[i] != nullptr) {
+            stores[i]->put(keys[i], store::canonical_config_text(configs[i]), results[i],
+                           run_seconds);
+          }
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+    if (report != nullptr) report->workers = std::move(worker_stats);
+  }
+
   if (report != nullptr) {
     report->wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - sweep_start).count();
-    report->workers = std::move(worker_stats);
+    report->store_hits = store_hits;
+    report->store_misses = store_misses;
   }
   return results;
 }

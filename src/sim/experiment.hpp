@@ -48,6 +48,12 @@ struct ExperimentPreset {
   /// timing runs such as `table2_silent --no-fast-path`.
   bool fabric_fast_path = true;
 
+  /// On-disk result store directory ("" = none), propagated into every
+  /// config the preset builds so run_parallel serves repeated cells from
+  /// cache (see SimConfig::result_store). Benches expose it as
+  /// --result-store=DIR.
+  std::string result_store;
+
   [[nodiscard]] static ExperimentPreset quick();
   [[nodiscard]] static ExperimentPreset paper();
   /// quick() unless IBSIM_FULL=1 (or a bench was passed --full).
@@ -79,12 +85,19 @@ struct SweepReport {
   double wall_seconds = 0.0;
   std::vector<SweepWorkerStats> workers;
 
+  /// Result-store outcome of the sweep's pre-pass: runs served from the
+  /// on-disk store versus actually executed (and then published). Both
+  /// zero when no config names a result_store.
+  std::uint64_t store_hits = 0;
+  std::uint64_t store_misses = 0;
+
   /// Mean fraction of the pool's wall time the workers spent running
   /// simulations (1.0 = perfectly balanced, no idle tails).
   [[nodiscard]] double utilization() const;
 
   /// Publish the report as sweep.* instruments (sweep.wall_us,
-  /// sweep.utilization_permille, sweep.worker.N.busy_us / .runs).
+  /// sweep.utilization_permille, sweep.store_hits/misses,
+  /// sweep.worker.N.busy_us / .runs).
   void publish(telemetry::CounterRegistry& registry) const;
 };
 
@@ -98,6 +111,13 @@ struct SweepReport {
 /// worker-local storage, bounding peak memory to one in-flight result
 /// per worker). Topology/routing snapshots are shared through the
 /// SnapshotCache for every config that enables it.
+///
+/// Configs with a non-empty result_store first consult the on-disk
+/// store (src/store): cached runs fill their slots without scheduling,
+/// fresh runs are published after completion. An interrupted sweep
+/// rerun therefore computes only the missing cells, and a fully warm
+/// rerun does zero simulation work — the store's serialization is
+/// bit-exact, so callers cannot tell a cached result from a fresh one.
 [[nodiscard]] std::vector<SimResult> run_parallel(const std::vector<SimConfig>& configs,
                                                   std::int32_t threads = 0,
                                                   SweepReport* report = nullptr);

@@ -131,6 +131,22 @@ struct SimConfig {
   /// Latency histogram range (microseconds).
   double latency_hist_max_us = 20000.0;
 
+  /// On-disk result store directory ("" = no store). When set, sweep
+  /// harnesses (run_parallel, simulate, the sweep service) consult the
+  /// content-addressed store (src/store) before running and publish
+  /// fresh results into it, so repeated and interrupted campaigns only
+  /// compute missing cells. Orchestration-only: this path is the one
+  /// SimConfig field excluded from the store key
+  /// (store::canonical_config_text) — where a result is cached must not
+  /// change what it is keyed as.
+  ///
+  /// NOTE: any new simulation-affecting field added to SimConfig (or the
+  /// structs it embeds) must also be added to
+  /// store::canonical_config_text, or stale cached results could alias
+  /// the new behaviour. tests/store/key_test.cpp pins the existing
+  /// fields.
+  std::string result_store;
+
   /// Observability (off by default; see TelemetrySettings).
   TelemetrySettings telemetry;
 

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+
+#include "sim/simulation.hpp"
+
+namespace ibsim::store {
+
+/// Serialize a SimResult as versioned line-oriented text. Doubles are
+/// written as C hexfloat (`%a`), so parse_result reconstructs every
+/// field bit-for-bit — the store's contract is that a cached result is
+/// indistinguishable from a fresh run, down to the last ULP.
+[[nodiscard]] std::string serialize_result(const sim::SimResult& result);
+
+/// Parse text produced by serialize_result. Returns true and fills
+/// `*result` on success; returns false on any malformed, truncated, or
+/// version-mismatched input (the store then treats the record as a
+/// miss). `*result` is value-initialized before parsing either way.
+[[nodiscard]] bool parse_result(const std::string& text, sim::SimResult* result);
+
+}  // namespace ibsim::store

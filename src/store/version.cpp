@@ -1,0 +1,9 @@
+#include "store/version.hpp"
+
+namespace ibsim::store {
+
+std::string version_line(const char* program) {
+  return std::string(program) + " " + code_version();
+}
+
+}  // namespace ibsim::store

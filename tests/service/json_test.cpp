@@ -1,0 +1,93 @@
+#include "service/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ibsim::service {
+namespace {
+
+Json parse_ok(const std::string& text) {
+  std::string error;
+  Json v = Json::parse(text, &error);
+  EXPECT_TRUE(error.empty()) << text << " -> " << error;
+  return v;
+}
+
+TEST(Json, ParsesPrimitives) {
+  EXPECT_TRUE(parse_ok("null").is_null());
+  EXPECT_TRUE(parse_ok("true").as_bool());
+  EXPECT_FALSE(parse_ok("false").as_bool());
+  EXPECT_DOUBLE_EQ(parse_ok("-2.5e3").as_double(), -2500.0);
+  EXPECT_EQ(parse_ok("42").as_int(), 42);
+  EXPECT_EQ(parse_ok("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, NumbersKeepTheirSourceSpelling) {
+  // Values forwarded from a request into config text must arrive
+  // exactly as the client wrote them.
+  EXPECT_EQ(parse_ok("0.1").number_text(), "0.1");
+  EXPECT_EQ(parse_ok("1e2").number_text(), "1e2");
+  EXPECT_EQ(parse_ok("007").number_text(), "007");
+  Json arr = parse_ok("[0.30000000000000004]");
+  EXPECT_EQ(arr.elements()[0].number_text(), "0.30000000000000004");
+}
+
+TEST(Json, StringEscapes) {
+  EXPECT_EQ(parse_ok(R"("a\"b\\c\n")").as_string(), "a\"b\\c\n");
+  EXPECT_EQ(parse_ok(R"("Aé")").as_string(), "A\xc3\xa9");
+  // And dump re-escapes what must be escaped.
+  EXPECT_EQ(Json::string("a\"b\nc").dump(), R"("a\"b\nc")");
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder) {
+  Json obj = Json::object();
+  obj.set("zebra", Json::number_int(1));
+  obj.set("alpha", Json::number_int(2));
+  obj.set("mid", Json::boolean(true));
+  EXPECT_EQ(obj.dump(), R"({"zebra":1,"alpha":2,"mid":true})");
+  // Overwrite keeps the original position.
+  obj.set("zebra", Json::number_int(9));
+  EXPECT_EQ(obj.dump(), R"({"zebra":9,"alpha":2,"mid":true})");
+}
+
+TEST(Json, FindAndNesting) {
+  const Json v = parse_ok(R"({"a":{"b":[1,2,{"c":"deep"}]},"n":null})");
+  const Json* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  const Json* b = a->find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(b->elements().size(), 3u);
+  EXPECT_EQ(b->elements()[2].find("c")->as_string(), "deep");
+  EXPECT_TRUE(v.find("n")->is_null());
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_EQ(b->find("not_an_object"), nullptr);
+}
+
+TEST(Json, DumpParseRoundTrip) {
+  const std::string text =
+      R"({"name":"t2","base":{"topology":"clos","p_percent":0.5},"axes":{"seed":[1,2,3]},"ok":true})";
+  EXPECT_EQ(parse_ok(text).dump(), text);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  std::string error;
+  for (const char* bad : {"", "{", "[1,", "{\"a\":}", "{\"a\" 1}", "tru", "01x",
+                          "\"unterminated", "{} trailing", "[1 2]", "{\"a\":1,}"}) {
+    error.clear();
+    (void)Json::parse(bad, &error);
+    EXPECT_FALSE(error.empty()) << "accepted: " << bad;
+  }
+}
+
+TEST(Json, DepthCapStopsRunawayNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  for (int i = 0; i < 100; ++i) deep += "]";
+  std::string error;
+  (void)Json::parse(deep, &error);
+  EXPECT_NE(error.find("deep"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ibsim::service

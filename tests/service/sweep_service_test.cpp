@@ -1,0 +1,235 @@
+#include "service/sweep_service.hpp"
+
+#include "service/json.hpp"
+#include "service/sweep_request.hpp"
+#include "store/result_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ibsim::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+Json parse_ok(const std::string& text) {
+  std::string error;
+  Json v = Json::parse(text, &error);
+  EXPECT_TRUE(error.empty()) << error;
+  return v;
+}
+
+sim::SimConfig tiny_base() {
+  sim::SimConfig config;
+  config.topology = sim::TopologyKind::SingleSwitch;
+  config.single_switch_nodes = 6;
+  config.sim_time = 200 * core::kMicrosecond;
+  config.warmup = 0;
+  config.scenario.n_hotspots = 1;
+  return config;
+}
+
+TEST(SweepRequest, ParsesBaseAxesAndName) {
+  const Json json = parse_ok(
+      R"({"op":"submit","name":"t2","base":{"hotspots":1,"fraction_c":0.8},)"
+      R"("axes":{"cc_enabled":[0,1],"seed":[1,2,3]},"threads":4})");
+  SweepRequest request;
+  std::string error;
+  ASSERT_TRUE(parse_sweep_request(json, &request, &error)) << error;
+  EXPECT_EQ(request.name, "t2");
+  ASSERT_EQ(request.base.size(), 2u);
+  EXPECT_EQ(request.base[0], (std::pair<std::string, std::string>{"hotspots", "1"}));
+  EXPECT_EQ(request.base[1].second, "0.8");  // source spelling preserved
+  ASSERT_EQ(request.axes.size(), 2u);
+  EXPECT_EQ(request.axes[0].first, "cc_enabled");
+  EXPECT_EQ(request.axes[1].second, (std::vector<std::string>{"1", "2", "3"}));
+  EXPECT_EQ(request.threads, 4);
+}
+
+TEST(SweepRequest, RejectsUnknownRequestFields) {
+  SweepRequest request;
+  std::string error;
+  EXPECT_FALSE(parse_sweep_request(parse_ok(R"({"op":"submit","nmae":"typo"})"),
+                                   &request, &error));
+  EXPECT_NE(error.find("nmae"), std::string::npos);
+}
+
+TEST(SweepRequest, ExpandsCartesianProductRowMajor) {
+  SweepRequest request;
+  request.name = "grid";
+  request.base = {{"hotspots", "1"}};
+  request.axes = {{"cc_enabled", {"0", "1"}}, {"seed", {"1", "2", "3"}}};
+  std::vector<SweepCell> cells;
+  std::string error;
+  ASSERT_TRUE(expand_sweep(request, tiny_base(), &cells, &error)) << error;
+  ASSERT_EQ(cells.size(), 6u);
+  // Last axis varies fastest.
+  EXPECT_EQ(cells[0].label, "cc_enabled=0 seed=1");
+  EXPECT_EQ(cells[1].label, "cc_enabled=0 seed=2");
+  EXPECT_EQ(cells[3].label, "cc_enabled=1 seed=1");
+  EXPECT_FALSE(cells[0].config.cc.enabled);
+  EXPECT_TRUE(cells[5].config.cc.enabled);
+  EXPECT_EQ(cells[5].config.seed, 3u);
+  // Base applied to every cell.
+  for (const SweepCell& cell : cells) EXPECT_EQ(cell.config.scenario.n_hotspots, 1);
+}
+
+TEST(SweepRequest, AxisOverridesBaseAndErrorsPropagate) {
+  SweepRequest request;
+  request.base = {{"seed", "9"}};
+  request.axes = {{"seed", {"1", "2"}}};
+  std::vector<SweepCell> cells;
+  std::string error;
+  ASSERT_TRUE(expand_sweep(request, tiny_base(), &cells, &error)) << error;
+  EXPECT_EQ(cells[0].config.seed, 1u);
+  EXPECT_EQ(cells[1].config.seed, 2u);
+
+  // Unknown keys get the config parser's diagnostic, did-you-mean included.
+  request.base = {{"hotspost", "1"}};
+  request.axes.clear();
+  EXPECT_FALSE(expand_sweep(request, tiny_base(), &cells, &error));
+  EXPECT_NE(error.find("hotspost"), std::string::npos);
+  EXPECT_NE(error.find("hotspots"), std::string::npos);
+}
+
+TEST(SweepRequest, AxislessRequestIsOneCell) {
+  SweepRequest request;
+  request.name = "solo";
+  request.base = {{"seed", "5"}};
+  std::vector<SweepCell> cells;
+  std::string error;
+  ASSERT_TRUE(expand_sweep(request, tiny_base(), &cells, &error)) << error;
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].label, "solo");
+  EXPECT_EQ(cells[0].config.seed, 5u);
+}
+
+std::vector<SweepCell> tiny_cells(int n) {
+  std::vector<SweepCell> cells;
+  for (int i = 0; i < n; ++i) {
+    SweepCell cell;
+    cell.label = "seed=" + std::to_string(i + 1);
+    cell.config = tiny_base();
+    cell.config.seed = static_cast<std::uint64_t>(i + 1);
+    cells.push_back(cell);
+  }
+  return cells;
+}
+
+/// Thread-safe sink for cell outcomes.
+struct Sink {
+  std::mutex mu;
+  std::vector<SweepService::CellOutcome> outcomes;
+  SweepService::CellCallback callback() {
+    return [this](const SweepService::CellOutcome& outcome) {
+      std::lock_guard<std::mutex> lock(mu);
+      outcomes.push_back(outcome);
+    };
+  }
+};
+
+TEST(SweepService, ComputesThenServesFromStore) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "ibsim_sweep_service_store";
+  fs::remove_all(dir);
+  {
+    SweepService service({dir.string(), 2});
+    Sink first;
+    service.submit("cold", tiny_cells(3), first.callback());
+    service.drain();
+    ASSERT_EQ(first.outcomes.size(), 3u);
+    // Cold outcomes arrive in completion order; compare by cell index.
+    std::sort(first.outcomes.begin(), first.outcomes.end(),
+              [](const auto& x, const auto& y) { return x.index < y.index; });
+    for (const auto& outcome : first.outcomes) {
+      EXPECT_FALSE(outcome.cached);
+      EXPECT_GT(outcome.result.delivered_bytes, 0);
+    }
+
+    // Same cells again: pure store hits, delivered before submit returns.
+    Sink second;
+    service.submit("warm", tiny_cells(3), second.callback());
+    ASSERT_EQ(second.outcomes.size(), 3u);
+    std::sort(second.outcomes.begin(), second.outcomes.end(),
+              [](const auto& x, const auto& y) { return x.index < y.index; });
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_TRUE(second.outcomes[i].cached);
+      EXPECT_EQ(second.outcomes[i].result.delivered_bytes,
+                first.outcomes[i].result.delivered_bytes)
+          << "cached result diverged on cell " << i;
+    }
+
+    const auto jobs = service.status();
+    ASSERT_EQ(jobs.size(), 2u);
+    EXPECT_EQ(jobs[0].name, "cold");
+    EXPECT_TRUE(jobs[0].complete);
+    EXPECT_EQ(jobs[1].store_hits, 3u);
+    EXPECT_TRUE(jobs[1].complete);
+  }
+  fs::remove_all(dir);
+  store::StoreRegistry::instance().clear();
+}
+
+TEST(SweepService, ConcurrentIdenticalCellsRunOnce) {
+  // No store: dedup must come from in-flight subscription alone. One
+  // worker guarantees the first job's second cell is still queued when
+  // the overlapping job arrives.
+  SweepService service({"", 1});
+  Sink a;
+  Sink b;
+  auto cells_a = tiny_cells(2);  // seeds 1, 2
+  auto cells_b = tiny_cells(2);  // identical
+  // Long enough per cell that the lone worker cannot possibly clear
+  // job a before the very next statement submits job b.
+  for (auto* cells : {&cells_a, &cells_b}) {
+    for (SweepCell& cell : *cells) cell.config.sim_time = core::kMillisecond;
+  }
+  service.submit("a", std::move(cells_a), a.callback());
+  service.submit("b", std::move(cells_b), b.callback());
+  service.drain();
+
+  ASSERT_EQ(a.outcomes.size(), 2u);
+  ASSERT_EQ(b.outcomes.size(), 2u);
+  // Job b subscribed to a's in-flight runs rather than scheduling its own.
+  for (const auto& outcome : b.outcomes) {
+    EXPECT_TRUE(outcome.shared) << outcome.label;
+  }
+  // Both jobs observed the same results, keyed the same.
+  const auto by_index = [](std::vector<SweepService::CellOutcome>* v) {
+    std::sort(v->begin(), v->end(),
+              [](const auto& x, const auto& y) { return x.index < y.index; });
+  };
+  by_index(&a.outcomes);
+  by_index(&b.outcomes);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(a.outcomes[i].key, b.outcomes[i].key);
+    EXPECT_EQ(a.outcomes[i].result.delivered_bytes, b.outcomes[i].result.delivered_bytes);
+  }
+}
+
+TEST(SweepService, StatusTracksProgressAndDoneFires) {
+  SweepService service({"", 2});
+  Sink sink;
+  std::mutex done_mu;
+  std::vector<std::uint64_t> done_jobs;
+  const std::uint64_t job = service.submit(
+      "tracked", tiny_cells(2), sink.callback(), [&](std::uint64_t id) {
+        std::lock_guard<std::mutex> lock(done_mu);
+        done_jobs.push_back(id);
+      });
+  service.drain();
+  ASSERT_EQ(done_jobs.size(), 1u);
+  EXPECT_EQ(done_jobs[0], job);
+  const auto jobs = service.status();
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].cells, 2u);
+  EXPECT_EQ(jobs[0].done, 2u);
+  EXPECT_TRUE(jobs[0].complete);
+}
+
+}  // namespace
+}  // namespace ibsim::service

@@ -96,6 +96,30 @@ TEST(ConfigFile, ReportsUnknownKeyWithLine) {
   EXPECT_NE(err.find("bogus"), std::string::npos);
 }
 
+TEST(ConfigFile, SuggestsNearbyKeyForTypos) {
+  SimConfig config;
+  // One transposition away from 'hotspots'.
+  std::string err = apply_config_text("hotspost = 3\n", &config);
+  EXPECT_NE(err.find("unknown key 'hotspost'"), std::string::npos) << err;
+  EXPECT_NE(err.find("did you mean 'hotspots'"), std::string::npos) << err;
+  // A dropped character still suggests.
+  err = apply_config_text("sim_time_u = 100\n", &config);
+  EXPECT_NE(err.find("did you mean 'sim_time_us'"), std::string::npos) << err;
+  // Nothing near: no far-fetched suggestion.
+  err = apply_config_text("quux_frobnicate = 1\n", &config);
+  EXPECT_NE(err.find("unknown key"), std::string::npos);
+  EXPECT_EQ(err.find("did you mean"), std::string::npos) << err;
+}
+
+TEST(ConfigFile, ResultStoreKeyApplies) {
+  SimConfig config;
+  EXPECT_TRUE(apply_config_text("result_store = /var/cache/ibsim\n", &config).empty());
+  EXPECT_EQ(config.result_store, "/var/cache/ibsim");
+  // And a typo of it gets the suggestion.
+  const std::string err = apply_config_text("result_stor = x\n", &config);
+  EXPECT_NE(err.find("did you mean 'result_store'"), std::string::npos) << err;
+}
+
 TEST(ConfigFile, ReportsMalformedLine) {
   SimConfig config;
   EXPECT_NE(apply_config_text("no equals sign\n", &config).find("line 1"),

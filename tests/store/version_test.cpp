@@ -1,0 +1,27 @@
+#include "store/version.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ibsim::store {
+namespace {
+
+TEST(Version, StampIsSingleToken) {
+  const std::string stamp = code_version();
+  ASSERT_FALSE(stamp.empty());
+  // A git short hash, optionally "-dirty", or "unknown" — never spaces
+  // or newlines (it is embedded in store keys and index lines).
+  EXPECT_EQ(stamp.find_first_of(" \t\n\r"), std::string::npos);
+  EXPECT_EQ(stamp.find_first_not_of("0123456789abcdef-dirtyunkow"), std::string::npos)
+      << stamp;
+}
+
+TEST(Version, VersionLineNamesTheProgram) {
+  const std::string line = version_line("simulate");
+  EXPECT_EQ(line.rfind("simulate ", 0), 0u) << line;
+  EXPECT_NE(line.find(code_version()), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ibsim::store
