@@ -27,6 +27,11 @@
 // --repeat=N        runs per cell, best-of (default 3; 1 with --quick).
 // --threads-csv=PATH  write a warm-sweep thread-scaling curve
 //                   (threads, runs/sec, utilization) as CSV.
+// --shards-csv=PATH write the intra-run shard-scaling curve (shards,
+//                   events/sec, speedup, cross-shard mailbox counters)
+//                   as CSV. The shard_scaling cells always run; on
+//                   hosts with >= 4 hardware threads they also gate
+//                   >= 1.5x events/sec at 4 shards over serial.
 //
 // The sweep doubles as an A/B determinism guard: for every scenario the
 // two queues must execute the same number of events and deliver the
@@ -55,6 +60,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sim/experiment.hpp"
@@ -351,6 +357,96 @@ Cell run_store_cell(bool warm, bool quick, int repeat, const std::string& store_
   return cell;
 }
 
+/// Intra-run shard-scaling scenario (DESIGN.md §15): the windy ft3-2k
+/// fabric — one simulation big enough that conservative windows amortise
+/// their barrier cost, the case the sharded engine exists for.
+sim::SimConfig make_shard_config(bool quick) {
+  sim::SimConfig config;
+  config.topology = sim::TopologyKind::FatTree3;
+  config.fat_tree3 = topo::FatTree3Params::scale_2k();
+  config.sim_time = (quick ? 100 : 200) * core::kMicrosecond;
+  config.warmup = 0;
+  config.cc.ccti_increase = 4;
+  config.cc.ccti_timer = 38;
+  config.scenario.fraction_b = 1.0;
+  config.scenario.p = 0.5;
+  config.scenario.n_hotspots = 2;
+  config.snapshot_cache = true;
+  return config;
+}
+
+/// One shard-scaling cell plus the engine's cross-shard traffic gauges.
+struct ShardCell {
+  Cell cell;
+  std::int64_t windows = 0;
+  std::int64_t crossed_packets = 0;
+  std::int64_t crossed_credits = 0;
+  std::int64_t absorbed_events = 0;
+};
+
+ShardCell run_shard_cell(bool quick, std::int32_t shards, int repeat) {
+  ShardCell sc;
+  sc.cell.scenario = "shard_scaling";
+  sc.cell.queue = "shards" + std::to_string(shards);
+  for (int i = 0; i < repeat; ++i) {
+    sim::SimConfig config = make_shard_config(quick);
+    config.shards = shards;
+    config.threads = shards;
+    config.telemetry.counters = true;  // carries the sched.shard.* gauges out
+    sim::Simulation simulation(config);
+    const auto start = std::chrono::steady_clock::now();
+    const sim::SimResult result = simulation.run();
+    const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - start;
+    if (i == 0 || wall.count() < sc.cell.wall_seconds) {
+      sc.cell.wall_seconds = wall.count();
+      sc.cell.events = result.events_executed;
+      sc.cell.delivered_bytes = result.delivered_bytes;
+      sc.cell.delivered_packets = result.delivered_packets;
+      sc.cell.by_kind = result.events_by_kind;
+      const auto gauge = [&](const char* name) -> std::int64_t {
+        const auto it = result.counters.find(name);
+        return it == result.counters.end() ? 0 : it->second;
+      };
+      sc.windows = gauge("sched.shard.windows");
+      sc.crossed_packets = gauge("sched.shard.crossed_packets");
+      sc.crossed_credits = gauge("sched.shard.crossed_credits");
+      sc.absorbed_events = gauge("sched.shard.absorbed_events");
+    }
+  }
+  sc.cell.events_per_sec = sc.cell.wall_seconds > 0.0
+                               ? static_cast<double>(sc.cell.events) / sc.cell.wall_seconds
+                               : 0.0;
+  sc.cell.events_per_packet =
+      sc.cell.delivered_packets > 0
+          ? static_cast<double>(sc.cell.events) / static_cast<double>(sc.cell.delivered_packets)
+          : 0.0;
+  sc.cell.peak_rss_kib = peak_rss_kib();
+  return sc;
+}
+
+/// Intra-run shard-scaling curve (mirrors --threads-csv): events/sec and
+/// cross-shard mailbox traffic per shard count.
+bool write_shards_csv(const std::string& path, const std::vector<ShardCell>& cells,
+                      const std::vector<std::int32_t>& counts) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "shards,events_per_sec,speedup,windows,crossed_packets,crossed_credits,"
+         "absorbed_events\n";
+  const double serial = cells.empty() ? 0.0 : cells.front().cell.events_per_sec;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%d,%.0f,%.3f,%lld,%lld,%lld,%lld\n", counts[i],
+                  cells[i].cell.events_per_sec,
+                  serial > 0.0 ? cells[i].cell.events_per_sec / serial : 0.0,
+                  static_cast<long long>(cells[i].windows),
+                  static_cast<long long>(cells[i].crossed_packets),
+                  static_cast<long long>(cells[i].crossed_credits),
+                  static_cast<long long>(cells[i].absorbed_events));
+    out << buf;
+  }
+  return static_cast<bool>(out);
+}
+
 /// Warm-sweep thread-scaling curve: runs/sec and worker utilization per
 /// thread count, written as CSV for the CI artifact.
 bool write_threads_csv(const std::string& path, bool quick, int repeat) {
@@ -462,6 +558,7 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::string baseline_path;
   std::string threads_csv_path;
+  std::string shards_csv_path;
   double max_regress = 0.20;
   int repeat = 3;
   bool quick = false;
@@ -473,6 +570,8 @@ int main(int argc, char** argv) {
       baseline_path = arg.substr(11);
     } else if (arg.rfind("--threads-csv=", 0) == 0) {
       threads_csv_path = arg.substr(14);
+    } else if (arg.rfind("--shards-csv=", 0) == 0) {
+      shards_csv_path = arg.substr(13);
     } else if (arg.rfind("--max-regress=", 0) == 0) {
       max_regress = std::atof(arg.c_str() + 14);
     } else if (arg.rfind("--repeat=", 0) == 0) {
@@ -483,7 +582,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: perf_sweep [--json=PATH] [--baseline=PATH] "
-                   "[--max-regress=F] [--repeat=N] [--quick] [--threads-csv=PATH]\n");
+                   "[--max-regress=F] [--repeat=N] [--quick] [--threads-csv=PATH] "
+                   "[--shards-csv=PATH]\n");
       return 2;
     }
   }
@@ -656,6 +756,57 @@ int main(int argc, char** argv) {
                 store_cold.events_per_sec > 0.0
                     ? store_warm.events_per_sec / store_cold.events_per_sec
                     : 0.0);
+  }
+
+  // Intra-run shard scaling: the same ft3-2k simulation sliced across
+  // 1/2/4/8 shards. Serial (shards=1) and sharded runs are only
+  // stats-equivalent, so the guard here is the scaling gate, not an A/B
+  // bit-compare (tests/sim/shard_equivalence_test.cpp owns equivalence).
+  {
+    const std::vector<std::int32_t> shard_counts = {1, 2, 4, 8};
+    std::vector<ShardCell> shard_cells;
+    const int shard_repeat = repeat < 2 ? repeat : 2;
+    for (const std::int32_t s : shard_counts) {
+      shard_cells.push_back(run_shard_cell(quick, s, shard_repeat));
+      const ShardCell& sc = shard_cells.back();
+      std::printf("%-16s %-9s %12llu %10.4f %14.0f %10ld\n", sc.cell.scenario.c_str(),
+                  sc.cell.queue.c_str(), static_cast<unsigned long long>(sc.cell.events),
+                  sc.cell.wall_seconds, sc.cell.events_per_sec, sc.cell.peak_rss_kib);
+      cells.push_back(sc.cell);
+    }
+    const double serial_eps = shard_cells.front().cell.events_per_sec;
+    for (std::size_t i = 1; i < shard_cells.size(); ++i) {
+      const ShardCell& sc = shard_cells[i];
+      std::printf("%-16s speedup shards%d/serial: %.2fx  (windows %lld, crossed pkt %lld / "
+                  "crd %lld, absorbed %lld)\n",
+                  "shard_scaling", shard_counts[i],
+                  serial_eps > 0.0 ? sc.cell.events_per_sec / serial_eps : 0.0,
+                  static_cast<long long>(sc.windows),
+                  static_cast<long long>(sc.crossed_packets),
+                  static_cast<long long>(sc.crossed_credits),
+                  static_cast<long long>(sc.absorbed_events));
+    }
+    // The scaling gate: >= 1.5x at 4 shards. Only meaningful with >= 4
+    // cores to spread the workers over; smaller runners (and the 1-core
+    // sandbox) report the curve without gating on it.
+    const unsigned hw = std::thread::hardware_concurrency();
+    const double speedup4 =
+        serial_eps > 0.0 ? shard_cells[2].cell.events_per_sec / serial_eps : 0.0;
+    if (hw >= 4) {
+      if (speedup4 < 1.5) {
+        std::fprintf(stderr, "FATAL: shard_scaling speedup at 4 shards %.2fx < 1.5x\n",
+                     speedup4);
+        return 1;
+      }
+      std::printf("%-16s gate: %.2fx >= 1.5x at 4 shards  ok\n", "shard_scaling", speedup4);
+    } else {
+      std::printf("%-16s gate skipped: %u hardware threads < 4\n", "shard_scaling", hw);
+    }
+    if (!shards_csv_path.empty() &&
+        !write_shards_csv(shards_csv_path, shard_cells, shard_counts)) {
+      std::fprintf(stderr, "cannot write '%s'\n", shards_csv_path.c_str());
+      return 1;
+    }
   }
 
   if (!threads_csv_path.empty() && !write_threads_csv(threads_csv_path, quick, repeat)) {

@@ -147,6 +147,12 @@ int main(int argc, char** argv) {
   cli.add_int("sim-time-us", 5000, "simulated microseconds");
   cli.add_int("warmup-us", 1000, "warmup microseconds excluded from metrics");
   cli.add_int("seed", 1, "random seed");
+  cli.add_int("shards", 1,
+              "fabric shards for intra-run parallelism (1 = serial engine, "
+              "0 = one per resolved thread)");
+  cli.add_int("threads", 0,
+              "worker threads (shard workers here, sweep workers elsewhere); "
+              "precedence: --threads > config-file threads > IBSIM_THREADS > hardware");
   cli.add_int("timeline-us", 0, "sampling interval for --timeline-csv (0 = off)");
   cli.add_string("timeline-csv", "", "write a telemetry time series CSV");
   cli.add_string("config", "", "key=value config file applied before the flags");
@@ -300,6 +306,24 @@ int main(int argc, char** argv) {
   config.warmup = cli.get_int("warmup-us") * core::kMicrosecond;
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   if (cli.flag("no-fast-path")) config.fabric_fast_path = false;
+  if (cli.was_set("shards")) {
+    if (cli.get_int("shards") < 0) {
+      std::fprintf(stderr, "--shards must be >= 0 (0 = one per resolved thread)\n");
+      return 2;
+    }
+    config.shards = static_cast<std::int32_t>(cli.get_int("shards"));
+  }
+  if (cli.was_set("threads")) {
+    if (cli.get_int("threads") < 0) {
+      std::fprintf(stderr, "--threads must be >= 0 (0 = IBSIM_THREADS, then hardware)\n");
+      return 2;
+    }
+    config.threads = static_cast<std::int32_t>(cli.get_int("threads"));
+  }
+  if (config.shards != 1 && cli.get_int("timeline-us") > 0) {
+    std::fprintf(stderr, "timeline sampling needs the serial engine; forcing --shards=1\n");
+    config.shards = 1;
+  }
 
   if (!cli.get_string("trace").empty()) config.telemetry.trace_path = cli.get_string("trace");
   if (cli.was_set("trace-categories")) {

@@ -35,6 +35,7 @@ void Scheduler::clear() {
   watch_at_ = kTimeNever;
   watch_hit_ = false;
   stopped_ = false;
+  external_events_ = 0;
 }
 
 }  // namespace ibsim::core

@@ -59,6 +59,24 @@ class Scheduler {
   /// same-timestamp tie against a reserved (elided) event's slot.
   [[nodiscard]] std::uint64_t current_seq() const { return cur_seq_; }
 
+  /// Timestamp of the earliest pending event, or kTimeNever when the
+  /// queue is empty. Non-const because the calendar queue may lazily
+  /// advance its wheel to find the front; the event set is unchanged.
+  /// The sharded engine uses this to derive the next lookahead window.
+  [[nodiscard]] Time next_event_time() {
+    const Event* front = queue_.peek();
+    return front == nullptr ? kTimeNever : front->at;
+  }
+
+  /// Count one event injected from another shard's mailbox (window-
+  /// barrier drain). Pure bookkeeping for the sched.shard.* gauges.
+  void note_external_event() { ++external_events_; }
+
+  /// Events injected via note_external_event() since construction or the
+  /// last clear(). Per-run state: clear() resets it so snapshot-cache
+  /// replays stay bit-identical run to run.
+  [[nodiscard]] std::uint64_t external_events() const { return external_events_; }
+
   /// Schedule an event at absolute time `at` (must not be in the past).
   /// Returns the insertion sequence assigned to the event, which fixes
   /// its position among same-timestamp peers.
@@ -134,6 +152,7 @@ class Scheduler {
   Time watch_at_ = kTimeNever;
   bool watch_hit_ = false;
   bool stopped_ = false;
+  std::uint64_t external_events_ = 0;
   std::array<std::uint64_t, kKindSlots> executed_by_kind_{};
 };
 

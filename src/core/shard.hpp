@@ -1,0 +1,51 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "core/assert.hpp"
+
+namespace ibsim::core {
+
+/// Reusable sense-reversing spin barrier for the sharded engine's window
+/// loop. Window phases are short (tens of microseconds of simulated time
+/// translate to sub-millisecond wall slices), so parking threads in a
+/// condition variable would cost more than it saves; the spin yields to
+/// the OS each iteration so oversubscribed hosts (CI runners, the
+/// single-core dev container) still make progress.
+///
+/// With one party arrive_and_wait() is a no-op, which lets the engine
+/// keep a single code path for serial-worker and multi-worker runs.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::int32_t parties) : parties_(parties) {
+    IBSIM_ASSERT(parties >= 1, "barrier needs at least one party");
+  }
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  /// Block until all parties have arrived. The last arriver flips the
+  /// generation, releasing everyone; seq_cst atomics double as the
+  /// memory fence that publishes each phase's writes to the next.
+  void arrive_and_wait() {
+    if (parties_ == 1) return;
+    const std::uint32_t gen = generation_.load();
+    if (arrived_.fetch_add(1) + 1 == parties_) {
+      arrived_.store(0);
+      generation_.store(gen + 1);
+      return;
+    }
+    while (generation_.load() == gen) std::this_thread::yield();
+  }
+
+  [[nodiscard]] std::int32_t parties() const { return parties_; }
+
+ private:
+  std::atomic<std::int32_t> arrived_{0};
+  std::atomic<std::uint32_t> generation_{0};
+  std::int32_t parties_;
+};
+
+}  // namespace ibsim::core

@@ -71,6 +71,15 @@ void Histogram::reset() {
   underflow_ = overflow_ = total_ = 0;
 }
 
+void Histogram::absorb(const Histogram& other) {
+  IBSIM_ASSERT(lo_ == other.lo_ && hi_ == other.hi_ && counts_.size() == other.counts_.size(),
+               "can only absorb a histogram with identical shape");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
 void TimeWeighted::set(Time now, double value) {
   IBSIM_ASSERT(now >= last_change_, "time-weighted signal updated out of order");
   weighted_sum_ += value_ * static_cast<double>(now - last_change_);

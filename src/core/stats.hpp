@@ -34,6 +34,12 @@ class RateCounter {
     if (now <= window_start_) return 0.0;
     return rate_gbps(bytes_, now - window_start_);
   }
+  /// Fold another counter's traffic into this one (shard-metrics merge;
+  /// both counters must share a window start for the rate to be valid).
+  void absorb(const RateCounter& other) {
+    bytes_ += other.bytes_;
+    packets_ += other.packets_;
+  }
 
  private:
   std::int64_t bytes_ = 0;
@@ -79,6 +85,9 @@ class Histogram {
   /// Linear-interpolated quantile estimate, q in [0,1].
   [[nodiscard]] double quantile(double q) const;
   void reset();
+  /// Fold another histogram's samples into this one. Both histograms
+  /// must have identical bounds and bin counts (asserted).
+  void absorb(const Histogram& other);
 
  private:
   double lo_;

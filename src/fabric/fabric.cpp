@@ -21,19 +21,60 @@ std::string FabricParams::validate() const {
 
 Fabric::Fabric(const topo::Topology& topo, const topo::RoutingTables& routing,
                const FabricParams& params, const cc::CcManager& ccm, core::Scheduler& sched)
-    : topo_(&topo), routing_(&routing), params_(params), ccm_(&ccm), sched_(&sched) {
+    : Fabric(topo, routing, params, ccm, &sched, nullptr) {}
+
+Fabric::Fabric(const topo::Topology& topo, const topo::RoutingTables& routing,
+               const FabricParams& params, const cc::CcManager& ccm, const ShardLayout& layout)
+    : Fabric(topo, routing, params, ccm, nullptr, &layout) {}
+
+Fabric::Fabric(const topo::Topology& topo, const topo::RoutingTables& routing,
+               const FabricParams& params, const cc::CcManager& ccm, core::Scheduler* sched,
+               const ShardLayout* layout)
+    : topo_(&topo), routing_(&routing), params_(params), ccm_(&ccm), sched_(sched) {
   const std::string err = params_.validate();
   IBSIM_ASSERT(err.empty(), err.c_str());
   const std::string topo_err = topo.validate();
   IBSIM_ASSERT(topo_err.empty(), topo_err.c_str());
 
-  // Pre-size the arena to the fabric's scale: the live-packet population
-  // is bounded by buffered bytes (one MTU per credit unit per link), and
-  // ~16 packets per endpoint covers every calibrated configuration with
-  // headroom. Under-sizing is safe — the arena doubles on demand — this
-  // only moves the growth out of the measured window.
-  arena_.reserve(std::max<std::size_t>(
-      4096, static_cast<std::size_t>(topo.node_count()) * 16));
+  if (layout != nullptr) {
+    IBSIM_ASSERT(layout->shard_of_device != nullptr &&
+                     layout->shard_of_device->size() ==
+                         static_cast<std::size_t>(topo.device_count()),
+                 "shard layout must cover every device");
+    shard_of_ = *layout->shard_of_device;
+    shard_scheds_ = layout->scheds;
+    n_shards_ = static_cast<std::int32_t>(shard_scheds_.size());
+    IBSIM_ASSERT(n_shards_ >= 1, "shard layout needs at least one scheduler");
+    sched_ = shard_scheds_.front();
+    mail_.resize(static_cast<std::size_t>(n_shards_) * static_cast<std::size_t>(n_shards_));
+    crossings_.resize(static_cast<std::size_t>(n_shards_));
+    // Per-shard arenas sized as the serial arena would be, split evenly.
+    const std::size_t per_shard = std::max<std::size_t>(
+        1024, static_cast<std::size_t>(topo.node_count()) * 16 /
+                  static_cast<std::size_t>(n_shards_));
+    for (std::int32_t s = 0; s < n_shards_; ++s) {
+      shard_arenas_.push_back(std::make_unique<ib::PacketArena>());
+      shard_arenas_.back()->reserve(per_shard);
+    }
+    // The HCA<->leaf loop (grant, sink credit refund, CNP emission) is
+    // latency-critical and assumed shard-local everywhere; the planner
+    // guarantees it, the engine depends on it.
+    for (ib::NodeId node = 0; node < topo.node_count(); ++node) {
+      const topo::DeviceId hca = topo.hca_device(node);
+      const topo::PortRef up = topo.peer(topo::PortRef{hca, 0});
+      IBSIM_ASSERT(up.valid() && shard_of(hca) == shard_of(up.device),
+                   "HCA must share a shard with its leaf switch");
+    }
+  } else {
+    // Pre-size the arena to the fabric's scale: the live-packet population
+    // is bounded by buffered bytes (one MTU per credit unit per link), and
+    // ~16 packets per endpoint covers every calibrated configuration with
+    // headroom. Under-sizing is safe — the arena doubles on demand — this
+    // only moves the growth out of the measured window.
+    arena_.reserve(std::max<std::size_t>(
+        4096, static_cast<std::size_t>(topo.node_count()) * 16));
+  }
+  coal_.resize(static_cast<std::size_t>(n_shards_));
 
   handlers_.resize(static_cast<std::size_t>(topo.device_count()), nullptr);
   switches_.reserve(topo.switches().size());
@@ -97,17 +138,31 @@ void Fabric::wire_output(OutputPort& op, PortVlBank& bank, std::int32_t port,
   (void)self;
 }
 
-void Fabric::schedule_credit_return(topo::DeviceId dev, std::int32_t in_port, ib::Vl vl,
-                                    std::int32_t bytes, core::Time tail_time) {
+void Fabric::schedule_credit_return(core::Scheduler& sched, topo::DeviceId dev,
+                                    std::int32_t in_port, ib::Vl vl, std::int32_t bytes,
+                                    core::Time tail_time) {
   const topo::PortRef upstream = topo_->peer(topo::PortRef{dev, in_port});
   IBSIM_ASSERT(upstream.valid(), "credit return towards an uncabled port");
   const core::Time at = tail_time + params_.link_delay + params_.credit_delay;
+  const std::int32_t shard = shard_of(dev);
+  if (!shard_of_.empty() && shard != shard_of(upstream.device)) {
+    // Refund crosses the cut: park it in the upstream shard's mailbox.
+    // The upstream port's pending_credit accumulator belongs to the
+    // other shard, so no coalescing — the drain schedules a plain
+    // self-contained credit event.
+    mail_[static_cast<std::size_t>(shard) * static_cast<std::size_t>(n_shards_) +
+          static_cast<std::size_t>(shard_of(upstream.device))]
+        .credits.push_back({at, upstream.device, upstream.port, vl, bytes});
+    ++crossings_[static_cast<std::size_t>(shard)].credits;
+    return;
+  }
   core::EventHandler* target = handlers_[static_cast<std::size_t>(upstream.device)];
+  CoalesceCandidate& coal = coal_[static_cast<std::size_t>(shard)];
   if (params_.fast_path) {
     OutputPort& op = output_port_at(upstream.device, upstream.port);
     std::int32_t& pending = port_bank_at(upstream.device).pending_credit(upstream.port, vl);
-    if (coal_.dev == upstream.device && coal_.port == upstream.port && coal_.vl == vl &&
-        coal_.at == at && pending > 0 && !sched_->watch_hit() && !op.idle(at)) {
+    if (coal.dev == upstream.device && coal.port == upstream.port && coal.vl == vl &&
+        coal.at == at && pending > 0 && !sched.watch_hit() && !op.idle(at)) {
       // Same destination, same refund instant, deferred event still in
       // flight, and nothing else scheduled at `at` since it was created:
       // ride the existing event. Burn the slot this event would have
@@ -121,16 +176,16 @@ void Fabric::schedule_credit_return(topo::DeviceId dev, std::int32_t in_port, ib
       // so folding the second refund into the first changes nothing any
       // event at `at` can observe.
       pending += bytes;
-      (void)sched_->reserve_seq();
+      (void)sched.reserve_seq();
       return;
     }
     if (pending == 0) {
       // Open a fresh deferred return and make it the merge candidate.
       pending = bytes;
-      (void)sched_->schedule_at(at, target, kEvCreditUpdate, pack_credit_deferred(vl),
-                                static_cast<std::uint64_t>(upstream.port));
-      coal_ = {upstream.device, upstream.port, vl, at};
-      sched_->arm_watch(at);
+      (void)sched.schedule_at(at, target, kEvCreditUpdate, pack_credit_deferred(vl),
+                              static_cast<std::uint64_t>(upstream.port));
+      coal = {upstream.device, upstream.port, vl, at};
+      sched.arm_watch(at);
       return;
     }
     // A deferred event for this (port, vl) is outstanding at another
@@ -139,8 +194,67 @@ void Fabric::schedule_credit_return(topo::DeviceId dev, std::int32_t in_port, ib
     // fast path's failure mode is always less coalescing, never a
     // behavioural difference.
   }
-  sched_->schedule_at(at, target, kEvCreditUpdate, pack_credit(vl, bytes),
-                      static_cast<std::uint64_t>(upstream.port));
+  sched.schedule_at(at, target, kEvCreditUpdate, pack_credit(vl, bytes),
+                    static_cast<std::uint64_t>(upstream.port));
+}
+
+void Fabric::send_packet(core::Scheduler& sched, topo::DeviceId from_dev, core::Time arrive,
+                         topo::DeviceId to_dev, std::int32_t to_port, ib::PacketHandle h) {
+  const std::int32_t src = shard_of(from_dev);
+  const std::int32_t dst = shard_of(to_dev);
+  if (src == dst) {
+    sched.schedule_at(arrive, handlers_[static_cast<std::size_t>(to_dev)], kEvPacketArrive, h,
+                      static_cast<std::uint64_t>(to_port));
+    return;
+  }
+  ib::PacketArena& arena = *shard_arenas_[static_cast<std::size_t>(src)];
+  Mailbox& mb = mail_[static_cast<std::size_t>(src) * static_cast<std::size_t>(n_shards_) +
+                      static_cast<std::size_t>(dst)];
+  mb.packets.push_back({arrive, to_dev, to_port, arena.get(h)});
+  // The copy dragged the freelist link along; sever it so the message
+  // holds a standalone packet.
+  mb.packets.back().pkt.next = ib::kNullPacket;
+  arena.release(h);
+  ++crossings_[static_cast<std::size_t>(src)].packets;
+}
+
+void Fabric::drain_mailboxes_into(std::int32_t dst_shard) {
+  core::Scheduler& sched = *shard_scheds_[static_cast<std::size_t>(dst_shard)];
+  ib::PacketArena& arena = *shard_arenas_[static_cast<std::size_t>(dst_shard)];
+  for (std::int32_t src = 0; src < n_shards_; ++src) {
+    Mailbox& mb = mail_[static_cast<std::size_t>(src) * static_cast<std::size_t>(n_shards_) +
+                        static_cast<std::size_t>(dst_shard)];
+    // Credits before packets within one source: both orders are valid
+    // interleavings, but one must be fixed for run-to-run determinism.
+    for (const CreditMsg& m : mb.credits) {
+      sched.schedule_at(m.at, handlers_[static_cast<std::size_t>(m.dev)], kEvCreditUpdate,
+                        pack_credit(m.vl, m.bytes), static_cast<std::uint64_t>(m.port));
+      sched.note_external_event();
+    }
+    mb.credits.clear();
+    for (const PacketMsg& m : mb.packets) {
+      const ib::PacketHandle h = arena.allocate();
+      ib::Packet& pkt = arena.get(h);
+      pkt = m.pkt;  // keeps the source-assigned packet id (trace-only)
+      pkt.next = ib::kNullPacket;
+      sched.schedule_at(m.at, handlers_[static_cast<std::size_t>(m.dst_dev)], kEvPacketArrive, h,
+                        static_cast<std::uint64_t>(m.dst_port));
+      sched.note_external_event();
+    }
+    mb.packets.clear();
+  }
+}
+
+std::uint64_t Fabric::crossed_packets() const {
+  std::uint64_t total = 0;
+  for (const ShardTraffic& t : crossings_) total += t.packets;
+  return total;
+}
+
+std::uint64_t Fabric::crossed_credits() const {
+  std::uint64_t total = 0;
+  for (const ShardTraffic& t : crossings_) total += t.credits;
+  return total;
 }
 
 OutputPort& Fabric::output_port_at(topo::DeviceId dev, std::int32_t port) {
@@ -161,7 +275,14 @@ PortVlBank& Fabric::port_bank_at(topo::DeviceId dev) {
 }
 
 void Fabric::start(core::Scheduler& sched) {
-  for (auto& h : hcas_) h->start(sched);
+  if (shard_scheds_.empty()) {
+    for (auto& h : hcas_) h->start(sched);
+    return;
+  }
+  // Sharded: every HCA's first-injection poll belongs on its own shard's
+  // queue. The caller's scheduler only runs global (fabric-agnostic)
+  // events.
+  for (auto& h : hcas_) h->start(sched_for(h->device_id()));
 }
 
 void Fabric::attach_telemetry(telemetry::Telemetry* telemetry) {

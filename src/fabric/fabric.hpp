@@ -30,8 +30,24 @@ namespace ibsim::fabric {
 /// operation performs no per-packet allocation.
 class Fabric {
  public:
+  /// Spatial decomposition for the sharded engine: which shard owns each
+  /// device, and the per-shard scheduler each shard's events run on.
+  /// The referenced shard_of_device vector and schedulers must outlive
+  /// the Fabric (the simulation owns both).
+  struct ShardLayout {
+    const std::vector<std::int32_t>* shard_of_device = nullptr;  // by DeviceId
+    std::vector<core::Scheduler*> scheds;                        // one per shard
+  };
+
   Fabric(const topo::Topology& topo, const topo::RoutingTables& routing,
          const FabricParams& params, const cc::CcManager& ccm, core::Scheduler& sched);
+
+  /// Sharded construction: devices are owned by shards, each with its own
+  /// scheduler and packet arena; packets and credits that cross a shard
+  /// boundary go through mailboxes drained at window barriers instead of
+  /// being scheduled directly (DESIGN.md §15).
+  Fabric(const topo::Topology& topo, const topo::RoutingTables& routing,
+         const FabricParams& params, const cc::CcManager& ccm, const ShardLayout& layout);
 
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
@@ -47,6 +63,25 @@ class Fabric {
   [[nodiscard]] core::Scheduler& sched() { return *sched_; }
   [[nodiscard]] ib::PacketArena& arena() { return arena_; }
   [[nodiscard]] const ib::PacketArena& arena() const { return arena_; }
+
+  // Shard topology of this fabric (serial fabrics are one big shard).
+  [[nodiscard]] std::int32_t n_shards() const { return n_shards_; }
+  [[nodiscard]] std::int32_t shard_of(topo::DeviceId dev) const {
+    return shard_of_.empty() ? 0 : shard_of_[static_cast<std::size_t>(dev)];
+  }
+  /// Scheduler that runs `dev`'s events (the serial scheduler when the
+  /// fabric is not sharded).
+  [[nodiscard]] core::Scheduler& sched_for(topo::DeviceId dev) {
+    return shard_scheds_.empty() ? *sched_ : *shard_scheds_[static_cast<std::size_t>(shard_of(dev))];
+  }
+  /// Arena that owns packets created or buffered at `dev`.
+  [[nodiscard]] ib::PacketArena& arena_for(topo::DeviceId dev) {
+    return shard_arenas_.empty() ? arena_ : *shard_arenas_[static_cast<std::size_t>(shard_of(dev))];
+  }
+  /// Arena for packets injected by end node `node` (traffic generators).
+  [[nodiscard]] ib::PacketArena& arena_for_node(ib::NodeId node) {
+    return arena_for(topo_->hca_device(node));
+  }
   [[nodiscard]] const FabricParams& params() const { return params_; }
   [[nodiscard]] const cc::CcManager& cc_manager() const { return *ccm_; }
   [[nodiscard]] const topo::Topology& topology() const { return *topo_; }
@@ -59,9 +94,29 @@ class Fabric {
 
   /// Schedule the flow-control credit refund for a packet that leaves the
   /// input buffer of (`dev`, `in_port`) at `tail_time`, addressed to the
-  /// upstream sender's output port.
-  void schedule_credit_return(topo::DeviceId dev, std::int32_t in_port, ib::Vl vl,
-                              std::int32_t bytes, core::Time tail_time);
+  /// upstream sender's output port. `sched` is the scheduler of `dev`'s
+  /// shard; when the upstream port lives in another shard the refund is
+  /// deposited in that shard's mailbox instead of scheduled directly.
+  void schedule_credit_return(core::Scheduler& sched, topo::DeviceId dev, std::int32_t in_port,
+                              ib::Vl vl, std::int32_t bytes, core::Time tail_time);
+
+  /// Deliver packet `h` (owned by `from_dev`'s arena) to (`to_dev`,
+  /// `to_port`) at time `arrive`. Same shard: a plain kEvPacketArrive on
+  /// `sched`, bit-identical to scheduling it directly. Cross-shard: the
+  /// packet is copied into the destination shard's mailbox and the local
+  /// handle released — after this call `h` must not be touched.
+  void send_packet(core::Scheduler& sched, topo::DeviceId from_dev, core::Time arrive,
+                   topo::DeviceId to_dev, std::int32_t to_port, ib::PacketHandle h);
+
+  /// Drain every mailbox addressed to `dst_shard` into that shard's
+  /// scheduler, in ascending source-shard order (the deterministic merge
+  /// order — see DESIGN.md §15). Called at window barriers by the owner
+  /// of `dst_shard` only; touches no other shard's state.
+  void drain_mailboxes_into(std::int32_t dst_shard);
+
+  /// Cross-shard traffic since construction (mailbox deposits).
+  [[nodiscard]] std::uint64_t crossed_packets() const;
+  [[nodiscard]] std::uint64_t crossed_credits() const;
 
   /// Start all HCA injectors.
   void start(core::Scheduler& sched);
@@ -99,6 +154,10 @@ class Fabric {
   [[nodiscard]] std::uint64_t total_delivered_packets() const;
 
  private:
+  Fabric(const topo::Topology& topo, const topo::RoutingTables& routing,
+         const FabricParams& params, const cc::CcManager& ccm, core::Scheduler* sched,
+         const ShardLayout* layout);
+
   void wire_output(OutputPort& op, PortVlBank& bank, std::int32_t port, topo::PortRef self,
                    topo::PortRef peer, bool from_hca);
 
@@ -119,7 +178,44 @@ class Fabric {
     ib::Vl vl = 0;
     core::Time at = core::kTimeNever;
   };
-  CoalesceCandidate coal_;
+  /// One candidate per shard (a single entry when serial): coalescing is
+  /// a per-scheduler optimization, so each shard merges only into events
+  /// on its own queue.
+  std::vector<CoalesceCandidate> coal_;
+
+  /// A boundary crossing parked until the next window barrier. Packets
+  /// travel by value — the handle is released in the source arena and
+  /// re-allocated in the destination arena at drain time.
+  struct PacketMsg {
+    core::Time at;
+    topo::DeviceId dst_dev;
+    std::int32_t dst_port;
+    ib::Packet pkt;
+  };
+  struct CreditMsg {
+    core::Time at;
+    topo::DeviceId dev;  // upstream device whose output port is refunded
+    std::int32_t port;
+    ib::Vl vl;
+    std::int32_t bytes;
+  };
+  /// SPSC by protocol: mailbox (src, dst) is written only by src's owner
+  /// thread during a window and read only by dst's owner at the barrier.
+  struct Mailbox {
+    std::vector<PacketMsg> packets;
+    std::vector<CreditMsg> credits;
+  };
+
+  std::int32_t n_shards_ = 1;
+  std::vector<std::int32_t> shard_of_;              // empty when serial
+  std::vector<core::Scheduler*> shard_scheds_;      // empty when serial
+  std::vector<std::unique_ptr<ib::PacketArena>> shard_arenas_;
+  std::vector<Mailbox> mail_;                       // indexed src * n_shards_ + dst
+  struct ShardTraffic {
+    std::uint64_t packets = 0;
+    std::uint64_t credits = 0;
+  };
+  std::vector<ShardTraffic> crossings_;             // per source shard
 
   const topo::Topology* topo_;
   const topo::RoutingTables* routing_;

@@ -10,14 +10,16 @@ namespace ibsim::fabric {
 
 Hca::Hca(Fabric* fabric, topo::DeviceId dev, ib::NodeId node, std::int32_t n_nodes,
          const cc::CcManager& ccm)
-    : fabric_(fabric), dev_(dev), node_(node), fast_path_(fabric->params().fast_path) {
+    : fabric_(fabric), dev_(dev), node_(node), fast_path_(fabric->params().fast_path),
+      arena_(&fabric->arena_for(dev)), home_sched_(&fabric->sched_for(dev)) {
   const FabricParams& p = fabric_->params();
   drain_gbps_ = p.hca_drain_gbps;
   rx_.resize(static_cast<std::size_t>(p.n_vls));
   bank_.init(/*n_ports=*/1, p.n_vls, /*with_cc=*/false);
+  // The CC agent's IRD timers must tick on this HCA's shard scheduler.
   cc_agent_ = std::make_unique<cc::CaCcAgent>(node, n_nodes, ccm.params(),
                                               ccm.enabled() ? &ccm.cct() : nullptr,
-                                              &fabric_->sched(), this, ccm.algo());
+                                              home_sched_, this, ccm.algo());
 }
 
 void Hca::start(core::Scheduler& sched) { try_inject(sched); }
@@ -66,7 +68,7 @@ void Hca::on_event(core::Scheduler& sched, const core::Event& ev) {
 }
 
 void Hca::send_cnp(ib::NodeId to, ib::NodeId flow_dst) {
-  ib::PacketArena& arena = fabric_->arena();
+  ib::PacketArena& arena = *arena_;
   const ib::PacketHandle h = arena.allocate();
   ib::Packet& cnp = arena.get(h);
   cnp.src = node_;
@@ -82,11 +84,11 @@ void Hca::send_cnp(ib::NodeId to, ib::NodeId flow_dst) {
     registry_->inc(counters_.becn_sent);
     if (tracer_ != nullptr) {
       tracer_->record(telemetry::Category::kCc, telemetry::EventKind::kBecnSent,
-                      fabric_->sched().now(), dev_, /*port=*/0, cnp_vl,
+                      home_sched_->now(), dev_, /*port=*/0, cnp_vl,
                       /*value=*/to, /*aux=*/flow_dst);
     }
   }
-  try_inject(fabric_->sched());
+  try_inject(*home_sched_);
 }
 
 void Hca::attach_telemetry(telemetry::Telemetry* telemetry, const FabricCounters& counters) {
@@ -134,7 +136,7 @@ void Hca::try_inject(core::Scheduler& sched) {
   }
   if (!out_.idle(now)) return;  // the pending LinkFree event will re-enter
 
-  ib::PacketArena& arena = fabric_->arena();
+  ib::PacketArena& arena = *arena_;
 
   // Congestion notifications go out ahead of data ("as soon as
   // possible", section II.2): their VL has strict priority and a
@@ -168,7 +170,7 @@ void Hca::try_inject(core::Scheduler& sched) {
 
 void Hca::grant(core::Scheduler& sched, ib::PacketHandle h) {
   const core::Time now = sched.now();
-  ib::Packet& pkt = fabric_->arena().get(h);
+  ib::Packet& pkt = arena_->get(h);
   bank_.credit(0, pkt.vl).consume(pkt.bytes);
   // Pacing below wire speed models the PCIe injection bottleneck: the
   // port stays "busy" for the paced interval even though the wire
@@ -180,11 +182,16 @@ void Hca::grant(core::Scheduler& sched, ib::PacketHandle h) {
   injected_bytes_ += pkt.bytes;
   ++injected_packets_;
 
+  // Hoisted before the send: a cross-shard send_packet releases `h`.
+  // (HCA uplinks are always shard-local by the partition invariant, but
+  // the rule is cheap and uniform.)
+  const bool is_cnp = pkt.is_cnp;
+  const ib::NodeId pkt_dst = pkt.dst;
+  const std::int32_t pkt_bytes = pkt.bytes;
+
   core::Time arrive = now + out_.prop_delay + out_.rx_pipeline_delay;
-  if (!fabric_->params().cut_through) arrive += out_.ser_time(pkt.bytes);
-  sched.schedule_at(arrive, fabric_->handler(out_.peer_dev), kEvPacketArrive,
-                    static_cast<std::uint64_t>(h),
-                    static_cast<std::uint64_t>(out_.peer_port));
+  if (!fabric_->params().cut_through) arrive += out_.ser_time(pkt_bytes);
+  fabric_->send_packet(sched, dev_, arrive, out_.peer_dev, out_.peer_port, h);
   if (!fast_path_) {
     sched.schedule_at(out_.busy_until, this, kEvLinkFree, 0, 0);
   } else if (!cnp_queue_.empty() || staged_ != ib::kNullPacket || source_ != nullptr) {
@@ -200,10 +207,10 @@ void Hca::grant(core::Scheduler& sched, ib::PacketHandle h) {
     out_.wake_seq = sched.reserve_seq();
   }
 
-  if (!pkt.is_cnp) {
+  if (!is_cnp) {
     // The injection-rate delay for this flow's next packet starts when
     // this one finishes.
-    cc_agent_->on_data_granted(pkt.dst, pkt.bytes, out_.busy_until);
+    cc_agent_->on_data_granted(pkt_dst, pkt_bytes, out_.busy_until);
   }
 }
 
@@ -216,7 +223,7 @@ void Hca::maybe_schedule_retry(core::Scheduler& sched, core::Time at) {
 }
 
 void Hca::receive(core::Scheduler& sched, ib::PacketHandle h) {
-  ib::PacketArena& arena = fabric_->arena();
+  ib::PacketArena& arena = *arena_;
   const ib::Vl vl = arena.get(h).vl;
   rx_[vl].push_back(arena, h);
   rx_active_vls_ |= static_cast<std::uint16_t>(1u << vl);
@@ -232,7 +239,7 @@ void Hca::try_drain(core::Scheduler& sched) {
   const ib::Vl vl = (rx_active_vls_ & (1u << cnp_vl)) != 0
                         ? cnp_vl
                         : static_cast<ib::Vl>(std::countr_zero(rx_active_vls_));
-  ib::PacketArena& arena = fabric_->arena();
+  ib::PacketArena& arena = *arena_;
   ib::PacketQueue* queue = &rx_[vl];
   draining_ = queue->pop_front(arena);
   if (queue->empty()) rx_active_vls_ &= static_cast<std::uint16_t>(~(1u << vl));
@@ -250,11 +257,11 @@ void Hca::finish_drain(core::Scheduler& sched) {
   // on_fecn can send a CNP and the observer can nudge a workload rank,
   // both of which allocate — and an allocation may grow the arena,
   // invalidating any reference into it.
-  const ib::Packet pkt = fabric_->arena().get(h);
+  const ib::Packet pkt = arena_->get(h);
 
   // The packet has left the HCA input buffer: flow-control credits go
   // back to the last switch.
-  fabric_->schedule_credit_return(dev_, 0, pkt.vl, pkt.bytes, now);
+  fabric_->schedule_credit_return(sched, dev_, 0, pkt.vl, pkt.bytes, now);
 
   if (pkt.is_cnp) {
     cc_agent_->on_becn(pkt.flow_dst, now);
@@ -267,7 +274,7 @@ void Hca::finish_drain(core::Scheduler& sched) {
     }
     if (observer_ != nullptr) observer_->on_delivered(node_, pkt, now);
   }
-  fabric_->arena().release(h);
+  arena_->release(h);
   try_drain(sched);
 }
 

@@ -83,6 +83,11 @@ class Hca final : public core::EventHandler, public cc::CnpSender {
   topo::DeviceId dev_;
   ib::NodeId node_;
   bool fast_path_;  ///< FabricParams::fast_path, cached off the hot path
+  /// This device's shard-local arena and scheduler (the fabric-wide ones
+  /// when the fabric is serial). Cached so the hot paths never consult
+  /// the shard map.
+  ib::PacketArena* arena_ = nullptr;
+  core::Scheduler* home_sched_ = nullptr;
 
   // Injection side.
   OutputPort out_;

@@ -14,6 +14,7 @@ SwitchDevice::SwitchDevice(Fabric* fabric, topo::DeviceId dev, std::int32_t n_po
       n_ports_(n_ports),
       fabric_vls_(fabric->params().n_vls),
       fast_path_(fabric->params().fast_path),
+      arena_(&fabric->arena_for(dev)),
       lft_row_(fabric->routing().lft_row(dev)) {
   IBSIM_ASSERT(n_ports <= 64, "switch radix limited to 64 by the arbitration bitmask");
   outputs_.resize(static_cast<std::size_t>(n_ports));
@@ -72,7 +73,7 @@ void SwitchDevice::on_event(core::Scheduler& sched, const core::Event& ev) {
 }
 
 void SwitchDevice::receive(core::Scheduler& sched, ib::PacketHandle h, std::int32_t in_port) {
-  ib::PacketArena& arena = fabric_->arena();
+  ib::PacketArena& arena = *arena_;
   const ib::Packet& pkt = arena.get(h);
   const std::int32_t out = lft_row_[pkt.dst];
   IBSIM_ASSERT(out >= 0 && out < n_ports_, "LFT has no route to destination");
@@ -94,7 +95,7 @@ void SwitchDevice::receive(core::Scheduler& sched, ib::PacketHandle h, std::int3
 bool SwitchDevice::input_eligible(std::int32_t in, std::int32_t out, ib::Vl vl) const {
   const ib::PacketQueue& q = voqs_[voq_slot(in, out, vl)];
   if (q.empty()) return false;
-  return bank_.credit(out, vl).can_send(fabric_->arena().get(q.front()).bytes);
+  return bank_.credit(out, vl).can_send(arena_->get(q.front()).bytes);
 }
 
 void SwitchDevice::try_send(core::Scheduler& sched, std::int32_t out_port) {
@@ -165,7 +166,7 @@ bool SwitchDevice::grant_one(core::Scheduler& sched, std::int32_t out_port) {
   }
   const auto vl = static_cast<ib::Vl>(vl_pick);
   CreditTracker& credits = bank_.credit(out_port, vl);
-  ib::PacketArena& arena = fabric_->arena();
+  ib::PacketArena& arena = *arena_;
   // The n_ports VoQs feeding (out_port, vl) — contiguous by layout.
   ib::PacketQueue* const lane = &voqs_[voq_slot(0, out_port, vl)];
 
@@ -227,18 +228,22 @@ bool SwitchDevice::grant_one(core::Scheduler& sched, std::int32_t out_port) {
     note_grant(now, out_port, vl, pkt, exited, fecn_now, pace);
   }
 
+  // Hoisted before the send: when the link to op.peer_dev is a shard
+  // cut, send_packet copies the packet into a mailbox and releases `h`,
+  // so `pkt` must not be read afterwards.
+  const std::int32_t pkt_bytes = pkt.bytes;
+  const core::Time ser = op.ser_time(pkt_bytes);
+
   // Head of the packet reaches the peer's input stage after link
   // propagation plus the receiver pipeline (cut-through); add the full
   // serialization time when running store-and-forward.
   core::Time arrive = now + op.prop_delay + op.rx_pipeline_delay;
-  if (!fabric_->params().cut_through) arrive += op.ser_time(pkt.bytes);
-  sched.schedule_at(arrive, fabric_->handler(op.peer_dev), kEvPacketArrive,
-                    static_cast<std::uint64_t>(h),
-                    static_cast<std::uint64_t>(op.peer_port));
+  if (!fabric_->params().cut_through) arrive += ser;
+  fabric_->send_packet(sched, dev_, arrive, op.peer_dev, op.peer_port, h);
 
   // The packet's tail leaves our input buffer one serialization later;
   // that is when the upstream sender's credits come back.
-  fabric_->schedule_credit_return(dev_, chosen, vl, pkt.bytes, now + op.ser_time(pkt.bytes));
+  fabric_->schedule_credit_return(sched, dev_, chosen, vl, pkt_bytes, now + ser);
   return true;
 }
 

@@ -93,6 +93,7 @@ std::uint64_t SweepService::submit(std::string name, std::vector<SweepCell> cell
     complete_at_submit = job.done == job.cells;
     jobs_.emplace(id, std::move(job));
     job_order_.push_back(id);
+    ++delivering_;  // store-hit callbacks below run outside the lock
     for (std::size_t i = 0; i < scheduled; ++i) work_cv_.notify_one();
   }
 
@@ -106,10 +107,12 @@ std::uint64_t SweepService::submit(std::string name, std::vector<SweepCell> cell
   for (const CellOutcome& outcome : immediate) {
     if (job->on_cell) job->on_cell(outcome);
   }
-  if (complete_at_submit) {
-    if (job->on_done) job->on_done(id);
-    drain_cv_.notify_all();
+  if (complete_at_submit && job->on_done) job->on_done(id);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --delivering_;
   }
+  drain_cv_.notify_all();
   return id;
 }
 
@@ -172,6 +175,7 @@ void SweepService::complete_locked(std::unique_lock<std::mutex>& lock,
     }
   }
 
+  ++delivering_;
   lock.unlock();
   for (const Delivery& d : deliveries) {
     if (d.on_cell) d.on_cell(d.outcome);
@@ -180,6 +184,7 @@ void SweepService::complete_locked(std::unique_lock<std::mutex>& lock,
     done_callbacks[i](done_ids[i]);
   }
   lock.lock();
+  --delivering_;
   drain_cv_.notify_all();
 }
 
@@ -204,6 +209,7 @@ std::vector<SweepService::JobStatus> SweepService::status() {
 void SweepService::drain() {
   std::unique_lock<std::mutex> lock(mu_);
   drain_cv_.wait(lock, [&] {
+    if (delivering_ > 0) return false;
     for (const auto& [id, job] : jobs_) {
       if (job.done < job.cells) return false;
     }

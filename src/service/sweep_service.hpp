@@ -124,6 +124,11 @@ class SweepService {
   std::condition_variable work_cv_;   ///< workers wait for queue_
   std::condition_variable drain_cv_;  ///< drain() waits for completion
   bool stopping_ = false;
+  /// Callback batches currently running outside the lock. drain() must
+  /// wait these out: a job's `done` count advances before its callbacks
+  /// fire, so done==cells alone would let drain() return with the last
+  /// cell's delivery still in flight.
+  std::size_t delivering_ = 0;
   std::deque<std::string> queue_;  ///< keys of runs awaiting a worker
   std::unordered_map<std::string, InFlight> inflight_;
   std::unordered_map<std::uint64_t, Job> jobs_;

@@ -51,7 +51,8 @@ constexpr const char* kKnownKeys[] = {
     "workload_ranks", "workload_bytes", "workload_iters", "workload_compute_us",
     "workload_background", "sim_time_us", "warmup_us", "seed", "trace_file",
     "trace_categories", "counters_csv", "telemetry_sample_us", "trace_ring",
-    "telemetry_detailed", "telemetry_counters", "result_store",
+    "telemetry_detailed", "telemetry_counters", "result_store", "threads",
+    "shards",
 };
 
 /// Levenshtein edit distance with a cutoff: stops caring past `limit`
@@ -261,6 +262,20 @@ std::string apply_key(const std::string& key, const std::string& value, SimConfi
 
   if (key == "result_store") {
     c->result_store = value;
+    return {};
+  }
+
+  // Parallelism knobs. Precedence for the worker-thread count is
+  // CLI --threads > config-file threads > IBSIM_THREADS > hardware
+  // (resolve_threads); both sweep workers and intra-run shard workers
+  // consume the resolved value.
+  if (key == "threads" || key == "shards") {
+    std::int64_t v = 0;
+    if (!parse_int(value, &v) || v < 0) {
+      return "expected a non-negative integer for '" + key + "' (0 = auto)";
+    }
+    if (key == "threads") c->threads = static_cast<std::int32_t>(v);
+    else c->shards = static_cast<std::int32_t>(v);
     return {};
   }
 

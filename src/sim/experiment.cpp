@@ -155,6 +155,17 @@ std::vector<SimResult> run_parallel(const std::vector<SimConfig>& configs,
   }
 
   if (!todo.empty()) {
+    if (threads <= 0) {
+      // One knob surface (DESIGN.md §15): a config-file `threads` key
+      // steers the sweep pool too. An explicit harness argument wins;
+      // below that, the first config asking for a count decides.
+      for (const std::size_t i : todo) {
+        if (configs[i].threads > 0) {
+          threads = configs[i].threads;
+          break;
+        }
+      }
+    }
     threads = resolve_threads(threads);
     const auto n_workers = static_cast<std::size_t>(threads) < todo.size()
                                ? static_cast<std::size_t>(threads)

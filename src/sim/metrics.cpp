@@ -35,6 +35,20 @@ void MetricsCollector::reset_window(core::Time now) {
   delivered_packets_ = 0;
 }
 
+void MetricsCollector::absorb(const MetricsCollector& other) {
+  IBSIM_ASSERT(rx_.size() == other.rx_.size(), "collectors must cover the same nodes");
+  IBSIM_ASSERT(window_start_ == other.window_start_,
+               "collectors must share a measurement window");
+  // Each shard collector only sees deliveries to its own shard's nodes,
+  // so the per-node sums never double count.
+  for (std::size_t i = 0; i < rx_.size(); ++i) rx_[i].absorb(other.rx_[i]);
+  latency_us_.absorb(other.latency_us_);
+  latency_hotspot_us_.absorb(other.latency_hotspot_us_);
+  latency_non_hotspot_us_.absorb(other.latency_non_hotspot_us_);
+  delivered_bytes_ += other.delivered_bytes_;
+  delivered_packets_ += other.delivered_packets_;
+}
+
 void MetricsCollector::set_hotspots(const std::vector<ib::NodeId>& hotspots) {
   std::fill(hotspot_.begin(), hotspot_.end(), false);
   for (const ib::NodeId hs : hotspots) hotspot_[static_cast<std::size_t>(hs)] = true;

@@ -23,6 +23,11 @@ class MetricsCollector final : public fabric::SinkObserver {
   /// Mark which nodes count as hotspots for aggregation.
   void set_hotspots(const std::vector<ib::NodeId>& hotspots);
 
+  /// Fold another collector's deliveries into this one (the sharded
+  /// engine merges per-shard collectors post-run). Both collectors must
+  /// cover the same node count, histogram bounds, and window start.
+  void absorb(const MetricsCollector& other);
+
   [[nodiscard]] core::Time window_start() const { return window_start_; }
 
   /// Receive rate of one node over the window ending at `now`, Gb/s.

@@ -1,0 +1,107 @@
+#include "sim/shard_engine.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "core/assert.hpp"
+
+namespace ibsim::sim {
+
+core::Time shard_lookahead(const fabric::FabricParams& params) {
+  const core::Time rx = std::min(params.switch_delay, params.hca_rx_delay);
+  return params.link_delay + std::min(params.credit_delay, rx);
+}
+
+ShardEngine::ShardEngine(fabric::Fabric* fabric, core::Scheduler* global,
+                         std::vector<core::Scheduler*> shards, core::Time lookahead,
+                         std::int32_t worker_threads)
+    : fabric_(fabric),
+      global_(global),
+      shards_(std::move(shards)),
+      lookahead_(lookahead),
+      workers_(std::clamp(worker_threads, 1, static_cast<std::int32_t>(shards_.size()))),
+      barrier_(workers_) {
+  IBSIM_ASSERT(!shards_.empty(), "shard engine needs at least one shard");
+  IBSIM_ASSERT(lookahead_ >= 1, "conservative synchronization needs positive lookahead");
+  IBSIM_ASSERT(fabric_->n_shards() == static_cast<std::int32_t>(shards_.size()),
+               "fabric shard layout must match the engine's schedulers");
+}
+
+bool ShardEngine::plan_window(core::Time until) {
+  for (;;) {
+    core::Time t_min = core::kTimeNever;
+    for (core::Scheduler* s : shards_) t_min = std::min(t_min, s->next_event_time());
+    const core::Time t_glob = global_->next_event_time();
+    if (t_glob <= until && t_glob <= t_min) {
+      // Global events (hotspot moves, timers) run single-threaded here,
+      // between windows, so they observe a fabric quiesced at their
+      // timestamp — same interleaving a serial run would give them.
+      stats_.global_events += global_->run_until(t_glob);
+      continue;
+    }
+    if (t_min > until) return false;
+    // Any event executing at t >= t_min deposits boundary messages at
+    // t + lookahead >= W + 1, so nothing delivered at the barrier can
+    // land inside the window just executed.
+    core::Time w = t_min + lookahead_ - 1;
+    if (w > until) w = until;
+    if (t_glob != core::kTimeNever && t_glob - 1 < w) w = t_glob - 1;
+    window_end_.store(w);
+    return true;
+  }
+}
+
+void ShardEngine::worker_body(std::int32_t tid, core::Time until) {
+  const std::int32_t n = static_cast<std::int32_t>(shards_.size());
+  for (;;) {
+    if (tid == 0) {
+      if (!plan_window(until)) done_.store(true);
+    }
+    barrier_.arrive_and_wait();  // release: window end (or done) published
+    if (done_.load()) return;
+    const core::Time w = window_end_.load();
+    for (std::int32_t s = tid; s < n; s += workers_) shards_[static_cast<std::size_t>(s)]->run_until(w);
+    barrier_.arrive_and_wait();  // every shard quiesced at w
+    // Deterministic merge: each destination drains its own mailboxes in
+    // ascending source-shard order, so arrival order at a shard depends
+    // only on event content, never on thread timing.
+    for (std::int32_t s = tid; s < n; s += workers_) fabric_->drain_mailboxes_into(s);
+    if (tid == 0) ++stats_.windows;
+    barrier_.arrive_and_wait();  // drains visible before the next plan
+  }
+}
+
+void ShardEngine::run_until(core::Time until) {
+  done_.store(false);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(workers_ - 1));
+  for (std::int32_t t = 1; t < workers_; ++t) {
+    threads.emplace_back([this, t, until] { worker_body(t, until); });
+  }
+  worker_body(0, until);
+  for (std::thread& th : threads) th.join();
+}
+
+std::uint64_t ShardEngine::total_executed() const {
+  std::uint64_t total = global_->executed();
+  for (const core::Scheduler* s : shards_) total += s->executed();
+  return total;
+}
+
+std::array<std::uint64_t, core::Scheduler::kKindSlots> ShardEngine::total_executed_by_kind()
+    const {
+  std::array<std::uint64_t, core::Scheduler::kKindSlots> total = global_->executed_by_kind();
+  for (const core::Scheduler* s : shards_) {
+    const auto& by_kind = s->executed_by_kind();
+    for (std::size_t k = 0; k < core::Scheduler::kKindSlots; ++k) total[k] += by_kind[k];
+  }
+  return total;
+}
+
+std::uint64_t ShardEngine::total_absorbed() const {
+  std::uint64_t total = 0;
+  for (const core::Scheduler* s : shards_) total += s->external_events();
+  return total;
+}
+
+}  // namespace ibsim::sim

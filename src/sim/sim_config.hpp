@@ -131,6 +131,25 @@ struct SimConfig {
   /// Latency histogram range (microseconds).
   double latency_hist_max_us = 20000.0;
 
+  /// Intra-run parallelism: number of fabric shards the simulation is
+  /// spatially partitioned into (DESIGN.md §15). 1 (the default) runs
+  /// the serial engine; 0 derives the shard count from the resolved
+  /// thread count. Values above the switch count are clamped. The shard
+  /// count is simulation-affecting (cross-shard event interleaving can
+  /// legitimately differ between shard counts), so it is part of the
+  /// result-store key; for a fixed shard count results are run-to-run
+  /// deterministic.
+  std::int32_t shards = 1;
+
+  /// Worker threads for parallel execution: the intra-run shard workers
+  /// and (via resolve_threads) sweep workers share this knob. 0 defers
+  /// to IBSIM_THREADS, then hardware concurrency; precedence is
+  /// CLI --threads > config-file `threads` > IBSIM_THREADS > hardware.
+  /// Orchestration-only — thread count never changes results (shards
+  /// execute deterministically regardless of worker count) — so like
+  /// result_store it is excluded from the store key.
+  std::int32_t threads = 0;
+
   /// On-disk result store directory ("" = no store). When set, sweep
   /// harnesses (run_parallel, simulate, the sweep service) consult the
   /// content-addressed store (src/store) before running and publish

@@ -1,8 +1,11 @@
 #include "sim/simulation.hpp"
 
+#include <algorithm>
+
 #include "ccalg/registry.hpp"
 #include "core/assert.hpp"
 #include "core/log.hpp"
+#include "sim/experiment.hpp"
 #include "telemetry/chrome_trace.hpp"
 #include "telemetry/trace.hpp"
 #include "workload/engine.hpp"
@@ -62,8 +65,17 @@ Simulation::Simulation(const SimConfig& config,
   IBSIM_ASSERT(ccalg::CcAlgorithmRegistry::instance().contains(config.cc_algo),
                "unknown cc_algo (see CcAlgorithmRegistry::names)");
   ccm_->set_algo(config.cc_algo);
-  fabric_ =
-      std::make_unique<fabric::Fabric>(topo, snapshot_->tables, config_.fabric, *ccm_, sched_);
+  const fabric::Fabric::ShardLayout* layout = prepare_shards(topo);
+  if (layout != nullptr) {
+    fabric_ = std::make_unique<fabric::Fabric>(topo, snapshot_->tables, config_.fabric, *ccm_,
+                                               *layout);
+    engine_ = std::make_unique<ShardEngine>(
+        fabric_.get(), &sched_, shard_layout_.scheds, shard_lookahead(config_.fabric),
+        std::min(resolve_threads(config_.threads), shard_plan_.n_shards));
+  } else {
+    fabric_ = std::make_unique<fabric::Fabric>(topo, snapshot_->tables, config_.fabric, *ccm_,
+                                               sched_);
+  }
 
   core::Rng rng(config.seed);
   metrics_ =
@@ -83,8 +95,22 @@ Simulation::Simulation(const SimConfig& config,
   } else {
     scenario_ = std::make_unique<traffic::Scenario>(topo.node_count(), config.scenario, rng);
     metrics_->set_hotspots(scenario_->schedule().hotspots());
-    for (ib::NodeId node = 0; node < topo.node_count(); ++node) {
-      fabric_->hca(node).attach_observer(metrics_.get());
+    if (engine_ != nullptr) {
+      // One collector per shard so delivery callbacks never touch shared
+      // state from worker threads; merged into metrics_ after the run.
+      for (std::int32_t s = 0; s < shard_plan_.n_shards; ++s) {
+        shard_metrics_.push_back(std::make_unique<MetricsCollector>(
+            topo.node_count(), config.latency_hist_max_us));
+        shard_metrics_.back()->set_hotspots(scenario_->schedule().hotspots());
+      }
+      for (ib::NodeId node = 0; node < topo.node_count(); ++node) {
+        const std::int32_t shard = fabric_->shard_of(topo.hca_device(node));
+        fabric_->hca(node).attach_observer(shard_metrics_[static_cast<std::size_t>(shard)].get());
+      }
+    } else {
+      for (ib::NodeId node = 0; node < topo.node_count(); ++node) {
+        fabric_->hca(node).attach_observer(metrics_.get());
+      }
     }
     scenario_->install(*fabric_, sched_);
   }
@@ -101,13 +127,47 @@ Simulation::Simulation(const SimConfig& config,
       IBSIM_ASSERT(ok, "unknown trace category (expected cc, credits, queues, arb)");
     }
     telemetry_ = std::make_unique<telemetry::Telemetry>(options);
-    fabric_->attach_telemetry(telemetry_.get());
+    // Sharded runs keep fabric probes detached (per-event counter hits
+    // from worker threads would race); prepare_shards already forced the
+    // serial engine for every telemetry mode beyond end-of-run counters.
+    if (engine_ == nullptr) fabric_->attach_telemetry(telemetry_.get());
     if (!ts.counters_csv.empty()) {
       sampler_ = std::make_unique<telemetry::CounterSampler>(
           &telemetry_->registry(), ts.sample_interval, ts.counters_csv,
           [this](core::Time) { fabric_->refresh_gauges(); });
     }
   }
+}
+
+const fabric::Fabric::ShardLayout* Simulation::prepare_shards(const topo::Topology& topo) {
+  std::int32_t want = config_.shards;
+  if (want == 0) want = resolve_threads(config_.threads);
+  if (want <= 1) return nullptr;
+  // Features that hook deeply into per-event execution run serial; the
+  // fallback is logged so a sweep never silently loses its speedup.
+  const char* fallback = nullptr;
+  if (config_.workload.active()) {
+    fallback = "workload runs need the serial engine";
+  } else if (config_.telemetry.active() &&
+             (config_.telemetry.tracing() || config_.telemetry.detailed ||
+              !config_.telemetry.counters_csv.empty())) {
+    fallback = "trace/CSV/detailed telemetry needs the serial engine";
+  } else if (shard_lookahead(config_.fabric) < 1) {
+    fallback = "fabric delays leave no cross-shard lookahead";
+  }
+  if (fallback != nullptr) {
+    IBSIM_LOG(core::LogLevel::Warn, 0, "shards=%d requested: %s; running serial",
+              want, fallback);
+    return nullptr;
+  }
+  shard_plan_ = topo::make_shard_plan(topo, want);
+  if (shard_plan_.n_shards <= 1) return nullptr;
+  for (std::int32_t s = 0; s < shard_plan_.n_shards; ++s) {
+    shard_scheds_.push_back(std::make_unique<core::Scheduler>(config_.scheduler_queue));
+    shard_layout_.scheds.push_back(shard_scheds_.back().get());
+  }
+  shard_layout_.shard_of_device = &shard_plan_.shard_of_device;
+  return &shard_layout_;
 }
 
 Simulation::~Simulation() = default;
@@ -122,14 +182,24 @@ SimResult Simulation::run() {
     IBSIM_LOG(core::LogLevel::Warn, sched_.now(), "cannot open counters CSV '%s'",
               config_.telemetry.counters_csv.c_str());
   }
-  sched_.run_until(config_.warmup);
-  // Pin the measurement window to the configured instants, not to
-  // sched_.now(): the scheduler clock rests on the last *executed*
-  // event, and the fabric fast path elides bookkeeping events, so a
-  // last-event-based window would make rate denominators depend on the
-  // event-chain mode and break the fast/slow bit-identity guarantee.
-  metrics_->reset_window(config_.warmup);
-  sched_.run_until(config_.sim_time);
+  if (engine_ != nullptr) {
+    engine_->run_until(config_.warmup);
+    metrics_->reset_window(config_.warmup);
+    for (auto& m : shard_metrics_) m->reset_window(config_.warmup);
+    engine_->run_until(config_.sim_time);
+    // Merge the per-shard collectors; window starts match, so rates and
+    // histograms add exactly.
+    for (const auto& m : shard_metrics_) metrics_->absorb(*m);
+  } else {
+    sched_.run_until(config_.warmup);
+    // Pin the measurement window to the configured instants, not to
+    // sched_.now(): the scheduler clock rests on the last *executed*
+    // event, and the fabric fast path elides bookkeeping events, so a
+    // last-event-based window would make rate denominators depend on the
+    // event-chain mode and break the fast/slow bit-identity guarantee.
+    metrics_->reset_window(config_.warmup);
+    sched_.run_until(config_.sim_time);
+  }
 
   if (sampler_ != nullptr) sampler_->close();
   if (telemetry_ != nullptr && config_.telemetry.tracing()) {
@@ -166,8 +236,13 @@ SimResult Simulation::snapshot_at(core::Time now) const {
   r.cnps_sent = fabric_->total_cnps_sent();
   r.becn_received = fabric_->total_becn_received();
   r.delivered_bytes = metrics_->delivered_bytes();
-  r.events_executed = sched_.executed();
-  r.events_by_kind = sched_.executed_by_kind();
+  if (engine_ != nullptr) {
+    r.events_executed = engine_->total_executed();
+    r.events_by_kind = engine_->total_executed_by_kind();
+  } else {
+    r.events_executed = sched_.executed();
+    r.events_by_kind = sched_.executed_by_kind();
+  }
   r.delivered_packets = fabric_->total_delivered_packets();
   if (workload_ != nullptr) {
     const workload::WorkloadProgress p = workload_->progress();
@@ -189,6 +264,20 @@ SimResult Simulation::snapshot_at(core::Time now) const {
         "sched.events.other"};
     for (std::size_t k = 0; k < core::Scheduler::kKindSlots; ++k) {
       reg.set(reg.gauge(kKindGauges[k]), static_cast<std::int64_t>(r.events_by_kind[k]));
+    }
+    if (engine_ != nullptr) {
+      reg.set(reg.gauge("sched.shard.count"),
+              static_cast<std::int64_t>(shard_plan_.n_shards));
+      reg.set(reg.gauge("sched.shard.cut_links"),
+              static_cast<std::int64_t>(shard_plan_.cut_links));
+      reg.set(reg.gauge("sched.shard.windows"),
+              static_cast<std::int64_t>(engine_->stats().windows));
+      reg.set(reg.gauge("sched.shard.crossed_packets"),
+              static_cast<std::int64_t>(fabric_->crossed_packets()));
+      reg.set(reg.gauge("sched.shard.crossed_credits"),
+              static_cast<std::int64_t>(fabric_->crossed_credits()));
+      reg.set(reg.gauge("sched.shard.absorbed_events"),
+              static_cast<std::int64_t>(engine_->total_absorbed()));
     }
     if (r.workload.ran) {
       reg.set(reg.gauge("workload.messages_completed"),

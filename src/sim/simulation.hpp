@@ -11,8 +11,10 @@
 #include "core/scheduler.hpp"
 #include "fabric/fabric.hpp"
 #include "sim/metrics.hpp"
+#include "sim/shard_engine.hpp"
 #include "sim/sim_config.hpp"
 #include "sim/snapshot.hpp"
+#include "topo/partition.hpp"
 #include "telemetry/sampler.hpp"
 #include "telemetry/telemetry.hpp"
 #include "topo/routing.hpp"
@@ -115,6 +117,13 @@ class Simulation {
   }
   [[nodiscard]] const SimConfig& config() const { return config_; }
 
+  /// Effective shard count this run executes with (1 = serial engine;
+  /// may be lower than config().shards after clamping or a documented
+  /// serial fallback — tracing, CSV sampling, workloads).
+  [[nodiscard]] std::int32_t effective_shards() const {
+    return engine_ != nullptr ? static_cast<std::int32_t>(shard_scheds_.size()) : 1;
+  }
+
   /// The run's observability root; null when telemetry is inactive.
   [[nodiscard]] telemetry::Telemetry* telemetry() { return telemetry_.get(); }
   [[nodiscard]] const telemetry::Telemetry* telemetry() const { return telemetry_.get(); }
@@ -131,11 +140,23 @@ class Simulation {
   [[nodiscard]] SimResult snapshot_at(core::Time now) const;
 
  private:
+  /// Decide the shard count, build per-shard schedulers and the fabric
+  /// ShardLayout. Returns null (serial) unless sharding is enabled,
+  /// possible, and compatible with the run's features.
+  const fabric::Fabric::ShardLayout* prepare_shards(const topo::Topology& topo);
+
   SimConfig config_;
-  core::Scheduler sched_;
+  core::Scheduler sched_;  ///< global scheduler (the only one when serial)
   std::shared_ptr<const RoutingSnapshot> snapshot_;  // owns topology + routing
   std::unique_ptr<cc::CcManager> ccm_;
+  // Sharded-engine state (empty when serial). Declared before fabric_:
+  // the fabric's ShardLayout references the plan and schedulers.
+  topo::ShardPlan shard_plan_;
+  std::vector<std::unique_ptr<core::Scheduler>> shard_scheds_;
+  fabric::Fabric::ShardLayout shard_layout_;
   std::unique_ptr<fabric::Fabric> fabric_;
+  std::vector<std::unique_ptr<MetricsCollector>> shard_metrics_;
+  std::unique_ptr<ShardEngine> engine_;
   std::unique_ptr<traffic::Scenario> scenario_;
   std::unique_ptr<workload::WorkloadEngine> workload_;
   std::unique_ptr<MetricsCollector> metrics_;

@@ -146,6 +146,11 @@ std::string canonical_config_text(const sim::SimConfig& c) {
   w.field("scheduler_queue", std::string(queue_kind_name(c.scheduler_queue)));
   w.field("fabric_fast_path", c.fabric_fast_path);
   w.field("latency_hist_max_us", c.latency_hist_max_us);
+  // Sharded runs are deterministic per shard count but cross-shard
+  // interleaving can differ between shard counts, so `shards` is part of
+  // the key. `threads` is deliberately absent: worker count never
+  // changes results (like result_store, it is orchestration-only).
+  w.field("shards", static_cast<std::int64_t>(c.shards));
 
   // Telemetry: all of it feeds the key. counters/detailed change the
   // SimResult::counters map, and a CSV sampler schedules its own events

@@ -23,11 +23,15 @@ Topology folded_clos(const FoldedClosParams& params) {
   leaves.reserve(static_cast<std::size_t>(params.leaves));
   for (std::int32_t l = 0; l < params.leaves; ++l) {
     leaves.push_back(topo.add_switch(params.leaf_ports(), "leaf" + std::to_string(l)));
+    // Each leaf anchors a partition group; spines are spread over the
+    // groups round-robin since every spine touches every leaf anyway.
+    topo.set_partition_group(leaves.back(), l);
   }
   std::vector<DeviceId> spines;
   spines.reserve(static_cast<std::size_t>(params.spines));
   for (std::int32_t s = 0; s < params.spines; ++s) {
     spines.push_back(topo.add_switch(params.leaves, "spine" + std::to_string(s)));
+    topo.set_partition_group(spines.back(), s % params.leaves);
   }
   // HCAs in leaf-major order so NodeId / nodes_per_leaf identifies the leaf.
   for (std::int32_t l = 0; l < params.leaves; ++l) {
@@ -96,17 +100,22 @@ Topology fat_tree3(const FatTree3Params& params) {
     for (std::int32_t l = 0; l < params.leaves_per_pod; ++l) {
       leaves.push_back(topo.add_switch(params.nodes_per_leaf + params.aggs_per_pod,
                                        "p" + std::to_string(p) + "leaf" + std::to_string(l)));
+      // Pods are the natural shard unit: all intra-pod links stay inside
+      // one partition group, only agg<->core links cross groups.
+      topo.set_partition_group(leaves.back(), p);
     }
   }
   for (std::int32_t p = 0; p < params.pods; ++p) {
     for (std::int32_t a = 0; a < params.aggs_per_pod; ++a) {
       aggs.push_back(topo.add_switch(params.leaves_per_pod + params.cores,
                                      "p" + std::to_string(p) + "agg" + std::to_string(a)));
+      topo.set_partition_group(aggs.back(), p);
     }
   }
   for (std::int32_t c = 0; c < params.cores; ++c) {
     cores.push_back(topo.add_switch(params.pods * params.aggs_per_pod,
                                     "core" + std::to_string(c)));
+    topo.set_partition_group(cores.back(), c % params.pods);
   }
   // HCAs in leaf-major order.
   for (std::size_t l = 0; l < leaves.size(); ++l) {
@@ -149,6 +158,9 @@ Topology mesh2d(std::int32_t rows, std::int32_t cols, std::int32_t nodes_per_swi
     for (std::int32_t c = 0; c < cols; ++c) {
       sws.push_back(topo.add_switch(n + 4, "mesh" + std::to_string(r) + "_" +
                                                std::to_string(c)));
+      // Row-major groups: a contiguous split over rows cuts only the
+      // Y-direction links between adjacent rows.
+      topo.set_partition_group(sws.back(), r);
     }
   }
   auto at = [&](std::int32_t r, std::int32_t c) {

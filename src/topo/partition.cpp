@@ -1,0 +1,92 @@
+#include "topo/partition.hpp"
+
+#include <algorithm>
+
+#include "core/assert.hpp"
+
+namespace ibsim::topo {
+
+namespace {
+
+/// Attached HCAs dominate a shard's event load (injection, sink drain,
+/// CC agents), so balance on them; the +1 keeps transit-only switches
+/// (aggs, cores) from being weightless.
+std::int64_t switch_weight(const Topology& topo, DeviceId sw) {
+  std::int64_t hcas = 0;
+  for (std::int32_t p = 0; p < topo.port_count(sw); ++p) {
+    const PortRef peer = topo.peer(PortRef{sw, p});
+    if (peer.valid() && topo.kind(peer.device) == DeviceKind::Hca) ++hcas;
+  }
+  return hcas + 1;
+}
+
+}  // namespace
+
+ShardPlan make_shard_plan(const Topology& topo, std::int32_t want_shards) {
+  ShardPlan plan;
+  plan.shard_of_device.assign(static_cast<std::size_t>(topo.device_count()), 0);
+
+  const std::vector<DeviceId>& sws = topo.switches();
+  const std::int32_t n = static_cast<std::int32_t>(sws.size());
+  const std::int32_t k = std::min(want_shards, n);
+  if (k <= 1) return plan;
+  plan.n_shards = k;
+
+  // Hint-major ordering: switches of one partition group (one pod, one
+  // mesh row) sit adjacent, so the contiguous split below cuts between
+  // groups where links are sparse. std::stable_sort keeps creation
+  // order inside a group and for unhinted topologies.
+  std::vector<DeviceId> ordered(sws.begin(), sws.end());
+  std::stable_sort(ordered.begin(), ordered.end(), [&](DeviceId a, DeviceId b) {
+    return topo.partition_group(a) < topo.partition_group(b);
+  });
+
+  std::int64_t total = 0;
+  std::vector<std::int64_t> weight(static_cast<std::size_t>(n), 0);
+  for (std::int32_t i = 0; i < n; ++i) {
+    weight[static_cast<std::size_t>(i)] = switch_weight(topo, ordered[static_cast<std::size_t>(i)]);
+    total += weight[static_cast<std::size_t>(i)];
+  }
+
+  // Contiguous balanced split: a switch lands in the shard its weight
+  // midpoint falls into, clamped so shards are non-decreasing, never
+  // skipped, and the tail always has one switch per remaining shard.
+  std::int64_t cum2 = 0;  // 2 * (weight of switches before i)
+  std::int32_t prev = 0;
+  for (std::int32_t i = 0; i < n; ++i) {
+    const std::int64_t w = weight[static_cast<std::size_t>(i)];
+    std::int32_t s = static_cast<std::int32_t>(((cum2 + w) * k) / (2 * total));
+    s = std::min(s, k - 1);
+    s = std::min(s, prev + 1);
+    s = std::max(s, prev);
+    s = std::max(s, k - (n - i));
+    plan.shard_of_device[static_cast<std::size_t>(ordered[static_cast<std::size_t>(i)])] = s;
+    prev = s;
+    cum2 += 2 * w;
+  }
+  IBSIM_ASSERT(prev == k - 1, "partition must populate every shard");
+
+  // HCAs follow the switch they are cabled to.
+  for (ib::NodeId node = 0; node < topo.node_count(); ++node) {
+    const DeviceId hca = topo.hca_device(node);
+    const PortRef up = topo.peer(PortRef{hca, 0});
+    IBSIM_ASSERT(up.valid() && topo.kind(up.device) == DeviceKind::Switch,
+                 "HCA must be cabled to a switch");
+    plan.shard_of_device[static_cast<std::size_t>(hca)] =
+        plan.shard_of_device[static_cast<std::size_t>(up.device)];
+  }
+
+  for (const DeviceId sw : sws) {
+    for (std::int32_t p = 0; p < topo.port_count(sw); ++p) {
+      const PortRef peer = topo.peer(PortRef{sw, p});
+      if (!peer.valid() || peer.device <= sw) continue;  // count each link once
+      if (plan.shard_of_device[static_cast<std::size_t>(sw)] !=
+          plan.shard_of_device[static_cast<std::size_t>(peer.device)]) {
+        ++plan.cut_links;
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace ibsim::topo

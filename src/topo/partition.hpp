@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace ibsim::topo {
+
+/// Spatial decomposition of a topology for the sharded engine: every
+/// device belongs to exactly one shard, and every HCA shares a shard
+/// with the switch it is cabled to (so the HCA<->leaf grant/credit loop
+/// never crosses a shard boundary — see DESIGN.md §15).
+struct ShardPlan {
+  std::vector<std::int32_t> shard_of_device;  // indexed by DeviceId
+  std::int32_t n_shards = 1;
+  /// Number of links whose endpoints landed in different shards (both
+  /// directions counted once). Diagnostic: smaller cut = less mailbox
+  /// traffic per window.
+  std::int32_t cut_links = 0;
+};
+
+/// Partition `topo` into at most `want_shards` shards. Switches are
+/// ordered by (partition_group hint, creation order) and split into
+/// contiguous runs balanced by attached-HCA weight; HCAs follow their
+/// switch. The result is deterministic — it depends only on the
+/// topology and `want_shards`. Degenerate inputs (want_shards <= 1,
+/// fewer than two switches) yield a single-shard plan.
+[[nodiscard]] ShardPlan make_shard_plan(const Topology& topo, std::int32_t want_shards);
+
+}  // namespace ibsim::topo

@@ -60,6 +60,18 @@ class Topology {
   /// All switch device ids, in creation order.
   [[nodiscard]] const std::vector<DeviceId>& switches() const { return switches_; }
 
+  /// Cut-minimizing partition hint for the shard planner: switches that
+  /// share a group (a leaf pod, a mesh row, ...) are kept adjacent in
+  /// the planner's ordering so shard boundaries fall on the sparse
+  /// inter-group links. -1 (the default) means "no preference"; the
+  /// planner then falls back to creation order.
+  void set_partition_group(DeviceId dev, std::int32_t group) {
+    devices_[static_cast<std::size_t>(dev)].partition_group = group;
+  }
+  [[nodiscard]] std::int32_t partition_group(DeviceId dev) const {
+    return devices_[static_cast<std::size_t>(dev)].partition_group;
+  }
+
   /// Check structural sanity: every HCA cabled, no self-links, port
   /// references in range. Returns an error description or empty string.
   [[nodiscard]] std::string validate() const;
@@ -71,6 +83,7 @@ class Topology {
     std::string name;
     std::int32_t first_port;  // index into port_peers_
     ib::NodeId node = ib::kInvalidNode;
+    std::int32_t partition_group = -1;
   };
 
   [[nodiscard]] std::size_t port_slot(PortRef p) const;

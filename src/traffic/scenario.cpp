@@ -113,7 +113,7 @@ void Scenario::install(fabric::Fabric& fabric, core::Scheduler& sched) {
     const cc::FlowGate* gate =
         fabric.cc_manager().enabled() ? &hca.cc_agent() : nullptr;
     generators_.push_back(std::make_unique<BNodeGenerator>(
-        node, n_nodes_, params, provider, gate, &fabric.arena(),
+        node, n_nodes_, params, provider, gate, &fabric.arena_for_node(node),
         rng_.fork("gen", static_cast<std::uint64_t>(node))));
     gen_ptrs_.push_back(generators_.back().get());
     hca.attach_source(generators_.back().get());

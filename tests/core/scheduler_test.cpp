@@ -154,6 +154,33 @@ TEST(Scheduler, ClearResetsClockAndSequence) {
   EXPECT_EQ(sched.executed(), 2u);
 }
 
+TEST(Scheduler, NextEventTimePeeksWithoutExecuting) {
+  Scheduler sched;
+  Recorder rec;
+  EXPECT_EQ(sched.next_event_time(), kTimeNever);
+  sched.schedule_at(30, &rec, 1);
+  sched.schedule_at(10, &rec, 2);
+  EXPECT_EQ(sched.next_event_time(), 10);
+  EXPECT_EQ(sched.pending(), 2u);  // peek must not pop
+  sched.run_until(10);
+  EXPECT_EQ(sched.next_event_time(), 30);
+  sched.run();
+  EXPECT_EQ(sched.next_event_time(), kTimeNever);
+}
+
+TEST(Scheduler, ClearResetsExternalEventCount) {
+  // The shard engine counts mailbox-drain injections per scheduler; a
+  // reused per-shard scheduler must start its replay at zero or the
+  // sched.shard.absorbed gauge would leak across runs.
+  Scheduler sched;
+  EXPECT_EQ(sched.external_events(), 0u);
+  sched.note_external_event();
+  sched.note_external_event();
+  EXPECT_EQ(sched.external_events(), 2u);
+  sched.clear();
+  EXPECT_EQ(sched.external_events(), 0u);
+}
+
 TEST(Scheduler, ClearResetsStopFlag) {
   class Stopper : public EventHandler {
    public:

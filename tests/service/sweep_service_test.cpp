@@ -183,10 +183,11 @@ TEST(SweepService, ConcurrentIdenticalCellsRunOnce) {
   Sink b;
   auto cells_a = tiny_cells(2);  // seeds 1, 2
   auto cells_b = tiny_cells(2);  // identical
-  // Long enough per cell that the lone worker cannot possibly clear
-  // job a before the very next statement submits job b.
+  // Long enough per cell (tens of ms of wall time) that the lone worker
+  // cannot possibly clear job a's first cell before the very next
+  // statement submits job b, even if this thread gets preempted.
   for (auto* cells : {&cells_a, &cells_b}) {
-    for (SweepCell& cell : *cells) cell.config.sim_time = core::kMillisecond;
+    for (SweepCell& cell : *cells) cell.config.sim_time = 10 * core::kMillisecond;
   }
   service.submit("a", std::move(cells_a), a.callback());
   service.submit("b", std::move(cells_b), b.callback());

@@ -120,6 +120,26 @@ TEST(ConfigFile, ResultStoreKeyApplies) {
   EXPECT_NE(err.find("did you mean 'result_store'"), std::string::npos) << err;
 }
 
+TEST(ConfigFile, ThreadsAndShardsKeysApply) {
+  // One knob surface: the config-file `threads` key feeds both sweep
+  // workers and intra-run shard workers; `shards` picks the intra-run
+  // partition count (0 = derive from the resolved thread count).
+  SimConfig config;
+  EXPECT_TRUE(apply_config_text("threads = 4\nshards = 2\n", &config).empty());
+  EXPECT_EQ(config.threads, 4);
+  EXPECT_EQ(config.shards, 2);
+  EXPECT_TRUE(apply_config_text("shards = 0\n", &config).empty());
+  EXPECT_EQ(config.shards, 0);
+  // Strict parse: garbage and negative counts are hard errors (the
+  // IBSIM_THREADS exit-2 discipline), never silent fallbacks.
+  EXPECT_NE(apply_config_text("threads = -2\n", &config).find("non-negative"),
+            std::string::npos);
+  EXPECT_NE(apply_config_text("shards = many\n", &config).find("non-negative"),
+            std::string::npos);
+  EXPECT_NE(apply_config_text("thread = 4\n", &config).find("did you mean 'threads'"),
+            std::string::npos);
+}
+
 TEST(ConfigFile, ReportsMalformedLine) {
   SimConfig config;
   EXPECT_NE(apply_config_text("no equals sign\n", &config).find("line 1"),

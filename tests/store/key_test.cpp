@@ -45,6 +45,17 @@ TEST(RunKey, ResultStoreFieldIsExcluded) {
   EXPECT_EQ(run_key(a), run_key(b));
 }
 
+TEST(RunKey, ThreadsFieldIsExcluded) {
+  // Worker-thread count is orchestration-only: shards execute the same
+  // events whatever the worker count, so `threads` must never split the
+  // cache the way `shards` (which is simulation-affecting) does.
+  sim::SimConfig a = base_config();
+  sim::SimConfig b = base_config();
+  b.threads = 16;
+  EXPECT_EQ(canonical_config_text(a), canonical_config_text(b));
+  EXPECT_EQ(run_key(a), run_key(b));
+}
+
 /// Every simulation-affecting field must change the key. One mutator
 /// per field family; a new SimConfig field that is not reflected in
 /// canonical_config_text would silently alias cached results, so keep
@@ -84,6 +95,9 @@ TEST(RunKey, EveryFieldChangesTheKey) {
       {"scheduler_queue", [](sim::SimConfig* c) { c->scheduler_queue = core::QueueKind::kHeap; }},
       {"fabric_fast_path", [](sim::SimConfig* c) { c->fabric_fast_path = !c->fabric_fast_path; }},
       {"snapshot_cache", [](sim::SimConfig* c) { c->snapshot_cache = !c->snapshot_cache; }},
+      // Cross-shard interleaving may legitimately differ between shard
+      // counts, so the shard count is simulation-affecting.
+      {"shards", [](sim::SimConfig* c) { c->shards = 4; }},
   };
 
   const std::string base_key = run_key(base_config());

@@ -1,0 +1,125 @@
+// Shard partitioner (DESIGN.md §15): contiguous balanced splits over the
+// builder-provided partition hints, HCAs co-located with their leaf.
+
+#include "topo/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "topo/builders.hpp"
+#include "topo/topology.hpp"
+
+namespace ibsim::topo {
+namespace {
+
+/// Per-shard attached-HCA counts (the balance target).
+std::vector<std::int64_t> hcas_per_shard(const Topology& topo, const ShardPlan& plan) {
+  std::vector<std::int64_t> load(static_cast<std::size_t>(plan.n_shards), 0);
+  for (ib::NodeId n = 0; n < topo.node_count(); ++n) {
+    ++load[static_cast<std::size_t>(
+        plan.shard_of_device[static_cast<std::size_t>(topo.hca_device(n))])];
+  }
+  return load;
+}
+
+void expect_valid_plan(const Topology& topo, const ShardPlan& plan) {
+  ASSERT_EQ(plan.shard_of_device.size(), static_cast<std::size_t>(topo.device_count()));
+  std::vector<bool> used(static_cast<std::size_t>(plan.n_shards), false);
+  for (const std::int32_t s : plan.shard_of_device) {
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, plan.n_shards);
+    used[static_cast<std::size_t>(s)] = true;
+  }
+  for (std::int32_t s = 0; s < plan.n_shards; ++s) {
+    EXPECT_TRUE(used[static_cast<std::size_t>(s)]) << "empty shard " << s;
+  }
+  // The HCA<->leaf loop (grant, credit return, CNP) must never cross a
+  // shard boundary — the fabric constructor asserts the same invariant.
+  for (ib::NodeId n = 0; n < topo.node_count(); ++n) {
+    const DeviceId hca = topo.hca_device(n);
+    const PortRef up = topo.peer(PortRef{hca, 0});
+    EXPECT_EQ(plan.shard_of_device[static_cast<std::size_t>(hca)],
+              plan.shard_of_device[static_cast<std::size_t>(up.device)]);
+  }
+}
+
+TEST(ShardPlan, SingleShardIsTrivial) {
+  const Topology topo = folded_clos({4, 2, 4});
+  const ShardPlan plan = make_shard_plan(topo, 1);
+  EXPECT_EQ(plan.n_shards, 1);
+  EXPECT_EQ(plan.cut_links, 0);
+  for (const std::int32_t s : plan.shard_of_device) EXPECT_EQ(s, 0);
+}
+
+TEST(ShardPlan, WantClampsToSwitchCount) {
+  const Topology topo = folded_clos({4, 2, 4});  // 6 switches
+  const ShardPlan plan = make_shard_plan(topo, 64);
+  EXPECT_EQ(plan.n_shards, 6);
+  expect_valid_plan(topo, plan);
+}
+
+TEST(ShardPlan, FatTreePodsStayTogether) {
+  // 4 pods, shards = pods: the pod hint makes each pod one shard, so
+  // only agg<->core links are cut and pod-internal traffic never
+  // crosses a boundary.
+  const FatTree3Params params{4, 2, 2, 4, 4};
+  const Topology topo = fat_tree3(params);
+  const ShardPlan plan = make_shard_plan(topo, 4);
+  ASSERT_EQ(plan.n_shards, 4);
+  expect_valid_plan(topo, plan);
+
+  // Every leaf and agg of one pod shares a shard (cores are spread
+  // round-robin and may land anywhere).
+  for (std::int32_t pod = 0; pod < params.pods; ++pod) {
+    std::int32_t pod_shard = -1;
+    for (const DeviceId sw : topo.switches()) {
+      if (topo.partition_group(sw) != pod) continue;
+      if (topo.kind(sw) != DeviceKind::Switch) continue;
+      if (pod_shard == -1) pod_shard = plan.shard_of_device[static_cast<std::size_t>(sw)];
+      EXPECT_EQ(plan.shard_of_device[static_cast<std::size_t>(sw)], pod_shard)
+          << "pod " << pod << " split across shards";
+    }
+  }
+
+  const std::vector<std::int64_t> load = hcas_per_shard(topo, plan);
+  const std::int64_t per_pod = static_cast<std::int64_t>(params.leaves_per_pod) *
+                               params.nodes_per_leaf;
+  for (const std::int64_t l : load) EXPECT_EQ(l, per_pod);
+}
+
+TEST(ShardPlan, ClosSplitBalancesHcas) {
+  const Topology topo = folded_clos({8, 4, 6});  // 48 HCAs
+  const ShardPlan plan = make_shard_plan(topo, 4);
+  ASSERT_EQ(plan.n_shards, 4);
+  expect_valid_plan(topo, plan);
+  const std::vector<std::int64_t> load = hcas_per_shard(topo, plan);
+  for (const std::int64_t l : load) {
+    EXPECT_GE(l, 6);   // perfectly balanced would be 12
+    EXPECT_LE(l, 18);
+  }
+  EXPECT_GT(plan.cut_links, 0);
+}
+
+TEST(ShardPlan, MeshRowsSplitAlongRowHints) {
+  const Topology topo = mesh2d(4, 4, 2);
+  const ShardPlan plan = make_shard_plan(topo, 4);
+  ASSERT_EQ(plan.n_shards, 4);
+  expect_valid_plan(topo, plan);
+  // Row hints make each row one shard: 4 cut column-links per boundary,
+  // 3 boundaries.
+  EXPECT_EQ(plan.cut_links, 12);
+}
+
+TEST(ShardPlan, DeterministicForFixedInputs) {
+  const Topology a = fat_tree3({4, 2, 2, 4, 4});
+  const Topology b = fat_tree3({4, 2, 2, 4, 4});
+  const ShardPlan pa = make_shard_plan(a, 3);
+  const ShardPlan pb = make_shard_plan(b, 3);
+  EXPECT_EQ(pa.n_shards, pb.n_shards);
+  EXPECT_EQ(pa.cut_links, pb.cut_links);
+  EXPECT_EQ(pa.shard_of_device, pb.shard_of_device);
+}
+
+}  // namespace
+}  // namespace ibsim::topo
